@@ -1,0 +1,266 @@
+(* Command-line driver for the REWIND reproduction.
+
+     rewind figure fig7-left [--quick]     regenerate one figure
+     rewind crash-demo [--config 1l-nfp]   crash/recovery walkthrough
+     rewind tpcc [--txns N]                TPC-C throughput comparison
+     rewind costs                          cost-model summary for the configs  *)
+
+open Cmdliner
+open Rewind_nvm
+open Rewind_benchlib
+
+(* -- shared ------------------------------------------------------------- *)
+
+let config_of_string = function
+  | "1l-nfp" -> Ok Rewind.config_1l_nfp
+  | "1l-fp" -> Ok Rewind.config_1l_fp
+  | "2l-nfp" -> Ok Rewind.config_2l_nfp
+  | "2l-fp" -> Ok Rewind.config_2l_fp
+  | "simple" -> Ok Rewind.config_simple
+  | "optimized" -> Ok Rewind.config_optimized
+  | "batch" -> Ok (Rewind.config_batch ())
+  | s -> Error (`Msg (Fmt.str "unknown configuration %S" s))
+
+let config_conv =
+  Arg.conv
+    (config_of_string, fun ppf c -> Rewind.Tm.pp_config ppf c)
+
+let quick =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Use smaller (CI-sized) parameters.")
+
+(* -- figure ------------------------------------------------------------- *)
+
+let figure_names =
+  [
+    "fig3-left"; "fig3-right"; "fig4-left"; "fig4-right"; "fig5"; "fig6";
+    "fig7-left"; "fig7-right"; "fig8-left"; "fig8-right"; "fig9"; "fig10";
+    "fig11"; "ablation-bucket"; "ablation-group"; "ablation-policy";
+    "ablation-lockfree";
+  ]
+
+let run_figure quick name =
+  let s v q = if quick then q else v in
+  match name with
+  | "fig3-left" -> Series.print (Figures.fig3_left ~n_ops:(s 10_000 2_000) ())
+  | "fig3-right" -> Series.print (Figures.fig3_right ~target_updates:(s 60 20) ())
+  | "fig4-left" -> Series.print (Figures.fig4_left ~target_updates:(s 60 20) ())
+  | "fig4-right" -> Series.print (Figures.fig4_right ~target_updates:(s 60 20) ())
+  | "fig5" -> Series.print (Figures.fig5 ~n_txns:(s 400 350) ~updates_each:(s 10 4) ())
+  | "fig6" -> Series.print (Figures.fig6 ~n_records:(s 120_000 30_000) ())
+  | "fig7-left" ->
+      Series.print (Figures.fig7_left ~n_records:(s 10_000 2_000) ~n_ops:(s 20_000 4_000) ())
+  | "fig7-right" ->
+      Series.print (Figures.fig7_right ~n_records:(s 10_000 2_000) ~n_ops:(s 20_000 4_000) ())
+  | "fig8-left" -> Series.print (Figures.fig8_left ~n_records:(s 10_000 2_000) ())
+  | "fig8-right" -> Series.print (Figures.fig8_right ~n_records:(s 10_000 2_000) ())
+  | "fig9" ->
+      Series.print (Figures.fig9 ~ops_per_thread:(s 10_000 2_000) ~n_records:(s 4_000 1_000) ())
+  | "fig10" ->
+      Series.print (Figures.fig10 ~n_records:(s 5_000 1_000) ~n_ops:(s 10_000 2_000) ())
+  | "fig11" ->
+      Series.print_bars ~id:"fig11" ~title:"TPC-C new-order throughput"
+        ~ylabel:"thousand transactions per simulated minute"
+        (Figures.fig11 ~txns_per_terminal:(s 300 60) ())
+  | "ablation-bucket" -> Series.print (Figures.ablation_bucket_size ())
+  | "ablation-group" -> Series.print (Figures.ablation_group ())
+  | "ablation-policy" -> Series.print (Figures.ablation_policy ())
+  | "ablation-lockfree" -> Series.print (Figures.ablation_lockfree ())
+  | other -> Fmt.epr "unknown figure %S@." other
+
+let figure_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some (enum (List.map (fun n -> (n, n)) figure_names))) None
+      & info [] ~docv:"FIGURE" ~doc:"Figure id, e.g. fig7-left.")
+  in
+  Cmd.v
+    (Cmd.info "figure" ~doc:"Regenerate one of the paper's figures")
+    Term.(const (fun q n -> run_figure q n) $ quick $ name_arg)
+
+(* -- crash-demo --------------------------------------------------------- *)
+
+let run_crash_demo cfg crash_after =
+  let arena = Arena.create ~size_bytes:(64 lsl 20) () in
+  let alloc = Alloc.create arena in
+  let tm = Rewind.Tm.create ~cfg alloc ~root_slot:2 in
+  let cells = Array.init 8 (fun _ -> Alloc.alloc alloc 8) in
+  Fmt.pr "configuration: %a@." Rewind.Tm.pp_config cfg;
+  Fmt.pr "running transactions with a crash after %d persistence events...@."
+    crash_after;
+  Arena.arm_crash arena ~after:crash_after;
+  let committed = ref [] in
+  (try
+     for tno = 1 to 1_000 do
+       let txn = Rewind.Tm.begin_txn tm in
+       for i = 0 to 7 do
+         Rewind.Tm.write tm txn ~addr:cells.(i) ~value:(Int64.of_int ((tno * 10) + i))
+       done;
+       Rewind.Tm.commit tm txn;
+       committed := tno :: !committed
+     done;
+     Arena.disarm_crash arena;
+     Fmt.pr "no crash occurred (crash point beyond the workload).@."
+   with Arena.Crash ->
+     Fmt.pr "*** crash after transaction %d committed ***@."
+       (match !committed with t :: _ -> t | [] -> 0));
+  if Arena.crashed arena then begin
+    let alloc = Alloc.recover arena in
+    let span = Clock.start () in
+    let _tm = Rewind.Tm.attach ~cfg alloc ~root_slot:2 in
+    Fmt.pr "recovery took %a (simulated)@." Clock.pp_ns (Clock.elapsed span);
+    let last = match !committed with t :: _ -> t | [] -> 0 in
+    let ok = ref true in
+    Array.iteri
+      (fun i c ->
+        let v = Arena.read arena c in
+        let expect = Int64.of_int ((last * 10) + i) in
+        if v <> expect && last > 0 then ok := false;
+        Fmt.pr "  cell %d = %Ld (expected %Ld)@." i v expect)
+      cells;
+    Fmt.pr "state %s@." (if !ok then "matches the last committed transaction" else "MISMATCH")
+  end
+
+let crash_demo_cmd =
+  let cfg =
+    Arg.(
+      value
+      & opt config_conv Rewind.config_1l_nfp
+      & info [ "config" ] ~docv:"CONFIG"
+          ~doc:"REWIND configuration: 1l-nfp, 1l-fp, 2l-nfp, 2l-fp, simple, optimized, batch.")
+  in
+  let after =
+    Arg.(
+      value & opt int 5_000
+      & info [ "crash-after" ] ~docv:"N" ~doc:"Crash after N persistence events.")
+  in
+  Cmd.v
+    (Cmd.info "crash-demo" ~doc:"Run transactions, crash, recover, verify")
+    Term.(const run_crash_demo $ cfg $ after)
+
+(* -- tpcc --------------------------------------------------------------- *)
+
+let run_tpcc txns =
+  let open Rewind_tpcc in
+  Fmt.pr "TPC-C new-order, 10 terminals x %d transactions@.@." txns;
+  List.iter
+    (fun config ->
+      let r =
+        Workload.run ~txns_per_terminal:txns ~params:Datagen.small ~arena_mb:384
+          ~config ()
+      in
+      Fmt.pr "%-38s %10.0f ktpm  (%d committed, %d aborted)@."
+        (Fmt.str "%a" Workload.pp_configuration config)
+        (r.Workload.tpm /. 1000.)
+        r.Workload.committed r.Workload.aborted)
+    [
+      Workload.Nvm_naive; Workload.Rewind_opt_dlog; Workload.Rewind_opt;
+      Workload.Rewind_naive;
+    ]
+
+let tpcc_cmd =
+  let txns =
+    Arg.(
+      value & opt int 300
+      & info [ "txns" ] ~docv:"N" ~doc:"Transactions per terminal.")
+  in
+  Cmd.v
+    (Cmd.info "tpcc" ~doc:"TPC-C new-order throughput comparison (Figure 11)")
+    Term.(const run_tpcc $ txns)
+
+(* -- costs -------------------------------------------------------------- *)
+
+let run_costs () =
+  Fmt.pr "per-update simulated cost of one logged word write (ns):@.@.";
+  List.iter
+    (fun (name, cfg) ->
+      let arena = Arena.create ~size_bytes:(64 lsl 20) () in
+      let alloc = Alloc.create arena in
+      let tm = Rewind.Tm.create ~cfg alloc ~root_slot:2 in
+      let cell = Alloc.alloc alloc 8 in
+      let txn = Rewind.Tm.begin_txn tm in
+      Rewind.Tm.write tm txn ~addr:cell ~value:1L;
+      let s = Clock.start () in
+      for i = 1 to 1000 do
+        Rewind.Tm.write tm txn ~addr:cell ~value:(Int64.of_int i)
+      done;
+      Fmt.pr "  %-22s %6d ns/update@." name (Clock.elapsed s / 1000))
+    [
+      ("1L-NFP (Optimized)", Rewind.config_1l_nfp);
+      ("1L-FP (Optimized)", Rewind.config_1l_fp);
+      ("1L-NFP (Simple)", Rewind.config_simple);
+      ("1L-NFP (Batch 8)", Rewind.config_batch ());
+      ("2L-NFP", Rewind.config_2l_nfp);
+      ("2L-FP", Rewind.config_2l_fp);
+    ];
+  Fmt.pr "@.non-recoverable NVM store: %d ns; DRAM store: %d ns@."
+    (Config.default ()).Config.nvm_write_ns
+    (Config.default ()).Config.dram_write_ns
+
+let costs_cmd =
+  Cmd.v
+    (Cmd.info "costs" ~doc:"Per-update cost of each REWIND configuration")
+    Term.(const run_costs $ const ())
+
+(* -- autotune ------------------------------------------------------------ *)
+
+(* Run a synthetic workload at the requested interleaving/rollback profile
+   and print what the advisor would configure. *)
+let run_autotune interleave rollback_pct updates =
+  let tuner = Rewind.Autotune.create () in
+  let group = max 1 (interleave + 1) in
+  let n_txns = max group 200 in
+  let live = Array.init group (fun i ->
+      Rewind.Autotune.on_begin tuner i;
+      i)
+  in
+  let next = ref group in
+  let done_updates = Array.make (Array.length live + n_txns + 1) 0 in
+  let settled = ref 0 in
+  while !settled < n_txns do
+    Array.iteri
+      (fun slot txn ->
+        if !settled < n_txns then begin
+          Rewind.Autotune.on_write tuner txn;
+          done_updates.(txn) <- done_updates.(txn) + 1;
+          if done_updates.(txn) >= updates then begin
+            (if txn * 100 mod (n_txns * 100) < rollback_pct * n_txns then
+               Rewind.Autotune.on_rollback tuner txn
+             else Rewind.Autotune.on_commit tuner txn);
+            incr settled;
+            let fresh = !next in
+            incr next;
+            Rewind.Autotune.on_begin tuner fresh;
+            live.(slot) <- fresh
+          end
+        end)
+      live
+  done;
+  Fmt.pr "%a@." Rewind.Autotune.pp tuner
+
+let autotune_cmd =
+  let interleave =
+    Arg.(value & opt int 50
+         & info [ "interleave" ] ~docv:"N" ~doc:"Concurrent transactions (skip records).")
+  in
+  let rollback =
+    Arg.(value & opt int 5
+         & info [ "rollback" ] ~docv:"PCT" ~doc:"Percentage of transactions rolled back.")
+  in
+  let updates =
+    Arg.(value & opt int 20
+         & info [ "updates" ] ~docv:"N" ~doc:"Updates per transaction.")
+  in
+  Cmd.v
+    (Cmd.info "autotune"
+       ~doc:"Simulate a workload profile and print the advisor's recommendation")
+    Term.(const run_autotune $ interleave $ rollback $ updates)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "rewind" ~version:"1.0.0"
+             ~doc:"REWIND: recovery write-ahead system for in-memory non-volatile data structures")
+          [ figure_cmd; crash_demo_cmd; tpcc_cmd; costs_cmd; autotune_cmd ]))

@@ -1,0 +1,1 @@
+examples/kv_store.ml: Alloc Arena Btree Fmt Int64 Option Rewind Rewind_nvm Rewind_pds Tm

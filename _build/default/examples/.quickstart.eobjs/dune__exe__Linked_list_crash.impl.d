@@ -1,0 +1,1 @@
+examples/linked_list_crash.ml: Alloc Arena Fmt Hashtbl Int64 List Option Plist Rewind Rewind_nvm Rewind_pds String Tm

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Alloc Arena Fmt Int64 Rewind Rewind_nvm Tm

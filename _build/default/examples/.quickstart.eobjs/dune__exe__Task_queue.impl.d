@@ -1,0 +1,1 @@
+examples/task_queue.ml: Alloc Arena Array Autotune Fmt Int64 Pqueue Ptable Rewind Rewind_nvm Rewind_pds Tm_group

@@ -1,0 +1,1 @@
+examples/tpcc_demo.ml: Alloc Arena Array Datagen Fmt List Neworder Rewind Rewind_nvm Rewind_pds Rewind_tpcc Rng Schema Workload

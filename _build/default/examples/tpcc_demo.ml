@@ -1,0 +1,83 @@
+(* TPC-C new-order over REWIND (Section 5.3): runs the four configurations
+   the paper's Figure 11 compares — non-recoverable NVM B+-trees, naive
+   data structures over REWIND, the co-designed per-district layout, and
+   the co-designed layout with a distributed (per-terminal) log — and
+   prints their relative throughput, then demonstrates crash recovery of
+   the transactional database.
+
+     dune exec examples/tpcc_demo.exe                                      *)
+
+open Rewind_nvm
+open Rewind_tpcc
+
+let () =
+  Fmt.pr "TPC-C new-order, 10 terminals x 100 transactions (simulated time)@.@.";
+  let configs =
+    [
+      Workload.Nvm_naive;
+      Workload.Rewind_opt_dlog;
+      Workload.Rewind_opt;
+      Workload.Rewind_naive;
+    ]
+  in
+  let results =
+    List.map
+      (fun config ->
+        let r =
+          Workload.run ~txns_per_terminal:100 ~params:Datagen.small
+            ~arena_mb:256 ~config ()
+        in
+        (config, r))
+      configs
+  in
+  let base =
+    match results with (_, r) :: _ -> r.Workload.tpm | [] -> assert false
+  in
+  List.iter
+    (fun (config, r) ->
+      Fmt.pr "%-36s %8.0f ktpm   (%.2fx slowdown, %d committed, %d aborted)@."
+        (Fmt.str "%a" Workload.pp_configuration config)
+        (r.Workload.tpm /. 1000.)
+        (base /. r.Workload.tpm) r.Workload.committed r.Workload.aborted)
+    results;
+
+  (* Crash in the middle of a transactional run, then recover and verify
+     database consistency. *)
+  Fmt.pr "@.crash + recovery check:@.";
+  let arena = Arena.create ~size_bytes:(256 lsl 20) () in
+  let alloc = Alloc.create arena in
+  let db = Schema.create ~layout:Schema.Optimized Rewind_pds.Btree.Direct_nvm alloc in
+  Datagen.load ~params:Datagen.small db 0;
+  let tm = Rewind.Tm.create ~cfg:Workload.tm_config alloc ~root_slot:3 in
+  let rb t =
+    Rewind_pds.Btree.attach (Rewind_pds.Btree.Logged tm) alloc
+      ~root_cell:(Rewind_pds.Btree.root_cell t)
+  in
+  let db =
+    {
+      db with
+      Schema.mode = Rewind_pds.Btree.Logged tm;
+      Schema.customer = rb db.Schema.customer;
+      Schema.item = rb db.Schema.item;
+      Schema.stock = rb db.Schema.stock;
+      Schema.orders = Array.map rb db.Schema.orders;
+      Schema.order_line = Array.map rb db.Schema.order_line;
+      Schema.new_order = Array.map rb db.Schema.new_order;
+      Schema.history = rb db.Schema.history;
+    }
+  in
+  let rng = Rng.create 99 in
+  Arena.arm_crash arena ~after:40_000;
+  let done_txns = ref 0 in
+  (try
+     for _ = 1 to 500 do
+       let rq = Neworder.gen_request rng ~items:Datagen.small.Datagen.items in
+       ignore (Neworder.run_transactional db tm rq);
+       incr done_txns
+     done;
+     Arena.disarm_crash arena
+   with Arena.Crash -> Fmt.pr "  crashed after %d transactions@." !done_txns);
+  let alloc = Alloc.recover arena in
+  let _tm = Rewind.Tm.attach ~cfg:Workload.tm_config alloc ~root_slot:3 in
+  Fmt.pr "  recovered; database consistent: %b@." (Workload.check_consistency db);
+  assert (Workload.check_consistency db)

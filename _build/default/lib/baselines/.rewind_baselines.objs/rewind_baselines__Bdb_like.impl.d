@@ -1,0 +1,1 @@
+lib/baselines/bdb_like.ml: Paged_kv

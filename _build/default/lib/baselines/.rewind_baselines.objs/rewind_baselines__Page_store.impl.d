@@ -1,0 +1,1 @@
+lib/baselines/page_store.ml: Block_dev Bytes Clock Config Hashtbl Rewind_nvm

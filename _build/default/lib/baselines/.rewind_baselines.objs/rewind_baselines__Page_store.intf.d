@@ -1,0 +1,1 @@
+lib/baselines/page_store.mli: Rewind_nvm

@@ -1,0 +1,1 @@
+lib/baselines/paged_kv.ml: Array Bytes Clock Config Fmt Hashtbl Int64 List Page_store Rewind_nvm Sim_mutex String Wal

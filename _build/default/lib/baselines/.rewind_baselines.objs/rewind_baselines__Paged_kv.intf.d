@@ -1,0 +1,1 @@
+lib/baselines/paged_kv.mli: Rewind_nvm

@@ -1,0 +1,1 @@
+lib/baselines/shore_like.ml: Paged_kv

@@ -1,0 +1,1 @@
+lib/baselines/stasis_like.ml: Paged_kv

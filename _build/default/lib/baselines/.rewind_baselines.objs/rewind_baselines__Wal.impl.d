@@ -1,0 +1,1 @@
+lib/baselines/wal.ml: Block_dev Buffer Bytes Config Int64 Rewind_nvm String

@@ -1,0 +1,1 @@
+lib/baselines/wal.mli: Rewind_nvm

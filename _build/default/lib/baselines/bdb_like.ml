@@ -1,0 +1,7 @@
+(* BerkeleyDB-like storage manager [22]: page-oriented physical logging
+   (verbose records), heavier buffer-manager path, device-resident
+   rollback.  Deployed as in the paper: lock manager disabled, cache and
+   log-buffer sizes matching the Stasis configuration. *)
+
+let create ?config ?nbuckets () =
+  Paged_kv.create ?config ?nbuckets Paged_kv.bdb_profile

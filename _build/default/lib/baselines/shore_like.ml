@@ -1,0 +1,8 @@
+(* Shore-MT-like storage manager in the NVM-adapted variant of Wang &
+   Johnson [33]: transaction-level log partitioning (one distributed log
+   per core, up to four), durable-cache commit, and in-memory undo buffers
+   that make rollback fast.  Heaviest single-thread code path of the
+   three baselines, but the only one that scales past one thread. *)
+
+let create ?config ?nbuckets () =
+  Paged_kv.create ?config ?nbuckets Paged_kv.shore_profile

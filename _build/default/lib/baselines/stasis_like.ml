@@ -1,0 +1,5 @@
+(* Stasis-like storage manager [27]: data-structure-specific logical log
+   records (compact), lean code path, device-resident rollback. *)
+
+let create ?config ?nbuckets () =
+  Paged_kv.create ?config ?nbuckets Paged_kv.stasis_profile

@@ -1,0 +1,1 @@
+lib/benchlib/series.ml: Filename Float Fmt Fun List Printf String

@@ -1,0 +1,1 @@
+lib/benchlib/workloads.ml: Alloc Arena Array Clock Config Int64 Ptable Rewind Rewind_nvm Rewind_pds Tm

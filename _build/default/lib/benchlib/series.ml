@@ -1,0 +1,76 @@
+(* Output helpers for the figure harness: each experiment prints its series
+   in a compact, paper-shaped textual format so EXPERIMENTS.md can quote
+   paper-vs-measured numbers directly. *)
+
+type row = { x : float; ys : float list }
+
+type t = {
+  id : string;          (* e.g. "fig3-left" *)
+  title : string;
+  xlabel : string;
+  ylabel : string;
+  series_names : string list;
+  rows : row list;
+}
+
+let make ~id ~title ~xlabel ~ylabel ~series_names rows =
+  { id; title; xlabel; ylabel; series_names; rows }
+
+let pp_num ppf v =
+  if Float.is_integer v && Float.abs v < 1e15 then Fmt.pf ppf "%.0f" v
+  else if Float.abs v >= 100. then Fmt.pf ppf "%.1f" v
+  else Fmt.pf ppf "%.3f" v
+
+let print t =
+  Fmt.pr "@.== %s: %s ==@." t.id t.title;
+  Fmt.pr "# x = %s; y = %s@." t.xlabel t.ylabel;
+  let w = 14 in
+  Fmt.pr "%-*s" w t.xlabel;
+  List.iter (fun n -> Fmt.pr " %*s" w n) t.series_names;
+  Fmt.pr "@.";
+  List.iter
+    (fun r ->
+      Fmt.pr "%-*s" w (Fmt.str "%a" pp_num r.x);
+      List.iter (fun y -> Fmt.pr " %*s" w (Fmt.str "%a" pp_num y)) r.ys;
+      Fmt.pr "@.")
+    t.rows;
+  Fmt.pr "@."
+
+(* A single labelled scalar result (Figure 11-style bars). *)
+let print_bars ~id ~title ~ylabel bars =
+  Fmt.pr "@.== %s: %s ==@." id title;
+  Fmt.pr "# y = %s@." ylabel;
+  List.iter (fun (name, v) -> Fmt.pr "%-42s %12s@." name (Fmt.str "%a" pp_num v)) bars;
+  Fmt.pr "@."
+
+(* CSV export, one file per experiment, for downstream plotting. *)
+let to_csv t dir =
+  let path = Filename.concat dir (t.id ^ ".csv") in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "%s,%s
+" t.xlabel (String.concat "," t.series_names);
+      List.iter
+        (fun r ->
+          Printf.fprintf oc "%g,%s
+" r.x
+            (String.concat "," (List.map (Printf.sprintf "%g") r.ys)))
+        t.rows);
+  path
+
+let bars_to_csv ~id ~ylabel bars dir =
+  let path = Filename.concat dir (id ^ ".csv") in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "configuration,%s
+" ylabel;
+      List.iter (fun (name, v) -> Printf.fprintf oc "%s,%g
+" name v) bars);
+  path
+
+let ns_to_ms ns = float_of_int ns /. 1e6
+let ns_to_s ns = float_of_int ns /. 1e9

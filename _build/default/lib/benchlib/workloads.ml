@@ -1,0 +1,216 @@
+(* The Section 5.1 sensitivity-analysis microbenchmarks (Figures 3-6).
+
+   All measurements are simulated nanoseconds from the NVM cost model; the
+   knob meanings follow the paper:
+
+   - update intensity: the fraction of a transaction's time spent updating
+     critical data, calibrated against the cost of a non-logged NVM store;
+   - skip records: log records of *other* transactions interleaved between
+     consecutive records of a target transaction;
+   - checkpoint frequency: simulated seconds between checkpoints, scaled by
+     the record-count ratio to the paper's ten-million-record run. *)
+
+open Rewind_nvm
+open Rewind
+open Rewind_pds
+
+let root_slot = 2
+
+type env = { arena : Arena.t; alloc : Alloc.t; tm : Tm.t; table : Ptable.t }
+
+let make_env ?(cfg = Rewind.config_1l_nfp) ?(arena_mb = 64) ?(slots = 4096) () =
+  let arena = Arena.create ~size_bytes:(arena_mb lsl 20) () in
+  let alloc = Alloc.create arena in
+  let tm = Tm.create ~cfg alloc ~root_slot in
+  let table = Ptable.create alloc ~slots in
+  { arena; alloc; tm; table }
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3 (left): logging overhead vs update intensity               *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-update computation such that updates occupy [intensity] percent of
+   the baseline transaction's time. *)
+let compute_ns_for arena ~intensity =
+  let w = (Arena.config arena).Config.nvm_write_ns in
+  w * (100 - intensity) / intensity
+
+(* Non-recoverable equivalent: raw NVM stores plus the same computation. *)
+(* Slot stride of one cacheline: distinct table rows live on distinct
+   lines, so consecutive updates are not write-combined away. *)
+let slot_of env i = i * 8 mod Ptable.slots env.table
+
+let baseline_time env ~n_ops ~intensity =
+  let compute = compute_ns_for env.arena ~intensity in
+  let s = Clock.start () in
+  for i = 0 to n_ops - 1 do
+    Ptable.set_raw_nvm env.table (slot_of env i) (Int64.of_int i);
+    Clock.advance compute
+  done;
+  Clock.elapsed s
+
+let rewind_time env ~n_ops ~intensity =
+  let compute = compute_ns_for env.arena ~intensity in
+  let s = Clock.start () in
+  let txn = Tm.begin_txn env.tm in
+  for i = 0 to n_ops - 1 do
+    Ptable.set env.table env.tm txn (slot_of env i) (Int64.of_int i);
+    Clock.advance compute
+  done;
+  Tm.commit env.tm txn;
+  Clock.elapsed s
+
+let logging_overhead ~cfg ~intensity ~n_ops =
+  let base_env = make_env () in
+  let base = baseline_time base_env ~n_ops ~intensity in
+  let env = make_env ~cfg () in
+  let rw = rewind_time env ~n_ops ~intensity in
+  float_of_int rw /. float_of_int base
+
+(* ------------------------------------------------------------------ *)
+(* Skip-records machinery (Figures 3 right, 4, 5)                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Run a target transaction of [target_updates], inserting [skip] records
+   from filler transactions between consecutive target records.  Returns
+   the environment, the target transaction, the filler ids, and the
+   simulated time attributable to the target's own logging. *)
+let run_with_skip env ~target_updates ~skip =
+  let fillers = Array.init (max 1 (min skip 32)) (fun _ -> Tm.begin_txn env.tm) in
+  let target = Tm.begin_txn env.tm in
+  let slots = Ptable.slots env.table in
+  let logged = ref 0 in
+  let fill_one i =
+    let f = fillers.(i mod Array.length fillers) in
+    Ptable.set env.table env.tm f ((i * 9 * 8) mod slots) (Int64.of_int i);
+    incr logged
+  in
+  let target_ns = ref 0 in
+  for u = 0 to target_updates - 1 do
+    let s = Clock.start () in
+    Ptable.set env.table env.tm target (u * 8 mod slots) (Int64.of_int u);
+    target_ns := !target_ns + Clock.elapsed s;
+    for k = 0 to skip - 1 do
+      fill_one ((u * skip) + k)
+    done
+  done;
+  (target, fillers, !target_ns)
+
+(* Figure 3 (right): target logging + commit overhead vs skip records,
+   against the non-recoverable equivalent of the target's updates. *)
+let skip_commit_overhead ~cfg ~target_updates ~skip =
+  let base_env = make_env () in
+  let base = baseline_time base_env ~n_ops:target_updates ~intensity:100 in
+  let env = make_env ~cfg () in
+  let target, _, target_ns = run_with_skip env ~target_updates ~skip in
+  let s = Clock.start () in
+  Tm.commit env.tm target;
+  let total = target_ns + Clock.elapsed s in
+  float_of_int total /. float_of_int base
+
+(* Figure 4 (left): duration of rolling back the target transaction. *)
+let skip_rollback_duration ~cfg ~target_updates ~skip =
+  let env = make_env ~cfg () in
+  let target, _, _ = run_with_skip env ~target_updates ~skip in
+  let s = Clock.start () in
+  Tm.rollback env.tm target;
+  Clock.elapsed s
+
+(* Figure 4 (right): recovery that must abort the one uncommitted target
+   while skipping the committed-but-uncleared fillers (their ENDs are
+   logged; the crash hit before clearing). *)
+let skip_recovery_duration ~cfg ~target_updates ~skip =
+  let env = make_env ~cfg () in
+  let _target, fillers, _ = run_with_skip env ~target_updates ~skip in
+  Array.iter (fun f -> Tm.commit ~clear:false env.tm f) fillers;
+  Arena.crash env.arena;
+  let alloc = Alloc.recover env.arena in
+  let s = Clock.start () in
+  let _tm = Tm.attach ~cfg alloc ~root_slot in
+  Clock.elapsed s
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: total cost vs fraction of transactions to recover          *)
+(* ------------------------------------------------------------------ *)
+
+(* [n_txns] target transactions of [updates_each] updates, each target
+   record separated from the next by [skip] records of committed filler
+   transactions (their ENDs are logged but, as in Figure 4's scenario, the
+   crash lands before clearing).  A [fraction] of *all* transactions —
+   fillers included — is left uncommitted and must be recovered.  Returns
+   the simulated time of logging + commits + crash recovery, with log
+   clearing factored out ([~clear:false]). *)
+let fraction_recovered_cost ~cfg ~n_txns ~updates_each ~skip ~fraction =
+  let env = make_env ~cfg ~arena_mb:768 ~slots:65536 () in
+  let slots = Ptable.slots env.table in
+  let s = Clock.start () in
+  let rng_commit i total = float_of_int i /. float_of_int (max 1 total) >= fraction in
+  (* filler pool: a rotating window of transactions, each living for one
+     round of [skip] records *)
+  let filler_seq = ref 0 and filler_total = n_txns * updates_each in
+  let w = ref 0 in
+  let fill k =
+    let f = Tm.begin_txn env.tm in
+    for _ = 1 to k do
+      incr w;
+      Ptable.set env.table env.tm f (!w * 8 mod slots) (Int64.of_int !w)
+    done;
+    incr filler_seq;
+    if rng_commit !filler_seq filler_total then Tm.commit ~clear:false env.tm f
+  in
+  for tno = 1 to n_txns do
+    let txn = Tm.begin_txn env.tm in
+    for u = 1 to updates_each do
+      incr w;
+      Ptable.set env.table env.tm txn (!w * 8 mod slots) (Int64.of_int u);
+      if skip > 0 then fill skip
+    done;
+    if rng_commit tno n_txns then Tm.commit ~clear:false env.tm txn
+  done;
+  let logging_ns = Clock.elapsed s in
+  Arena.crash env.arena;
+  let alloc = Alloc.recover env.arena in
+  let s = Clock.start () in
+  let _tm = Tm.attach ~cfg alloc ~root_slot in
+  logging_ns + Clock.elapsed s
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: checkpoint overhead vs checkpoint frequency                *)
+(* ------------------------------------------------------------------ *)
+
+(* Insert [n_records] update records in transactions of ten, checkpointing
+   every [freq_ns] of simulated time (0 = never).  Returns total simulated
+   time. *)
+let checkpoint_run ~variant ~n_records ~freq_ns =
+  let cfg = { Rewind.config_1l_nfp with variant } in
+  let env = make_env ~cfg ~arena_mb:192 () in
+  let slots = Ptable.slots env.table in
+  let s = Clock.start () in
+  let last_cp = ref 0 in
+  let i = ref 0 in
+  while !i < n_records do
+    let txn = Tm.begin_txn env.tm in
+    for _ = 1 to 10 do
+      if !i < n_records then begin
+        Ptable.set env.table env.tm txn (!i * 8 mod slots) (Int64.of_int !i);
+        incr i
+      end
+    done;
+    Tm.commit env.tm txn;
+    if freq_ns > 0 && Clock.elapsed s - !last_cp >= freq_ns then begin
+      Tm.checkpoint env.tm;
+      last_cp := Clock.elapsed s
+    end
+  done;
+  Clock.elapsed s
+
+(* Overhead (percent) of checkpointing at the paper's frequency [freq_s].
+   The paper inserts ten million records; its 2-14 s frequencies span
+   roughly 2-15 checkpoints over the run.  We preserve that checkpoint
+   count by scaling the frequency to our (smaller) run's no-checkpoint
+   duration, assuming the paper's run lasted ~30 simulated seconds. *)
+let checkpoint_overhead ~variant ~n_records ~freq_s =
+  let t0 = checkpoint_run ~variant ~n_records ~freq_ns:0 in
+  let freq_ns = int_of_float (freq_s /. 30. *. float_of_int t0) in
+  let t1 = checkpoint_run ~variant ~n_records ~freq_ns in
+  100. *. float_of_int (t1 - t0) /. float_of_int t0

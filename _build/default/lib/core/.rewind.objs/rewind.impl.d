@@ -1,0 +1,1 @@
+lib/core/rewind.ml: Adll Autotune Avl_index Log Record Tm Tm_group Txn_table

@@ -1,0 +1,1 @@
+lib/core/adll.ml: Alloc Arena Int64 List Rewind_nvm

@@ -1,0 +1,1 @@
+lib/core/adll.mli: Rewind_nvm

@@ -1,0 +1,1 @@
+lib/core/avl_index.ml: Alloc Arena Clock Config Int64 List Log Record Rewind_nvm

@@ -1,0 +1,1 @@
+lib/core/avl_index.mli: Log Rewind_nvm

@@ -1,0 +1,1 @@
+lib/core/log.ml: Adll Alloc Arena Clock Config Fmt Hashtbl Int64 List Record Rewind_nvm

@@ -1,0 +1,1 @@
+lib/core/log.mli: Fmt Rewind_nvm

@@ -1,0 +1,1 @@
+lib/core/record.ml: Alloc Arena Fmt Int64 Rewind_nvm

@@ -1,0 +1,1 @@
+lib/core/tm.ml: Alloc Arena Atomic Avl_index Fmt Hashtbl Int64 List Log Record Rewind_nvm Sim_mutex Txn_table

@@ -1,0 +1,1 @@
+lib/core/tm.mli: Fmt Log Rewind_nvm

@@ -1,0 +1,1 @@
+lib/core/tm_group.ml: Array Tm

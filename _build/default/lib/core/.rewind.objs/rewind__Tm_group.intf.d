@@ -1,0 +1,1 @@
+lib/core/tm_group.mli: Rewind_nvm Tm

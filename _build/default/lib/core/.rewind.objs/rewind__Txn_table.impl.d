@@ -1,0 +1,1 @@
+lib/core/txn_table.ml: Fmt Hashtbl

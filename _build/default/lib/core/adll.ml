@@ -1,0 +1,192 @@
+(* The Atomic Doubly-Linked List (Section 3.2) — REWIND's keystone.
+
+   The ADLL makes node append and removal crash-atomic with three
+   single-word recovery variables that are each updated by one atomic NVM
+   word write:
+
+   - [lastTail]: the tail before the pending append (so the recovery code
+     can re-run even if [tail] already moved);
+   - [toAppend]: non-NULL exactly while an append is in flight;
+   - [toRemove]: non-NULL exactly while a removal is in flight.
+
+   Every write is a non-temporal store, so the structure's durable state
+   always reflects program order and [recover] needs only to redo the one
+   pending operation.  The code sequences are written to be redo-idempotent:
+   recovery may itself crash at any point and be repeated.
+
+   Nodes carry an opaque [element] word (a record or bucket address), set
+   up "off-line" before the node becomes reachable.
+
+   Header layout (one cacheline): head, tail, lastTail, toAppend, toRemove.
+   Node layout: next, prev, element. *)
+
+open Rewind_nvm
+
+type t = { arena : Arena.t; alloc : Alloc.t; base : int }
+
+let header_bytes = 64
+let node_bytes = 24
+
+(* header word offsets *)
+let o_head = 0
+let o_tail = 8
+let o_last_tail = 16
+let o_to_append = 24
+let o_to_remove = 32
+
+(* node word offsets *)
+let n_next = 0
+let n_prev = 8
+let n_element = 16
+
+let null = 0
+
+let rd t off = Int64.to_int (Arena.read t.arena off)
+let wr t off v = Arena.nt_write t.arena off (Int64.of_int v)
+
+let head t = rd t (t.base + o_head)
+let tail t = rd t (t.base + o_tail)
+let next t n = rd t (n + n_next)
+let prev t n = rd t (n + n_prev)
+let element t n = rd t (n + n_element)
+let is_empty t = head t = null
+
+let create alloc =
+  let arena = Alloc.arena alloc in
+  (* Fresh allocation is durably zero: all five header words start NULL. *)
+  let base = Alloc.alloc_fresh ~align:64 alloc header_bytes in
+  { arena; alloc; base }
+
+let attach alloc ~base = { arena = Alloc.arena alloc; alloc; base }
+let base t = t.base
+
+(* -- append (Algorithm 1) -------------------------------------------- *)
+
+(* The shared tail of append and its recovery.  [last_tail] is the tail as
+   of the start of the (possibly re-run) append; using it instead of the
+   live [tail] makes re-execution safe after a crash between the tail
+   update and the [toAppend] clear. *)
+let finish_append t n ~last_tail =
+  if head t = null then wr t (t.base + o_head) n;
+  if last_tail <> null then wr t (last_tail + n_next) n;
+  wr t (t.base + o_tail) n;
+  (* append finished: clear undo *)
+  wr t (t.base + o_to_append) null;
+  Arena.fence t.arena
+
+let append t element =
+  (* set up new node off-line *)
+  let n = Alloc.alloc t.alloc node_bytes in
+  let tl = tail t in
+  wr t (n + n_element) element;
+  wr t (n + n_prev) tl;
+  wr t (n + n_next) null;
+  (* undo information; the order of the two writes below is critical *)
+  wr t (t.base + o_last_tail) tl;
+  Arena.fence t.arena;
+  wr t (t.base + o_to_append) n;
+  Arena.fence t.arena;
+  finish_append t n ~last_tail:tl;
+  n
+
+let recover_append t =
+  let n = rd t (t.base + o_to_append) in
+  if n <> null then begin
+    let last_tail = rd t (t.base + o_last_tail) in
+    (* Re-apply the node setup writes that depend on the list state; the
+       element word was written before [toAppend] was set and is intact. *)
+    wr t (n + n_prev) last_tail;
+    wr t (n + n_next) null;
+    finish_append t n ~last_tail
+  end
+
+(* -- removal ----------------------------------------------------------- *)
+
+(* Unlink [n].  Neighbour updates are driven by [n]'s own pointers, which
+   removal never modifies, so the sequence can be re-executed from the top
+   after any crash.  Head/tail updates are guarded by identity checks that
+   simply no-op once already applied. *)
+let finish_remove t n =
+  let p = prev t n and nx = next t n in
+  if head t = n then wr t (t.base + o_head) nx;
+  if tail t = n then wr t (t.base + o_tail) p;
+  if p <> null then wr t (p + n_next) nx;
+  if nx <> null then wr t (nx + n_prev) p;
+  (* removal finished: clear undo *)
+  wr t (t.base + o_to_remove) null;
+  Arena.fence t.arena
+
+let remove t n =
+  wr t (t.base + o_to_remove) n;
+  Arena.fence t.arena;
+  finish_remove t n;
+  (* De-allocation only after the operation is no longer pending. *)
+  Alloc.free t.alloc n node_bytes
+
+let recover_remove t =
+  let n = rd t (t.base + o_to_remove) in
+  if n <> null then finish_remove t n
+  (* The node is leaked rather than freed: after a crash the volatile free
+     lists are gone anyway, and leaking is the paper's documented cost of
+     de-allocation without OS support. *)
+
+let recover t =
+  recover_append t;
+  recover_remove t
+
+(* -- traversal --------------------------------------------------------- *)
+
+let iter t f =
+  let rec go n =
+    if n <> null then begin
+      let nx = next t n in
+      f n;
+      go nx
+    end
+  in
+  go (head t)
+
+let iter_back t f =
+  let rec go n =
+    if n <> null then begin
+      let p = prev t n in
+      f n;
+      go p
+    end
+  in
+  go (tail t)
+
+let fold_left t f init =
+  let acc = ref init in
+  iter t (fun n -> acc := f !acc n);
+  !acc
+
+let length t = fold_left t (fun acc _ -> acc + 1) 0
+let elements t = List.rev (fold_left t (fun acc n -> element t n :: acc) [])
+
+(* Return the whole structure (nodes and header) to the allocator.  Used
+   when swapping in a fresh log during wholesale clearing; the caller has
+   already salvaged the elements. *)
+let free_structure t =
+  let rec go n =
+    if n <> null then begin
+      let nx = next t n in
+      Alloc.free t.alloc n node_bytes;
+      go nx
+    end
+  in
+  go (head t);
+  Alloc.free ~align:64 t.alloc t.base header_bytes
+
+(* Structural well-formedness: prev/next pointers mutually consistent and
+   head/tail correct.  Used by crash-recovery tests. *)
+let well_formed t =
+  let ok = ref true in
+  let last = ref null in
+  iter t (fun n ->
+      if prev t n <> !last then ok := false;
+      last := n);
+  if tail t <> !last then ok := false;
+  (if head t <> null then
+     if prev t (head t) <> null then ok := false);
+  !ok

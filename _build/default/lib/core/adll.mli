@@ -1,0 +1,62 @@
+(** The Atomic Doubly-Linked List (Section 3.2): REWIND's keystone
+    structure, a persistent list whose append and removal are crash-atomic.
+
+    Three single-word recovery variables ([lastTail], [toAppend],
+    [toRemove]) are each updated with one atomic NVM word write and drive
+    a redo-idempotent {!recover}: after a crash — including crashes during
+    recovery itself — re-running {!recover} leaves the list in either the
+    pre-operation or the post-operation state, never anything in between.
+
+    Nodes carry one opaque [element] word (a record or bucket address). *)
+
+type t
+
+val create : Rewind_nvm.Alloc.t -> t
+(** Allocate a fresh list (durably empty). *)
+
+val attach : Rewind_nvm.Alloc.t -> base:int -> t
+(** Reattach to an existing list's header, e.g. after a crash.  Call
+    {!recover} before using it. *)
+
+val base : t -> int
+(** NVM address of the header; persist it (e.g. in a root slot) to find
+    the list again after a crash. *)
+
+val append : t -> int -> int
+(** [append t element] atomically appends a node holding [element] and
+    returns the node's address. *)
+
+val remove : t -> int -> unit
+(** [remove t node] atomically unlinks [node] and returns its memory to
+    the allocator. *)
+
+val recover : t -> unit
+(** Redo the at-most-one interrupted append or removal.  Idempotent;
+    safe to re-run after a crash during recovery. *)
+
+(** {1 Reads} *)
+
+val head : t -> int
+val tail : t -> int
+val next : t -> int -> int
+val prev : t -> int -> int
+val element : t -> int -> int
+val is_empty : t -> bool
+val length : t -> int
+val elements : t -> int list
+
+val iter : t -> (int -> unit) -> unit
+(** Forward iteration over node addresses.  Appending during iteration is
+    safe (new nodes are not visited); so is removing the visited node. *)
+
+val iter_back : t -> (int -> unit) -> unit
+val fold_left : t -> ('a -> int -> 'a) -> 'a -> 'a
+
+val free_structure : t -> unit
+(** Return all nodes and the header to the allocator (volatile bookkeeping
+    only).  Used by wholesale log clearing after the elements have been
+    salvaged. *)
+
+val well_formed : t -> bool
+(** Structural invariant check: mutually consistent [prev]/[next] pointers
+    and correct head/tail.  For tests. *)

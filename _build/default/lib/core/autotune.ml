@@ -1,0 +1,150 @@
+(* Workload-driven configuration advisor — the paper's Section 7 future
+   work ("introduce autotuning so that the system adapts to the workload
+   through monitoring").
+
+   The advisor is a passive observer the application feeds with events; it
+   distils them into the quantities the paper's Section 5.1 sensitivity
+   analysis showed to drive the configuration choice:
+
+   - the *interleaving degree* (the paper's skip records): how many foreign
+     records land between consecutive records of a transaction.  One-layer
+     logging degrades linearly with it for selective rollback and
+     commit-time clearing; the measured crossovers sit in the few-hundreds
+     (Figures 3 right and 4 left).
+   - the *selective-rollback rate*: rollbacks only ever pay the one-layer
+     scan penalty, commits under no-force do not.
+   - the *transaction length*: commit-time (force) clearing costs grow with
+     it, while checkpoint-based (no-force) clearing amortises.
+
+   The recommendation mirrors the paper's guidance: two-layer logging only
+   when high interleaving meets a meaningful rollback rate; force policy
+   when transactions are short and fast restart matters more than logging
+   throughput. *)
+
+type stats = {
+  mutable txns_started : int;
+  mutable txns_committed : int;
+  mutable txns_rolled_back : int;
+  mutable records_logged : int;
+  mutable interleave_samples : int;
+  mutable interleave_total : int;
+  mutable updates_per_txn_total : int;
+}
+
+type t = {
+  stats : stats;
+  mutable seq : int;  (* global append sequence *)
+  last_seq : (int, int) Hashtbl.t;  (* txn -> seq at its previous record *)
+  first_seq : (int, int) Hashtbl.t;
+  counts : (int, int) Hashtbl.t;
+}
+
+let create () =
+  {
+    stats =
+      {
+        txns_started = 0;
+        txns_committed = 0;
+        txns_rolled_back = 0;
+        records_logged = 0;
+        interleave_samples = 0;
+        interleave_total = 0;
+        updates_per_txn_total = 0;
+      };
+    seq = 0;
+    last_seq = Hashtbl.create 64;
+    first_seq = Hashtbl.create 64;
+    counts = Hashtbl.create 64;
+  }
+
+(* -- event feed --------------------------------------------------------- *)
+
+let on_begin t _txn = t.stats.txns_started <- t.stats.txns_started + 1
+
+let on_write t txn =
+  t.seq <- t.seq + 1;
+  t.stats.records_logged <- t.stats.records_logged + 1;
+  (match Hashtbl.find_opt t.last_seq txn with
+  | Some prev ->
+      (* records by other transactions since this one's last record *)
+      t.stats.interleave_samples <- t.stats.interleave_samples + 1;
+      t.stats.interleave_total <- t.stats.interleave_total + (t.seq - prev - 1)
+  | None -> Hashtbl.replace t.first_seq txn t.seq);
+  Hashtbl.replace t.last_seq txn t.seq;
+  Hashtbl.replace t.counts txn
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts txn))
+
+let settle t txn =
+  t.stats.updates_per_txn_total <-
+    t.stats.updates_per_txn_total
+    + Option.value ~default:0 (Hashtbl.find_opt t.counts txn);
+  Hashtbl.remove t.last_seq txn;
+  Hashtbl.remove t.first_seq txn;
+  Hashtbl.remove t.counts txn
+
+let on_commit t txn =
+  t.stats.txns_committed <- t.stats.txns_committed + 1;
+  settle t txn
+
+let on_rollback t txn =
+  t.stats.txns_rolled_back <- t.stats.txns_rolled_back + 1;
+  settle t txn
+
+(* -- derived quantities -------------------------------------------------- *)
+
+let avg_interleave t =
+  if t.stats.interleave_samples = 0 then 0.
+  else
+    float_of_int t.stats.interleave_total
+    /. float_of_int t.stats.interleave_samples
+
+let rollback_rate t =
+  let settled = t.stats.txns_committed + t.stats.txns_rolled_back in
+  if settled = 0 then 0.
+  else float_of_int t.stats.txns_rolled_back /. float_of_int settled
+
+let avg_txn_updates t =
+  let settled = t.stats.txns_committed + t.stats.txns_rolled_back in
+  if settled = 0 then 0.
+  else float_of_int t.stats.updates_per_txn_total /. float_of_int settled
+
+let stats t = t.stats
+
+(* -- recommendation ------------------------------------------------------ *)
+
+(* Crossover thresholds from the measured Figures 3 (right) and 4 (left):
+   the two-layer index starts paying off at a few hundred skip records,
+   and only if selective rollbacks actually happen. *)
+let two_layer_interleave_threshold = 400.
+let two_layer_rollback_threshold = 0.02
+
+(* Force pays at commit proportionally to transaction length; for short
+   transactions its two-phase recovery and immediate clearing are worth
+   the slightly slower logging (the paper's Section 2 trade-off). *)
+let force_txn_length_threshold = 8.
+
+let recommend t =
+  let layers =
+    if
+      avg_interleave t >= two_layer_interleave_threshold
+      && rollback_rate t >= two_layer_rollback_threshold
+    then Tm.Two_layer
+    else Tm.One_layer
+  in
+  let policy =
+    if avg_txn_updates t > 0. && avg_txn_updates t <= force_txn_length_threshold
+    then Tm.Force
+    else Tm.No_force
+  in
+  { Tm.default_config with Tm.layers; policy }
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<v>txns: %d started, %d committed, %d rolled back@,\
+     records: %d; avg interleave: %.1f; rollback rate: %.1f%%; avg \
+     updates/txn: %.1f@,\
+     recommendation: %a@]"
+    t.stats.txns_started t.stats.txns_committed t.stats.txns_rolled_back
+    t.stats.records_logged (avg_interleave t)
+    (100. *. rollback_rate t)
+    (avg_txn_updates t) Tm.pp_config (recommend t)

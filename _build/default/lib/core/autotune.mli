@@ -1,0 +1,52 @@
+(** Workload-driven configuration advisor — the paper's Section 7 future
+    work ("introduce autotuning so that the system adapts to the workload
+    through monitoring").
+
+    A passive observer: the application feeds it begin/write/commit/
+    rollback events; it estimates the quantities the Section 5.1
+    sensitivity analysis showed to drive the configuration choice
+    (interleaving degree a.k.a. skip records, selective-rollback rate,
+    transaction length) and recommends a {!Tm.config} using the measured
+    crossovers of Figures 3 (right) and 4 (left). *)
+
+type t
+
+type stats = {
+  mutable txns_started : int;
+  mutable txns_committed : int;
+  mutable txns_rolled_back : int;
+  mutable records_logged : int;
+  mutable interleave_samples : int;
+  mutable interleave_total : int;
+  mutable updates_per_txn_total : int;
+}
+
+val create : unit -> t
+
+(** {1 Event feed} *)
+
+val on_begin : t -> Tm.txn -> unit
+val on_write : t -> Tm.txn -> unit
+val on_commit : t -> Tm.txn -> unit
+val on_rollback : t -> Tm.txn -> unit
+
+(** {1 Derived quantities} *)
+
+val avg_interleave : t -> float
+(** Estimated skip records: foreign records between consecutive records
+    of the same transaction, averaged. *)
+
+val rollback_rate : t -> float
+val avg_txn_updates : t -> float
+val stats : t -> stats
+
+(** {1 Recommendation} *)
+
+val recommend : t -> Tm.config
+val pp : t Fmt.t
+
+(** The thresholds in use (from the measured crossovers). *)
+
+val two_layer_interleave_threshold : float
+val two_layer_rollback_threshold : float
+val force_txn_length_threshold : float

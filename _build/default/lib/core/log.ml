@@ -1,0 +1,460 @@
+(* The recoverable log (Section 3) in its three implementations:
+
+   - [Simple]: log records are elements of the ADLL directly; every append
+     is a full atomic list insertion (several non-temporal stores and
+     fences).
+   - [Optimized]: the hybrid layout of Section 3.3 — fixed-size buckets
+     (arrays of record-pointer slots) chained through the ADLL.  Inserting
+     a record is one non-temporal slot store plus a fence; buckets are
+     appended to the ADLL only when the current one fills.
+   - [Batch _]: Optimized plus batched persistence.  Slot stores are
+     cached; every [group] records (or at an END record, or when a bucket
+     fills) the pending slot lines are written back, one fence is issued,
+     and the bucket's "last persistent index" word is updated with a
+     non-temporal store.  Recovery trusts only slots up to that index.
+
+   Record removal (log clearing) tombstones a slot with a single atomic
+   word store; a bucket is unlinked from the ADLL when it empties.  Bucket
+   occupancy and the insert cursor are volatile and reconstructed during
+   the analysis phase after a crash, exactly as in the paper.
+
+   Slot values: 0 = never used, 1 = tombstone (cleared record), otherwise
+   the NVM address of a log record. *)
+
+open Rewind_nvm
+
+type variant = Simple | Optimized | Batch of int
+
+let pp_variant ppf = function
+  | Simple -> Fmt.string ppf "Simple"
+  | Optimized -> Fmt.string ppf "Optimized"
+  | Batch g -> Fmt.pf ppf "Batch(%d)" g
+
+let tombstone = 1
+
+(* Bucket layout: word 0 = last persistent index (count of trusted slots),
+   words 1..cap = slots. *)
+let b_idx = 0
+let slot_off b i = b + 8 + (8 * i)
+let bucket_bytes cap = 8 * (1 + cap)
+
+type t = {
+  variant : variant;
+  bucket_cap : int;
+  alloc : Alloc.t;
+  arena : Arena.t;
+  root_slot : int;
+  mutable chain : Adll.t;  (* of records (Simple) or of buckets *)
+  (* volatile cursor (bucketed variants) *)
+  mutable cur_bucket : int;  (* 0 when none *)
+  mutable cur_node : int;    (* ADLL node holding cur_bucket *)
+  mutable next_slot : int;   (* next free slot index in cur_bucket *)
+  mutable pending : int;     (* slots appended since the last persist point *)
+  occupancy : (int, int ref) Hashtbl.t;  (* bucket -> live records (volatile) *)
+  mutable appended : int;  (* total records ever appended (stat) *)
+}
+
+let variant t = t.variant
+let arena t = t.arena
+let allocator t = t.alloc
+
+let rd t off = Int64.to_int (Arena.read t.arena off)
+let wr_nt t off v = Arena.nt_write t.arena off (Int64.of_int v)
+
+(* Memory-locality charges for log scans: bucket slots are sequential and
+   prefetch-friendly; Simple-variant nodes are chased through pointers. *)
+let charge_seq t = Clock.advance (Arena.config t.arena).Config.read_seq_ns
+let charge_miss t = Clock.advance (Arena.config t.arena).Config.read_miss_ns
+
+let new_bucket t =
+  (* Fresh allocation: durably zero, so 0-slots are trustworthy. *)
+  let b = Alloc.alloc_fresh ~align:64 t.alloc (bucket_bytes t.bucket_cap) in
+  let node = Adll.append t.chain b in
+  Hashtbl.replace t.occupancy b (ref 0);
+  t.cur_bucket <- b;
+  t.cur_node <- node;
+  t.next_slot <- 0;
+  b
+
+let create variant ?(bucket_cap = 1000) alloc ~root_slot =
+  let arena = Alloc.arena alloc in
+  let chain = Adll.create alloc in
+  Arena.root_set arena root_slot (Int64.of_int (Adll.base chain));
+  let t =
+    {
+      variant;
+      bucket_cap;
+      alloc;
+      arena;
+      root_slot;
+      chain;
+      cur_bucket = 0;
+      cur_node = 0;
+      next_slot = 0;
+      pending = 0;
+      occupancy = Hashtbl.create 64;
+      appended = 0;
+    }
+  in
+  (match variant with Simple -> () | Optimized | Batch _ -> ignore (new_bucket t));
+  t
+
+(* -- persistence of pending batch slots -------------------------------- *)
+
+(* Write back the pending slot lines, fence once, and advance the durable
+   last-persistent-index with a non-temporal store (Section 3.3). *)
+let flush_group t =
+  match t.variant with
+  | Batch _ when t.pending > 0 ->
+      let first = slot_off t.cur_bucket (t.next_slot - t.pending) in
+      let len = 8 * t.pending in
+      Arena.flush_range t.arena first len;
+      Arena.fence t.arena;
+      wr_nt t (t.cur_bucket + b_idx) t.next_slot;
+      t.pending <- 0
+  | _ -> ()
+
+(* -- append ------------------------------------------------------------ *)
+
+let append_slot t r ~force_persist =
+  if t.next_slot >= t.bucket_cap then begin
+    flush_group t;
+    ignore (new_bucket t)
+  end;
+  let b = t.cur_bucket in
+  let i = t.next_slot in
+  t.next_slot <- i + 1;
+  incr (Hashtbl.find t.occupancy b);
+  (match t.variant with
+  | Simple -> assert false
+  | Optimized ->
+      (* Fence to persist the record fields (Section 4.2), then one atomic,
+         synchronous non-temporal store makes the record part of the log. *)
+      Arena.fence t.arena;
+      wr_nt t (slot_off b i) r
+  | Batch group ->
+      (* No per-record fence: the slot store stays cached until the group
+         persistence point. *)
+      Arena.write t.arena (slot_off b i) (Int64.of_int r);
+      t.pending <- t.pending + 1;
+      if force_persist || t.pending >= group then flush_group t)
+
+(* A handle names the exact location of an appended record, letting its
+   owner remove it later in O(1) (the AAVLT clears its own records this
+   way after every tree operation). *)
+type handle = Node of int | Slot of { node : int; bucket : int; slot : int }
+
+let append_h ?(is_end = false) t r =
+  t.appended <- t.appended + 1;
+  match t.variant with
+  | Simple ->
+      (* The record was written back by [Record.make]; fence to order it
+         before the list insertion that makes it reachable. *)
+      Arena.fence t.arena;
+      Node (Adll.append t.chain r)
+  | Optimized | Batch _ ->
+      append_slot t r ~force_persist:is_end;
+      Slot { node = t.cur_node; bucket = t.cur_bucket; slot = t.next_slot - 1 }
+
+let append ?(is_end = false) t r = ignore (append_h ~is_end t r)
+
+let appended t = t.appended
+
+(* Slots appended but not yet persisted (Batch only; 0 otherwise). *)
+let pending t = t.pending
+
+(* -- traversal --------------------------------------------------------- *)
+
+(* Number of slots of [b] that iteration may trust. *)
+let bucket_bound t b =
+  if b = t.cur_bucket && t.cur_bucket <> 0 then t.next_slot
+  else
+    match t.variant with
+    | Batch _ -> rd t (b + b_idx)
+    | Optimized | Simple -> t.bucket_cap
+
+let iter t f =
+  match t.variant with
+  | Simple ->
+      Adll.iter t.chain (fun n ->
+          charge_miss t;
+          f (Adll.element t.chain n))
+  | Optimized | Batch _ ->
+      Adll.iter t.chain (fun n ->
+          let b = Adll.element t.chain n in
+          let bound = bucket_bound t b in
+          for i = 0 to bound - 1 do
+            charge_seq t;
+            let v = rd t (slot_off b i) in
+            if v > tombstone then begin
+              (* examining a record touches its own cacheline *)
+              charge_miss t;
+              f v
+            end
+          done)
+
+let iter_back t f =
+  match t.variant with
+  | Simple ->
+      Adll.iter_back t.chain (fun n ->
+          charge_miss t;
+          f (Adll.element t.chain n))
+  | Optimized | Batch _ ->
+      Adll.iter_back t.chain (fun n ->
+          let b = Adll.element t.chain n in
+          let bound = bucket_bound t b in
+          for i = bound - 1 downto 0 do
+            charge_seq t;
+            let v = rd t (slot_off b i) in
+            if v > tombstone then begin
+              charge_miss t;
+              f v
+            end
+          done)
+
+exception Stop
+
+(* Backward scan with early exit, used by rollback of a single
+   transaction: stops once [f] returns [false]. *)
+let iter_back_while t f =
+  try iter_back t (fun r -> if not (f r) then raise Stop) with Stop -> ()
+
+let length t =
+  let n = ref 0 in
+  iter t (fun _ -> incr n);
+  !n
+
+let is_empty t = length t = 0
+
+let records t =
+  let acc = ref [] in
+  iter t (fun r -> acc := r :: !acc);
+  List.rev !acc
+
+(* -- removal (log clearing) -------------------------------------------- *)
+
+let free_bucket t b node =
+  Adll.remove t.chain node;
+  Hashtbl.remove t.occupancy b;
+  Alloc.free ~align:64 t.alloc b (bucket_bytes t.bucket_cap)
+
+(* Tombstone every record satisfying [pred]; free the record memory; unlink
+   buckets that become empty.  Each tombstone is one atomic word store, so a
+   crash at any point leaves a well-formed log with a subset of the removals
+   applied (Section 4.6). *)
+let remove_where t pred =
+  match t.variant with
+  | Simple ->
+      let victims = ref [] in
+      Adll.iter t.chain (fun n ->
+          if pred (Adll.element t.chain n) then victims := n :: !victims);
+      (* Remove oldest-first: a crash mid-clearing then leaves a *suffix*
+         of each transaction's records, which repeat-history replays to
+         the correct state.  (Removing a CLR while keeping the UPDATE it
+         compensates would let redo re-apply the update with nothing to
+         re-undo it.) *)
+      List.iter
+        (fun n ->
+          let r = Adll.element t.chain n in
+          Adll.remove t.chain n;
+          Record.free t.alloc r)
+        (List.rev !victims)
+  | Optimized | Batch _ ->
+      let empty = ref [] in
+      Adll.iter t.chain (fun node ->
+          let b = Adll.element t.chain node in
+          let bound = bucket_bound t b in
+          let occ =
+            match Hashtbl.find_opt t.occupancy b with
+            | Some c -> c
+            | None ->
+                let c = ref 0 in
+                Hashtbl.replace t.occupancy b c;
+                c
+          in
+          for i = 0 to bound - 1 do
+            charge_seq t;
+            let v = rd t (slot_off b i) in
+            if v > tombstone && pred v then begin
+              wr_nt t (slot_off b i) tombstone;
+              decr occ;
+              Record.free t.alloc v
+            end
+          done;
+          if !occ = 0 && b <> t.cur_bucket then empty := (b, node) :: !empty);
+      List.iter (fun (b, node) -> free_bucket t b node) !empty
+
+(* O(1) removal through a handle returned by [append_h].  The tombstone is
+   one atomic word store, exactly like scan-based clearing. *)
+let remove_handle t h =
+  match h with
+  | Node n ->
+      let r = Adll.element t.chain n in
+      Adll.remove t.chain n;
+      Record.free t.alloc r
+  | Slot { node; bucket; slot } ->
+      let v = rd t (slot_off bucket slot) in
+      if v > tombstone then begin
+        wr_nt t (slot_off bucket slot) tombstone;
+        Record.free t.alloc v;
+        match Hashtbl.find_opt t.occupancy bucket with
+        | Some occ ->
+            decr occ;
+            if !occ = 0 && bucket <> t.cur_bucket then free_bucket t bucket node
+        | None -> ()
+      end
+
+(* Clear the whole log in the paper's three steps: remember the old chain,
+   install a new one, then de-allocate the old (Section 4.5). *)
+let clear_all t =
+  let old_chain = t.chain in
+  let new_chain = Adll.create t.alloc in
+  t.chain <- new_chain;
+  Hashtbl.reset t.occupancy;
+  t.cur_bucket <- 0;
+  t.cur_node <- 0;
+  t.next_slot <- 0;
+  t.pending <- 0;
+  (match t.variant with Simple -> () | Optimized | Batch _ -> ignore (new_bucket t));
+  (* The atomic switch: one durable root update. *)
+  Arena.root_set t.arena t.root_slot (Int64.of_int (Adll.base t.chain));
+  (* De-allocate the old log wholesale — volatile free-list operations only. *)
+  (match t.variant with
+  | Simple ->
+      Adll.iter old_chain (fun n -> Record.free t.alloc (Adll.element old_chain n))
+  | Optimized | Batch _ ->
+      Adll.iter old_chain (fun node ->
+          let b = Adll.element old_chain node in
+          (* [bucket_bound] still refers to the *old* cursor state via
+             occupancy reset above, so compute the safe bound directly:
+             the current bucket's cursor was captured before the swap. *)
+          let bound =
+            match t.variant with
+            | Batch _ -> rd t (b + b_idx)
+            | Optimized | Simple -> t.bucket_cap
+          in
+          for i = 0 to bound - 1 do
+            let v = rd t (slot_off b i) in
+            if v > tombstone then Record.free t.alloc v
+          done;
+          Alloc.free ~align:64 t.alloc b (bucket_bytes t.bucket_cap)));
+  Adll.free_structure old_chain
+
+(* -- compaction --------------------------------------------------------- *)
+
+(* Live records and total trusted slots, for the occupancy test. *)
+let occupancy_stats t =
+  match t.variant with
+  | Simple ->
+      let n = Adll.length t.chain in
+      (n, n)
+  | Optimized | Batch _ ->
+      let live = ref 0 and slots = ref 0 in
+      Adll.iter t.chain (fun node ->
+          let b = Adll.element t.chain node in
+          let bound = bucket_bound t b in
+          slots := !slots + bound;
+          for i = 0 to bound - 1 do
+            if rd t (slot_off b i) > tombstone then incr live
+          done);
+      (!live, !slots)
+
+(* Section 3.3's compaction: when tombstone gaps (e.g. left by the records
+   of long-running transactions spanning otherwise-empty buckets) push
+   occupancy below [threshold], build a new log, copy the live records
+   over, and atomically swing the root to the new head bucket.  A crash
+   during compaction leaves the old log intact (the root moves last), so
+   recovery sees a consistent — merely uncompacted — log. *)
+let compact ?(threshold = 0.5) t =
+  let live, slots = occupancy_stats t in
+  if slots > 0 && float_of_int live < threshold *. float_of_int slots then begin
+    match t.variant with
+    | Simple -> ()  (* node-per-record: removal leaves no gaps *)
+    | Optimized | Batch _ ->
+        let old_chain = t.chain in
+        let old_cap = t.bucket_cap in
+        let survivors = ref [] in
+        iter t (fun r -> survivors := r :: !survivors);
+        (* build the new log off-line *)
+        let new_chain = Adll.create t.alloc in
+        t.chain <- new_chain;
+        Hashtbl.reset t.occupancy;
+        t.cur_bucket <- 0;
+        t.cur_node <- 0;
+        t.next_slot <- 0;
+        t.pending <- 0;
+        ignore (new_bucket t);
+        List.iter
+          (fun r -> append_slot t r ~force_persist:false)
+          (List.rev !survivors);
+        flush_group t;
+        (* the atomic switch *)
+        Arena.root_set t.arena t.root_slot (Int64.of_int (Adll.base t.chain));
+        (* de-allocate the old structure (volatile bookkeeping only; the
+           records themselves moved, not their memory) *)
+        Adll.iter old_chain (fun node ->
+            Alloc.free ~align:64 t.alloc
+              (Adll.element old_chain node)
+              (bucket_bytes old_cap));
+        Adll.free_structure old_chain
+  end
+
+(* -- post-crash attachment --------------------------------------------- *)
+
+(* Reconstruct the volatile cursor and occupancy from the durable image:
+   recover the ADLL itself, then scan the buckets, counting live slots and
+   locating the insertion point in the last bucket (the paper's analysis-
+   phase reconstruction of Section 3.3). *)
+let attach variant ?(bucket_cap = 1000) alloc ~root_slot =
+  let arena = Alloc.arena alloc in
+  let base = Int64.to_int (Arena.root_get arena root_slot) in
+  if base = 0 then create variant ~bucket_cap alloc ~root_slot
+  else begin
+    let chain = Adll.attach alloc ~base in
+    Adll.recover chain;
+    let t =
+      {
+        variant;
+        bucket_cap;
+        alloc;
+        arena;
+        root_slot;
+        chain;
+        cur_bucket = 0;
+        cur_node = 0;
+        next_slot = 0;
+        pending = 0;
+        occupancy = Hashtbl.create 64;
+        appended = 0;
+      }
+    in
+    (match variant with
+    | Simple -> ()
+    | Optimized | Batch _ ->
+        Adll.iter chain (fun node ->
+            let b = Adll.element chain node in
+            let bound =
+              match variant with
+              | Batch _ -> rd t (b + b_idx)
+              | Optimized | Simple -> bucket_cap
+            in
+            let occ = ref 0 in
+            let last_used = ref (-1) in
+            for i = 0 to bound - 1 do
+              let v = rd t (slot_off b i) in
+              if v > tombstone then begin
+                incr occ;
+                last_used := i
+              end
+              else if v = tombstone then last_used := i
+            done;
+            Hashtbl.replace t.occupancy b occ;
+            t.cur_bucket <- b;
+            t.cur_node <- node;
+            t.next_slot <-
+              (match variant with
+              | Batch _ -> bound
+              | Optimized | Simple -> !last_used + 1));
+        if t.cur_bucket = 0 then ignore (new_bucket t));
+    t
+  end

@@ -1,0 +1,95 @@
+(** The recoverable log (Section 3) in its three implementations.
+
+    - [Simple]: records are elements of the {!Adll} directly — every
+      append is a full atomic list insertion.
+    - [Optimized]: the hybrid layout of Section 3.3 — fixed-size buckets
+      of record-pointer slots chained through the ADLL; one non-temporal
+      slot store (plus one fence) per record.
+    - [Batch g]: Optimized with batched persistence — slot stores stay
+      cached until [g] records accumulate (or an END record arrives, or
+      the bucket fills), then one write-back + fence + a non-temporal
+      update of the bucket's last-persistent-index word covers the whole
+      group.  Recovery trusts only slots up to that index.
+
+    Bucket occupancy and the insertion cursor are volatile and
+    reconstructed by {!attach} after a crash, as in the paper's analysis
+    phase. *)
+
+type variant = Simple | Optimized | Batch of int
+
+val pp_variant : variant Fmt.t
+
+type t
+
+val create :
+  variant -> ?bucket_cap:int -> Rewind_nvm.Alloc.t -> root_slot:int -> t
+(** Create an empty log anchored at the arena's [root_slot]. *)
+
+val attach :
+  variant -> ?bucket_cap:int -> Rewind_nvm.Alloc.t -> root_slot:int -> t
+(** Reattach after a crash: recovers the underlying ADLL, then rebuilds
+    the cursor and occupancy from the durable image.  Batch-variant slots
+    beyond a bucket's last persistent index are not trusted. *)
+
+val variant : t -> variant
+val arena : t -> Rewind_nvm.Arena.t
+val allocator : t -> Rewind_nvm.Alloc.t
+
+(** {1 Appending} *)
+
+val append : ?is_end:bool -> t -> int -> unit
+(** Append a record (by NVM address).  [is_end] marks END records, which
+    force the pending batch group to persist immediately (Section 3.3). *)
+
+(** Handle to an appended record's location, for O(1) removal by the
+    owner (the AAVLT clears its own records this way). *)
+type handle = Node of int | Slot of { node : int; bucket : int; slot : int }
+
+val append_h : ?is_end:bool -> t -> int -> handle
+val remove_handle : t -> handle -> unit
+
+val flush_group : t -> unit
+(** Persist any pending batch slots now (one write-back + fence + index
+    update).  No-op for Simple/Optimized. *)
+
+val pending : t -> int
+(** Slots appended but not yet persisted (Batch only; 0 otherwise). *)
+
+val appended : t -> int
+
+(** {1 Scanning}
+
+    Iteration visits live records in append order; tombstoned and
+    untrusted slots are skipped.  Appending while iterating is safe — new
+    records are not visited. *)
+
+val iter : t -> (int -> unit) -> unit
+val iter_back : t -> (int -> unit) -> unit
+
+val iter_back_while : t -> (int -> bool) -> unit
+(** Backward scan with early exit: stops when the callback returns
+    [false]. *)
+
+val length : t -> int
+val is_empty : t -> bool
+val records : t -> int list
+
+(** {1 Clearing} *)
+
+val remove_where : t -> (int -> bool) -> unit
+(** Tombstone (and free) every record satisfying the predicate; unlink
+    buckets that become empty.  Each tombstone is a single atomic word
+    store, so a crash mid-clearing leaves a well-formed log. *)
+
+val clear_all : t -> unit
+(** The paper's three-step wholesale clearing: build a fresh log, swing
+    the root atomically, de-allocate the old one. *)
+
+val compact : ?threshold:float -> t -> unit
+(** Section 3.3's compaction: if live records make up less than
+    [threshold] of the trusted slots (gaps left by clearing around
+    long-running transactions), copy the live records into a fresh log
+    and atomically swing the root.  Crash-safe: the root moves last. *)
+
+val occupancy_stats : t -> int * int
+(** (live records, trusted slots). *)

@@ -1,0 +1,99 @@
+(* Log records.
+
+   A record occupies exactly one 64-byte cacheline (eight words), so that
+   creating one "off-line" — cached stores followed by a single write-back —
+   costs one NVM write before it is atomically linked into the log.  The
+   fields mirror ARIES/REWIND: LSN, transaction id, record type, affected
+   address, before/after images, the undo-next pointer used by CLRs, and
+   the previous-record-of-same-transaction chain used by two-layer logging.
+
+   Records are manipulated by NVM address (an [int] arena offset). *)
+
+open Rewind_nvm
+
+type typ =
+  | Update
+  | Clr
+  | End
+  | Checkpoint
+  | Delete
+  | Rollback
+
+let int_of_typ = function
+  | Update -> 1
+  | Clr -> 2
+  | End -> 3
+  | Checkpoint -> 4
+  | Delete -> 5
+  | Rollback -> 6
+
+let typ_of_int = function
+  | 1 -> Update
+  | 2 -> Clr
+  | 3 -> End
+  | 4 -> Checkpoint
+  | 5 -> Delete
+  | 6 -> Rollback
+  | n -> Fmt.invalid_arg "Record.typ_of_int: %d" n
+
+let pp_typ ppf t =
+  Fmt.string ppf
+    (match t with
+    | Update -> "UPDATE"
+    | Clr -> "CLR"
+    | End -> "END"
+    | Checkpoint -> "CHECKPOINT"
+    | Delete -> "DELETE"
+    | Rollback -> "ROLLBACK")
+
+let size_bytes = 64
+
+(* Word offsets within a record. *)
+let o_lsn = 0
+let o_txn = 8
+let o_typ = 16
+let o_addr = 24
+let o_old = 32
+let o_new = 40
+let o_undo_next = 48
+let o_prev_same_txn = 56
+
+let lsn a r = Int64.to_int (Arena.read a (r + o_lsn))
+let txn a r = Int64.to_int (Arena.read a (r + o_txn))
+let typ a r = typ_of_int (Int64.to_int (Arena.read a (r + o_typ)))
+let addr a r = Int64.to_int (Arena.read a (r + o_addr))
+let old_value a r = Arena.read a (r + o_old)
+let new_value a r = Arena.read a (r + o_new)
+let undo_next a r = Int64.to_int (Arena.read a (r + o_undo_next))
+let prev_same_txn a r = Int64.to_int (Arena.read a (r + o_prev_same_txn))
+
+(* Create a record with cached stores and one write-back.  No fence is
+   issued here: the caller decides when the record must be ordered before
+   subsequent writes (immediately for Simple/Optimized logging; at the
+   group boundary for Batch logging). *)
+let make alloc ~lsn:l ~txn:x ~typ:t ~addr:ad ~old_value:ov ~new_value:nv
+    ~undo_next:un ~prev_same_txn:pv =
+  let a = Alloc.arena alloc in
+  let r = Alloc.alloc ~align:size_bytes alloc size_bytes in
+  Arena.write a (r + o_lsn) (Int64.of_int l);
+  Arena.write a (r + o_txn) (Int64.of_int x);
+  Arena.write a (r + o_typ) (Int64.of_int (int_of_typ t));
+  Arena.write a (r + o_addr) (Int64.of_int ad);
+  Arena.write a (r + o_old) ov;
+  Arena.write a (r + o_new) nv;
+  Arena.write a (r + o_undo_next) (Int64.of_int un);
+  Arena.write a (r + o_prev_same_txn) (Int64.of_int pv);
+  Arena.flush_line a r;
+  r
+
+(* Durable update of the same-transaction back-chain; only legal while the
+   record is not yet reachable from the log or an index chain. *)
+let set_prev_same_txn a r v =
+  Arena.nt_write a (r + o_prev_same_txn) (Int64.of_int v)
+
+let free alloc r = Alloc.free ~align:size_bytes alloc r size_bytes
+
+let pp arena ppf r =
+  Fmt.pf ppf "@[<h>#%d %a txn=%d addr=%d old=%Ld new=%Ld undo_next=%d@]"
+    (lsn arena r) pp_typ (typ arena r) (txn arena r) (addr arena r)
+    (old_value arena r) (new_value arena r) (undo_next arena r)

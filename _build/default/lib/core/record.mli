@@ -1,0 +1,51 @@
+(** Log records: one 64-byte cacheline each, created "off-line" (cached
+    stores plus a single write-back) before being atomically linked into
+    the log.  Fields follow ARIES/REWIND: LSN, transaction id, type,
+    affected address, before/after images, the CLR undo-next pointer, and
+    the same-transaction back-chain used by two-layer logging. *)
+
+type typ =
+  | Update      (** a logged user (or AAVLT-internal) store *)
+  | Clr         (** compensation record written by undo *)
+  | End         (** transaction finished (committed or rolled back) *)
+  | Checkpoint  (** durable point marker (Section 4.6) *)
+  | Delete      (** deferred de-allocation intention (Section 4.3) *)
+  | Rollback    (** rollback started (Algorithm 2) *)
+
+val pp_typ : typ Fmt.t
+
+val size_bytes : int
+(** 64: records are cacheline-sized and cacheline-aligned. *)
+
+val make :
+  Rewind_nvm.Alloc.t ->
+  lsn:int ->
+  txn:int ->
+  typ:typ ->
+  addr:int ->
+  old_value:int64 ->
+  new_value:int64 ->
+  undo_next:int ->
+  prev_same_txn:int ->
+  int
+(** Allocate and initialise a record; returns its NVM address.  The fields
+    are written back (one NVM line write) but not fenced — the caller
+    orders the record before whatever makes it reachable. *)
+
+(** {1 Field accessors} — all take the arena and the record address. *)
+
+val lsn : Rewind_nvm.Arena.t -> int -> int
+val txn : Rewind_nvm.Arena.t -> int -> int
+val typ : Rewind_nvm.Arena.t -> int -> typ
+val addr : Rewind_nvm.Arena.t -> int -> int
+val old_value : Rewind_nvm.Arena.t -> int -> int64
+val new_value : Rewind_nvm.Arena.t -> int -> int64
+val undo_next : Rewind_nvm.Arena.t -> int -> int
+val prev_same_txn : Rewind_nvm.Arena.t -> int -> int
+
+val set_prev_same_txn : Rewind_nvm.Arena.t -> int -> int -> unit
+(** Durable update of the back-chain; only legal while the record is not
+    yet reachable from the log or an index chain. *)
+
+val free : Rewind_nvm.Alloc.t -> int -> unit
+val pp : Rewind_nvm.Arena.t -> int Fmt.t

@@ -1,0 +1,62 @@
+(* Public facade of the REWIND library.
+
+   Typical use:
+
+   {[
+     open Rewind
+     let arena = Nvm.Arena.create ~size_bytes:(64 * 1024 * 1024) ()
+     let alloc = Nvm.Alloc.create arena
+     let tm = Tm.create alloc ~root_slot:2
+     let cell = Nvm.Alloc.alloc alloc 8
+
+     let () =
+       Tm.atomically tm (fun txn ->
+           Tm.write tm txn ~addr:cell ~value:42L)
+   ]}
+
+   After a crash, reattach with [Tm.attach] (same config and root slot):
+   recovery restores every committed update and rolls back the rest. *)
+
+module Record = Record
+module Adll = Adll
+module Log = Log
+module Avl_index = Avl_index
+module Txn_table = Txn_table
+module Tm = Tm
+
+module Autotune = Autotune
+module Tm_group = Tm_group
+
+type config = Tm.config = {
+  policy : Tm.policy;
+  layers : Tm.layers;
+  variant : Log.variant;
+  bucket_cap : int;
+  lockfree_latch : bool;
+}
+
+(* The paper's named configurations. *)
+let config_1l_nfp = Tm.default_config
+let config_1l_fp = { Tm.default_config with policy = Tm.Force }
+let config_2l_nfp = { Tm.default_config with layers = Tm.Two_layer }
+
+let config_2l_fp =
+  { Tm.default_config with layers = Tm.Two_layer; policy = Tm.Force }
+
+(* The paper's named log implementations (one-layer, no-force). *)
+let config_simple = { Tm.default_config with variant = Log.Simple }
+let config_optimized = { Tm.default_config with variant = Log.Optimized }
+let config_batch ?(group = 8) () =
+  { Tm.default_config with variant = Log.Batch group }
+
+(* Section 7 future work: the lock-free log variant. *)
+let config_lockfree ?(group = 8) () =
+  { Tm.default_config with variant = Log.Batch group; lockfree_latch = true }
+
+let all_figure3_configs =
+  [
+    ("2L-FP", config_2l_fp);
+    ("2L-NFP", config_2l_nfp);
+    ("1L-FP", config_1l_fp);
+    ("1L-NFP", config_1l_nfp);
+  ]

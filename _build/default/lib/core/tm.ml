@@ -1,0 +1,664 @@
+(* The transaction recovery manager (Section 4).
+
+   Four configurations, as in the paper's design space:
+   - policy: [Force] (user updates reach NVM with non-temporal stores; the
+     transaction's log records are cleared at commit; two-phase recovery)
+     or [No_force] (user updates are cached; checkpoints clear the log;
+     three-phase recovery with a redo pass);
+   - layers: [One_layer] (the bucket/ADLL log holds user records directly;
+     no transaction table is maintained while logging) or [Two_layer] (the
+     AAVLT indexes records by transaction and acts as the persistent
+     transaction table; the bucket log underneath holds only the AAVLT's
+     own pending writes).
+
+   The log implementation (Simple / Optimized / Batch) is picked
+   independently, giving the paper's Simple/Optimized/Batch REWIND
+   versions. *)
+
+open Rewind_nvm
+
+type policy = Force | No_force
+type layers = One_layer | Two_layer
+
+type config = {
+  policy : policy;
+  layers : layers;
+  variant : Log.variant;
+  bucket_cap : int;
+  lockfree_latch : bool;
+      (* Section 7 future work: a lock-free log fast path — appends pay a
+         CAS instead of serialising on the latch. *)
+}
+
+let default_config =
+  {
+    policy = No_force;
+    layers = One_layer;
+    variant = Log.Optimized;
+    bucket_cap = 1000;
+    lockfree_latch = false;
+  }
+
+let pp_config ppf c =
+  Fmt.pf ppf "%s-%s/%a"
+    (match c.layers with One_layer -> "1L" | Two_layer -> "2L")
+    (match c.policy with Force -> "FP" | No_force -> "NFP")
+    Log.pp_variant c.variant
+
+type txn = int
+
+type t = {
+  cfg : config;
+  alloc : Alloc.t;
+  arena : Arena.t;
+  log : Log.t;  (* 1L: the user log; 2L: the AAVLT's internal log *)
+  index : Avl_index.t option;  (* 2L only *)
+  table : Txn_table.t;
+  latch : Sim_mutex.t;
+  mutable next_txn : int;
+  next_lsn : int Atomic.t;  (* LSNs are handed out outside the latch *)
+  mutable ended : (int, unit) Hashtbl.t;  (* committed/rolled back, awaiting clearing *)
+  mutable deferred_deletes : (txn * int * int * int) list;
+      (* txn, DELETE record lsn, addr, size *)
+  mutable pending_force : (int * int64) list;
+      (* Batch+Force: user stores awaiting their group's log persistence *)
+  mutable commits : int;
+  mutable rollbacks : int;
+}
+
+(* Reserved txn id 0 belongs to the AAVLT's internal logging. *)
+let first_txn = 1
+
+let make_t cfg alloc log index =
+  {
+    cfg;
+    alloc;
+    arena = Alloc.arena alloc;
+    log;
+    index;
+    table = Txn_table.create ();
+    latch =
+      (if cfg.lockfree_latch then
+         Sim_mutex.create ~acquire_ns:30 ~contention_free:true ()
+       else Sim_mutex.create ());
+    next_txn = first_txn;
+    next_lsn = Atomic.make 1;
+    ended = Hashtbl.create 64;
+    deferred_deletes = [];
+    pending_force = [];
+    commits = 0;
+    rollbacks = 0;
+  }
+
+let create ?(cfg = default_config) alloc ~root_slot =
+  let log = Log.create cfg.variant ~bucket_cap:cfg.bucket_cap alloc ~root_slot in
+  let index =
+    match cfg.layers with
+    | One_layer -> None
+    | Two_layer ->
+        let idx = Avl_index.create alloc ~ilog:log in
+        Arena.root_set (Alloc.arena alloc) (root_slot + 1)
+          (Int64.of_int (Avl_index.root_ptr idx));
+        Some idx
+  in
+  make_t cfg alloc log index
+
+let config t = t.cfg
+let log t = t.log
+let commits t = t.commits
+let rollbacks t = t.rollbacks
+let active_transactions t = Txn_table.size t.table
+
+let fresh_lsn t = Atomic.fetch_and_add t.next_lsn 1
+
+(* -- transaction begin -------------------------------------------------- *)
+
+let begin_txn t =
+  Sim_mutex.with_lock t.latch (fun () ->
+      let id = t.next_txn in
+      t.next_txn <- id + 1;
+      (match t.index with
+      | None -> ()  (* one-layer: no per-transaction state while logging *)
+      | Some _ ->
+          (* two-layer: the transaction table is maintained while logging *)
+          ignore (Txn_table.find_or_add t.table id));
+      id)
+
+(* -- logging ------------------------------------------------------------ *)
+
+(* Under Batch+Force, user stores that were deferred behind their group's
+   log persistence become durable as soon as the group is flushed. *)
+let drain_pending_force t =
+  if t.pending_force <> [] && Log.pending t.log = 0 then begin
+    List.iter
+      (fun (addr, v) -> Arena.nt_write t.arena addr v)
+      (List.rev t.pending_force);
+    t.pending_force <- []
+  end
+
+let force_user_write t addr v =
+  match t.cfg.variant with
+  | Log.Batch _ ->
+      (* Visible immediately; durable at the group boundary to keep WAL. *)
+      Arena.write t.arena addr v;
+      t.pending_force <- (addr, v) :: t.pending_force;
+      drain_pending_force t
+  | Log.Simple | Log.Optimized -> Arena.nt_write t.arena addr v
+
+(* Append a user record.  In two-layer mode the AAVLT indexes records by
+   their LSN (Section 3.4): every record becomes a tree node whose payload
+   is the record's address, inserted in one atomic AAVLT operation, and the
+   record is threaded onto its transaction's back-chain via the volatile
+   transaction table. *)
+let append_user_record t txn_id r ~is_end =
+  match t.index with
+  | None -> Log.append ~is_end t.log r
+  | Some idx ->
+      let e = Txn_table.find_or_add t.table txn_id in
+      (* Chain before the record becomes reachable. *)
+      Record.set_prev_same_txn t.arena r e.Txn_table.last_record;
+      let lsn = Record.lsn t.arena r in
+      Avl_index.op idx (fun () ->
+          let node = Avl_index.insert_in_op idx lsn in
+          Avl_index.set_head_record idx node r);
+      e.Txn_table.last_record <- r
+
+(* Records are created "off-line" (Section 3.2) — outside the log latch —
+   and only the atomic insertion is serialised, which is the fine-grained
+   concurrency Section 4.7 claims. *)
+let log_update t txn_id ~addr ~old_value ~new_value =
+  let r =
+    Record.make t.alloc ~lsn:(fresh_lsn t) ~txn:txn_id ~typ:Record.Update
+      ~addr ~old_value ~new_value ~undo_next:0 ~prev_same_txn:0
+  in
+  Sim_mutex.with_lock t.latch (fun () ->
+      append_user_record t txn_id r ~is_end:false)
+
+(* The paper's expanded-code pattern (Listing 2): log, then store. *)
+let write t txn_id ~addr ~value =
+  let old_value = Arena.read t.arena addr in
+  log_update t txn_id ~addr ~old_value ~new_value:value;
+  match t.cfg.policy with
+  | No_force ->
+      (* Thread-safe access to user data is the programmer's concern
+         (Section 4.7); the cached store itself needs no TM latch. *)
+      Arena.write t.arena addr value
+  | Force ->
+      (* The Batch+Force deferral list is TM state: serialise it. *)
+      Sim_mutex.with_lock t.latch (fun () -> force_user_write t addr value)
+
+let read t _txn_id ~addr = Arena.read t.arena addr
+
+(* Record an intention to free NVM; the de-allocation itself happens only
+   once the transaction's outcome is settled (Section 4.3). *)
+let log_delete t txn_id ~addr ~size =
+  let lsn = fresh_lsn t in
+  let r =
+    Record.make t.alloc ~lsn ~txn:txn_id ~typ:Record.Delete ~addr
+      ~old_value:(Int64.of_int size) ~new_value:0L ~undo_next:0
+      ~prev_same_txn:0
+  in
+  Sim_mutex.with_lock t.latch (fun () ->
+      append_user_record t txn_id r ~is_end:false;
+      t.deferred_deletes <- (txn_id, lsn, addr, size) :: t.deferred_deletes)
+
+(* -- clearing ------------------------------------------------------------ *)
+
+let record_txn t r = Record.txn t.arena r
+let record_typ t r = Record.typ t.arena r
+
+(* Remove one transaction's records; END last, so that an interrupted
+   clearing is re-attempted identically after a crash (Section 4.6). *)
+let clear_txn_records t txn_id =
+  Log.remove_where t.log (fun r ->
+      record_txn t r = txn_id && record_typ t r <> Record.End);
+  Log.remove_where t.log (fun r ->
+      record_txn t r = txn_id && record_typ t r = Record.End)
+
+let free_deferred_deletes t txn_id =
+  let mine, rest =
+    List.partition (fun (x, _, _, _) -> x = txn_id) t.deferred_deletes
+  in
+  List.iter (fun (_, _, addr, size) -> Alloc.free t.alloc addr size) mine;
+  t.deferred_deletes <- rest
+
+let drop_deferred_deletes t txn_id =
+  t.deferred_deletes <-
+    List.filter (fun (x, _, _, _) -> x <> txn_id) t.deferred_deletes
+
+(* Two-layer clearing of one settled transaction: walk its back-chain and
+   delete each record's tree node, oldest first — so the END record (the
+   newest) goes last, and an interrupted clearing is re-attempted
+   identically after a crash (Section 4.6). *)
+let clear_txn_index t idx txn_id =
+  match Txn_table.find t.table txn_id with
+  | None -> ()
+  | Some e ->
+      let rec collect r acc =
+        if r = 0 then acc
+        else collect (Record.prev_same_txn t.arena r) (r :: acc)
+      in
+      let oldest_first = collect e.Txn_table.last_record [] in
+      List.iter
+        (fun r ->
+          ignore (Avl_index.remove idx (Record.lsn t.arena r));
+          Record.free t.alloc r)
+        oldest_first;
+      Txn_table.remove t.table txn_id
+
+(* -- commit --------------------------------------------------------------- *)
+
+let append_end t txn_id =
+  let r =
+    Record.make t.alloc ~lsn:(fresh_lsn t) ~txn:txn_id ~typ:Record.End ~addr:0
+      ~old_value:0L ~new_value:0L ~undo_next:0 ~prev_same_txn:0
+  in
+  append_user_record t txn_id r ~is_end:true
+
+(* [clear] exists for experiments that model a crash landing between the
+   END record and commit-time clearing (Sections 5.1's recovery scenarios);
+   production callers leave it true. *)
+let commit ?(clear = true) t txn_id =
+  Sim_mutex.with_lock t.latch (fun () ->
+      t.commits <- t.commits + 1;
+      (match t.cfg.policy with
+      | Force ->
+          (* All of the transaction's stores are already on their way to
+             NVM; fence, log END, and clear immediately. *)
+          Log.flush_group t.log;
+          drain_pending_force t;
+          Arena.fence t.arena;
+          append_end t txn_id;
+          if clear then begin
+            (match t.index with
+            | None -> clear_txn_records t txn_id
+            | Some idx -> clear_txn_index t idx txn_id);
+            free_deferred_deletes t txn_id
+          end
+      | No_force ->
+          append_end t txn_id;
+          Hashtbl.replace t.ended txn_id ()))
+
+(* -- rollback -------------------------------------------------------------- *)
+
+(* Write a CLR recording the undo of [rec], then apply the undo.  The CLR's
+   new value is the restored (old) value; [undo_next] carries the undone
+   record's LSN so that Algorithm 2 can skip past it after a crash. *)
+let undo_one t txn_id rec_ ~durably =
+  let addr = Record.addr t.arena rec_ in
+  let restored = Record.old_value t.arena rec_ in
+  let clr =
+    Record.make t.alloc ~lsn:(fresh_lsn t) ~txn:txn_id ~typ:Record.Clr ~addr
+      ~old_value:(Record.new_value t.arena rec_) ~new_value:restored
+      ~undo_next:(Record.lsn t.arena rec_) ~prev_same_txn:0
+  in
+  append_user_record t txn_id clr ~is_end:durably;
+  if durably then Arena.nt_write t.arena addr restored
+  else Arena.write t.arena addr restored
+
+let rollback_one_layer t txn_id =
+  (* One-layer: no per-transaction chain — a full backward scan skipping
+     other transactions' records (the "skip records" of Section 5.1). *)
+  let durably = t.cfg.policy = Force in
+  Log.iter_back t.log (fun r ->
+      if record_txn t r = txn_id && record_typ t r = Record.Update then
+        undo_one t txn_id r ~durably)
+
+let rollback_two_layer t idx txn_id =
+  let durably = t.cfg.policy = Force in
+  match Txn_table.find t.table txn_id with
+  | None -> ()
+  | Some e ->
+      let rec go r =
+        if r <> 0 then begin
+          let next = Record.prev_same_txn t.arena r in
+          (* each record is retrieved through the AAVLT (Section 4.4) *)
+          ignore (Avl_index.find idx (Record.lsn t.arena r));
+          (if record_typ t r = Record.Update then undo_one t txn_id r ~durably);
+          go next
+        end
+      in
+      go e.Txn_table.last_record
+
+(* -- partial rollback (savepoints) ---------------------------------------
+
+   An extension the CLR machinery supports directly (ARIES's partial
+   rollbacks): a savepoint names an LSN; rolling back to it undoes the
+   transaction's updates with larger LSNs, writing ordinary CLRs.  A crash
+   afterwards recovers correctly with no extra machinery — Algorithm 2's
+   undo bounds skip exactly the already-compensated records. *)
+
+type savepoint = int
+
+let savepoint t _txn_id = Atomic.get t.next_lsn
+
+let rollback_to t txn_id (sp : savepoint) =
+  Sim_mutex.with_lock t.latch (fun () ->
+      let durably = t.cfg.policy = Force in
+      (match t.index with
+      | None ->
+          (* Backward scan with the Algorithm-2 bound so repeated partial
+             rollbacks never re-undo compensated updates; stop at the
+             first of this transaction's records below the savepoint. *)
+          let bound = ref max_int in
+          Log.iter_back_while t.log (fun r ->
+              if record_txn t r <> txn_id then true
+              else
+                let lsn = Record.lsn t.arena r in
+                if lsn < sp then false
+                else begin
+                  (match record_typ t r with
+                  | Record.Clr -> bound := Record.undo_next t.arena r
+                  | Record.Update ->
+                      if lsn < !bound then undo_one t txn_id r ~durably
+                  | Record.End | Record.Checkpoint | Record.Delete
+                  | Record.Rollback ->
+                      ());
+                  true
+                end)
+      | Some idx -> (
+          match Txn_table.find t.table txn_id with
+          | None -> ()
+          | Some e ->
+              let bound = ref max_int in
+              let rec go r =
+                if r <> 0 then begin
+                  let next = Record.prev_same_txn t.arena r in
+                  let lsn = Record.lsn t.arena r in
+                  if lsn >= sp then begin
+                    (match record_typ t r with
+                    | Record.Clr -> bound := Record.undo_next t.arena r
+                    | Record.Update ->
+                        if lsn < !bound then begin
+                          ignore (Avl_index.find idx lsn);
+                          undo_one t txn_id r ~durably
+                        end
+                    | Record.End | Record.Checkpoint | Record.Delete
+                    | Record.Rollback ->
+                        ());
+                    go next
+                  end
+                end
+              in
+              go e.Txn_table.last_record));
+      (* deferred de-allocations requested after the savepoint are void *)
+      t.deferred_deletes <-
+        List.filter
+          (fun (x, lsn, _, _) -> x <> txn_id || lsn < sp)
+          t.deferred_deletes)
+
+let rollback t txn_id =
+  Sim_mutex.with_lock t.latch (fun () ->
+      t.rollbacks <- t.rollbacks + 1;
+      (* Settle any deferred (Batch+Force) user stores *before* undoing,
+         or a stale pending store could overwrite a restored value. *)
+      Log.flush_group t.log;
+      drain_pending_force t;
+      (match t.index with
+      | None -> rollback_one_layer t txn_id
+      | Some idx -> rollback_two_layer t idx txn_id);
+      Log.flush_group t.log;
+      append_end t txn_id;
+      drop_deferred_deletes t txn_id;
+      match t.cfg.policy with
+      | Force -> (
+          match t.index with
+          | None -> clear_txn_records t txn_id
+          | Some idx -> clear_txn_index t idx txn_id)
+      | No_force -> Hashtbl.replace t.ended txn_id ())
+
+(* -- checkpoint (Section 4.6) ---------------------------------------------- *)
+
+let checkpoint t =
+  Sim_mutex.with_lock t.latch (fun () ->
+      (* Persist the batch cursor first: otherwise flushed user data could
+         refer to untrusted log slots after a crash. *)
+      Log.flush_group t.log;
+      drain_pending_force t;
+      (* CHECKPOINT record marks the durable point, inserted before the
+         cache flush. *)
+      let cp =
+        Record.make t.alloc ~lsn:(fresh_lsn t) ~txn:0 ~typ:Record.Checkpoint
+          ~addr:0 ~old_value:0L ~new_value:0L ~undo_next:0 ~prev_same_txn:0
+      in
+      Log.append ~is_end:true t.log cp;
+      Arena.flush_all t.arena;
+      Arena.fence t.arena;
+      (* Clear settled transactions, END records last. *)
+      let settled = Hashtbl.fold (fun id () acc -> id :: acc) t.ended [] in
+      (match t.index with
+      | None ->
+          let is_settled r = Hashtbl.mem t.ended (record_txn t r) in
+          Log.remove_where t.log (fun r ->
+              is_settled r && record_typ t r <> Record.End);
+          Log.remove_where t.log (fun r ->
+              is_settled r && record_typ t r = Record.End)
+      | Some idx -> List.iter (fun id -> clear_txn_index t idx id) settled);
+      List.iter (fun id -> free_deferred_deletes t id) settled;
+      Hashtbl.reset t.ended;
+      (* The checkpoint record has served its purpose. *)
+      Log.remove_where t.log (fun r -> record_typ t r = Record.Checkpoint);
+      (* Compact if clearing left the buckets mostly gaps (long-running
+         transactions spanning otherwise-empty buckets, Section 3.3). *)
+      Log.compact ~threshold:0.25 t.log)
+
+(* -- recovery (Section 4.5) -------------------------------------------------- *)
+
+(* Analysis for one-layer logging: reconstruct the transaction table with a
+   forward scan to the point of failure. *)
+let analysis_one_layer t =
+  Txn_table.clear t.table;
+  let max_lsn = ref 0 and max_txn = ref 0 in
+  Log.iter t.log (fun r ->
+      let lsn = Record.lsn t.arena r in
+      if lsn > !max_lsn then max_lsn := lsn;
+      let x = record_txn t r in
+      if x > !max_txn then max_txn := x;
+      if x <> 0 then begin
+        let e = Txn_table.find_or_add t.table x in
+        e.Txn_table.last_record <- r;
+        match record_typ t r with
+        | Record.End -> e.Txn_table.status <- Txn_table.Finished
+        | Record.Rollback -> e.Txn_table.status <- Txn_table.Aborted
+        | Record.Update | Record.Clr | Record.Delete | Record.Checkpoint -> ()
+      end);
+  Atomic.set t.next_lsn (!max_lsn + 1);
+  t.next_txn <- max !max_txn t.next_txn + 1
+
+(* Redo phase (no-force only): repeat history forward.  Physical redo is
+   idempotent, so a crash during recovery just restarts it. *)
+let redo_one_layer t =
+  Log.iter t.log (fun r ->
+      match record_typ t r with
+      | Record.Update | Record.Clr ->
+          Arena.write t.arena (Record.addr t.arena r) (Record.new_value t.arena r)
+      | Record.End | Record.Checkpoint | Record.Delete | Record.Rollback -> ())
+
+(* Undo phase: Algorithm 2 — a single backward scan undoing every
+   unfinished transaction, tracking per-transaction CLR bounds so that
+   already-undone updates are skipped. *)
+let undo_one_layer t =
+  let durably = t.cfg.policy = Force in
+  let undo_map : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let to_mark_rollback = Hashtbl.create 16 in
+  Log.iter_back t.log (fun r ->
+      let x = record_txn t r in
+      if x <> 0 then
+        match Txn_table.find t.table x with
+        | None -> ()
+        | Some e -> (
+            match e.Txn_table.status with
+            | Txn_table.Finished -> ()
+            | Txn_table.Running | Txn_table.Aborted -> (
+                if e.Txn_table.status = Txn_table.Running then begin
+                  e.Txn_table.status <- Txn_table.Aborted;
+                  Hashtbl.replace to_mark_rollback x ()
+                end;
+                match record_typ t r with
+                | Record.Clr ->
+                    Hashtbl.replace undo_map x (Record.undo_next t.arena r);
+                    if t.cfg.policy = Force then
+                      (* redo the CLR: covers a crash between the CLR and
+                         its user store *)
+                      Arena.nt_write t.arena (Record.addr t.arena r)
+                        (Record.new_value t.arena r)
+                | Record.Update ->
+                    let skip =
+                      match Hashtbl.find_opt undo_map x with
+                      | Some bound -> Record.lsn t.arena r >= bound
+                      | None -> false
+                    in
+                    if not skip then undo_one t x r ~durably
+                | Record.End | Record.Checkpoint | Record.Delete
+                | Record.Rollback ->
+                    ())));
+  (* END records for every transaction we just settled *)
+  Txn_table.iter t.table (fun e ->
+      if e.Txn_table.status <> Txn_table.Finished then begin
+        (if Hashtbl.mem to_mark_rollback e.Txn_table.id then
+           let r =
+             Record.make t.alloc ~lsn:(fresh_lsn t) ~txn:e.Txn_table.id
+               ~typ:Record.Rollback ~addr:0 ~old_value:0L ~new_value:0L
+               ~undo_next:0 ~prev_same_txn:0
+           in
+           Log.append t.log r);
+        append_end t e.Txn_table.id;
+        e.Txn_table.status <- Txn_table.Finished
+      end)
+
+(* Two-layer analysis + undo: the AAVLT *is* the durable transaction table. *)
+(* Two-layer recovery: the AAVLT's in-order traversal *is* the LSN-ordered
+   log.  Analysis rebuilds the transaction table from the per-transaction
+   back-chains; redo (no-force) repeats history in LSN order; undo walks
+   each unfinished transaction's chain with the Algorithm-2 CLR bound. *)
+let recover_two_layer t idx =
+  Txn_table.clear t.table;
+  (* analysis: in-order traversal gives records in ascending LSN *)
+  let descending = ref [] in
+  Avl_index.iter idx (fun n -> descending := Avl_index.head_record idx n :: !descending);
+  let ascending = List.rev !descending in
+  let max_lsn = ref 0 and max_txn = ref 0 in
+  List.iter
+    (fun r ->
+      let l = Record.lsn t.arena r in
+      if l > !max_lsn then max_lsn := l;
+      let x = record_txn t r in
+      if x > !max_txn then max_txn := x;
+      if x <> 0 then begin
+        let e = Txn_table.find_or_add t.table x in
+        e.Txn_table.last_record <- r;
+        match record_typ t r with
+        | Record.End -> e.Txn_table.status <- Txn_table.Finished
+        | Record.Rollback -> e.Txn_table.status <- Txn_table.Aborted
+        | Record.Update | Record.Clr | Record.Delete | Record.Checkpoint -> ()
+      end)
+    ascending;
+  Atomic.set t.next_lsn (!max_lsn + 1);
+  t.next_txn <- max !max_txn t.next_txn + 1;
+  (* redo (no-force only): repeat history *)
+  if t.cfg.policy = No_force then
+    List.iter
+      (fun r ->
+        match record_typ t r with
+        | Record.Update | Record.Clr ->
+            Arena.write t.arena (Record.addr t.arena r)
+              (Record.new_value t.arena r)
+        | Record.End | Record.Checkpoint | Record.Delete | Record.Rollback ->
+            ())
+      ascending;
+  (* undo unfinished transactions via their back-chains *)
+  let durably = t.cfg.policy = Force in
+  let losers = Txn_table.unfinished t.table in
+  List.iter
+    (fun e ->
+      let x = e.Txn_table.id in
+      let head = e.Txn_table.last_record in
+      (* corner case: crash between the last CLR and its user store *)
+      (if t.cfg.policy = Force && head <> 0 && record_typ t head = Record.Clr
+       then
+         Arena.nt_write t.arena (Record.addr t.arena head)
+           (Record.new_value t.arena head));
+      let bound = ref max_int in
+      let rec go r =
+        if r <> 0 then begin
+          let next = Record.prev_same_txn t.arena r in
+          (match record_typ t r with
+          | Record.Clr -> bound := Record.undo_next t.arena r
+          | Record.Update ->
+              if Record.lsn t.arena r < !bound then begin
+                ignore (Avl_index.find idx (Record.lsn t.arena r));
+                undo_one t x r ~durably
+              end
+          | Record.End | Record.Checkpoint | Record.Delete | Record.Rollback
+            -> ());
+          go next
+        end
+      in
+      go head;
+      append_end t x;
+      e.Txn_table.status <- Txn_table.Finished)
+    losers;
+  (* Make the redo/undo results durable *before* dropping records: a crash
+     here must still find the log able to repeat history. *)
+  Arena.flush_all t.arena;
+  Arena.fence t.arena;
+  (* every transaction is settled: free the records, then drop the whole
+     tree with one atomic root swing *)
+  let records = ref [] in
+  Avl_index.iter idx (fun n -> records := Avl_index.head_record idx n :: !records);
+  Avl_index.clear idx;
+  List.iter (fun r -> Record.free t.alloc r) !records
+
+let clear_after_recovery t =
+  (* All transactions are settled; make their effects durable and clear the
+     log wholesale (three-step swap, Section 4.5). *)
+  Arena.flush_all t.arena;
+  Arena.fence t.arena;
+  Log.clear_all t.log;
+  Txn_table.clear t.table;
+  Hashtbl.reset t.ended;
+  t.deferred_deletes <- [];
+  t.pending_force <- []
+
+let recover t =
+  match t.index with
+  | None ->
+      analysis_one_layer t;
+      if t.cfg.policy = No_force then redo_one_layer t;
+      undo_one_layer t;
+      clear_after_recovery t
+  | Some idx ->
+      recover_two_layer t idx;
+      clear_after_recovery t
+
+(* Reattach after a crash: recover the log structure, the AAVLT, and then
+   run transaction recovery. *)
+let attach ?(cfg = default_config) alloc ~root_slot =
+  let arena = Alloc.arena alloc in
+  let log = Log.attach cfg.variant ~bucket_cap:cfg.bucket_cap alloc ~root_slot in
+  let index =
+    match cfg.layers with
+    | One_layer -> None
+    | Two_layer ->
+        let root_ptr = Int64.to_int (Arena.root_get arena (root_slot + 1)) in
+        let idx = Avl_index.attach alloc ~ilog:log ~root_ptr in
+        Avl_index.recover idx;
+        Some idx
+  in
+  let t = make_t cfg alloc log index in
+  recover t;
+  t
+
+(* -- convenience --------------------------------------------------------- *)
+
+(* The paper's [persistent_atomic] block: commit on success, roll back on
+   exception. *)
+let atomically t f =
+  let txn = begin_txn t in
+  match f txn with
+  | v ->
+      commit t txn;
+      v
+  | exception e ->
+      rollback t txn;
+      raise e

@@ -1,0 +1,112 @@
+(** The transaction recovery manager (Section 4): WAL over physical log
+    records, in the paper's four configurations.
+
+    - {!policy}: [Force] writes user data to NVM with non-temporal stores
+      and clears the transaction's log records at commit (two-phase
+      recovery: analysis + undo); [No_force] caches user data, clears the
+      log at checkpoints, and recovers in three phases (analysis + redo +
+      undo).
+    - {!layers}: [One_layer] keeps user records directly in the bucket/ADLL
+      log and maintains no per-transaction state while logging (Algorithm 2
+      reconstructs it at recovery); [Two_layer] indexes every record in the
+      {!Avl_index} by LSN and maintains the transaction table while
+      logging, making selective rollback cheap at a higher logging cost.
+
+    The log implementation ({!Log.variant}) is chosen independently,
+    giving the paper's Simple / Optimized / Batch versions. *)
+
+type policy = Force | No_force
+type layers = One_layer | Two_layer
+
+type config = {
+  policy : policy;
+  layers : layers;
+  variant : Log.variant;
+  bucket_cap : int;
+  lockfree_latch : bool;
+      (** Section 7 future work: model a lock-free log — appends pay a CAS
+          instead of serialising on the log latch. *)
+}
+
+val default_config : config
+(** One-layer, no-force, Optimized log, 1000-record buckets. *)
+
+val pp_config : config Fmt.t
+
+type txn = int
+type t
+
+val create : ?cfg:config -> Rewind_nvm.Alloc.t -> root_slot:int -> t
+(** Fresh transaction manager anchored at [root_slot] (and [root_slot+1]
+    for the two-layer index). *)
+
+val attach : ?cfg:config -> Rewind_nvm.Alloc.t -> root_slot:int -> t
+(** Reattach after a crash with the same configuration and root slot:
+    recovers the log structure, then runs analysis / redo / undo and
+    clears the log.  On return every pre-crash transaction is settled. *)
+
+val config : t -> config
+val log : t -> Log.t
+
+(** {1 Transactions} *)
+
+val begin_txn : t -> txn
+
+val write : t -> txn -> addr:int -> value:int64 -> unit
+(** The paper's expanded-code pattern (Listing 2): log the update — old
+    value, new value, address — then perform the store according to the
+    policy.  The log record is created outside the log latch ("off-line")
+    and only its insertion is serialised. *)
+
+val read : t -> txn -> addr:int -> int64
+
+val log_update : t -> txn -> addr:int -> old_value:int64 -> new_value:int64 -> unit
+(** Lower-level logging call for callers that perform the store
+    themselves (must follow the WAL order: log first). *)
+
+val log_delete : t -> txn -> addr:int -> size:int -> unit
+(** Record an intention to free NVM.  The de-allocation happens at commit
+    (force) or at the clearing checkpoint (no-force); a rollback drops
+    it.  (Section 4.3's DELETE records.) *)
+
+val commit : ?clear:bool -> t -> txn -> unit
+(** Commit.  Under force policy this persists all pending stores, logs
+    END, and clears the transaction's records ([clear:false] suppresses
+    the clearing — used by experiments that model a crash between END and
+    clearing).  Under no-force it logs END; clearing waits for
+    {!checkpoint}. *)
+
+val rollback : t -> txn -> unit
+(** Undo the transaction with CLRs (one-layer: a full backward scan
+    skipping other transactions' records; two-layer: the record chain via
+    the index), then log END. *)
+
+val atomically : t -> (txn -> 'a) -> 'a
+(** The paper's [persistent_atomic] block: begin; commit on success, roll
+    back and re-raise on exception. *)
+
+(** {1 Partial rollback}
+
+    An extension the CLR machinery supports directly (ARIES-style
+    savepoints): a savepoint names a point in the transaction; rolling
+    back to it undoes the later updates with ordinary CLRs, so a crash at
+    any moment still recovers correctly. *)
+
+type savepoint
+
+val savepoint : t -> txn -> savepoint
+val rollback_to : t -> txn -> savepoint -> unit
+
+val checkpoint : t -> unit
+(** The "cache-consistent" checkpoint of Section 4.6: persist pending log
+    state, flush the cache, then clear settled transactions' records —
+    END records last — and process their deferred de-allocations. *)
+
+val recover : t -> unit
+(** Run recovery explicitly (normally done by {!attach}). *)
+
+(** {1 Introspection} *)
+
+val commits : t -> int
+val rollbacks : t -> int
+val active_transactions : t -> int

@@ -1,0 +1,31 @@
+(** Distributed logging (Section 5.3, Pelley et al. [24]): a group of
+    independent transaction managers over one persistent heap, one log per
+    partition.  Figure 11 shows this recovering almost all of the shared
+    log's contention cost.
+
+    Transactions must not span partitions — each partition recovers
+    independently. *)
+
+type t
+
+val create :
+  ?cfg:Tm.config -> Rewind_nvm.Alloc.t -> root_slot:int -> partitions:int -> t
+(** Each partition occupies two consecutive root slots starting at
+    [root_slot]. *)
+
+val attach :
+  ?cfg:Tm.config -> Rewind_nvm.Alloc.t -> root_slot:int -> partitions:int -> t
+(** Reattach after a crash; every partition runs its own recovery. *)
+
+val partitions : t -> int
+
+val tm_for : t -> int -> Tm.t
+(** Stable routing of a key (thread id, terminal id, shard key) to its
+    partition's manager. *)
+
+val tm : t -> int -> Tm.t
+val begin_txn : t -> partition:int -> Tm.t * Tm.txn
+val atomically : t -> partition:int -> (Tm.t -> Tm.txn -> 'a) -> 'a
+val checkpoint_all : t -> unit
+val commits : t -> int
+val rollbacks : t -> int

@@ -1,0 +1,1 @@
+lib/nvm/alloc.ml: Arena Hashtbl Int64 Mutex

@@ -1,0 +1,1 @@
+lib/nvm/alloc.mli: Arena

@@ -1,0 +1,1 @@
+lib/nvm/arena.ml: Bytes Char Clock Config Fmt Stats String

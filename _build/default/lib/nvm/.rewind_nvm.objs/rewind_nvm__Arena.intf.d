@@ -1,0 +1,1 @@
+lib/nvm/arena.mli: Config Stats

@@ -1,0 +1,1 @@
+lib/nvm/block_dev.ml: Bytes Clock Config Hashtbl

@@ -1,0 +1,1 @@
+lib/nvm/clock.ml: Domain Fmt

@@ -1,0 +1,1 @@
+lib/nvm/clock.mli: Fmt

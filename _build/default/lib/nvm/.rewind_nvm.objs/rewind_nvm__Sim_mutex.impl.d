@@ -1,0 +1,1 @@
+lib/nvm/sim_mutex.ml: Clock Mutex Sim_threads

@@ -1,0 +1,1 @@
+lib/nvm/sim_threads.ml: Array Clock Effect Fun

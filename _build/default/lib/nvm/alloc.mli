@@ -1,0 +1,41 @@
+(** Persistent-heap allocator over an {!Arena}.
+
+    Crash discipline (Section 4.3): allocation never hands out space that
+    a post-crash recovery could still need.  A durable, monotone bump
+    cursor guarantees it; small objects are carved from slabs so the
+    cursor write amortises.  [free]d space goes to volatile size-class
+    free lists — reuse is safe because REWIND frees only memory whose last
+    transactional use is settled — and is leaked by a crash, mirroring the
+    paper's observation that de-allocation cannot be undone without OS
+    support.  Thread-safe across domains. *)
+
+type t
+
+exception Out_of_memory_arena
+
+val create : ?root:int -> Arena.t -> t
+(** Fresh heap; the cursor is anchored at the arena root slot [root]
+    (default 1). *)
+
+val recover : ?root:int -> Arena.t -> t
+(** Reattach after a crash: the durable cursor is trusted; free lists
+    restart empty. *)
+
+val alloc : ?align:int -> t -> int -> int
+(** [alloc t size] returns an 8-byte-aligned (or [align]-aligned) NVM
+    offset.  May reuse freed space of the same (size, align) class. *)
+
+val alloc_fresh : ?align:int -> t -> int -> int
+(** Like {!alloc} but never reuses freed space: the returned region has
+    never been written and is durably zero — required by structures whose
+    recovery treats zero as "empty" (log buckets). *)
+
+val free : ?align:int -> t -> int -> int -> unit
+(** [free t off size] returns a region to the (volatile) free list.  Only
+    legal once no post-crash recovery can reference it. *)
+
+val live_bytes : t -> int
+val allocations : t -> int
+val frees : t -> int
+val arena : t -> Arena.t
+val cursor : t -> int

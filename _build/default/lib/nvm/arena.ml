@@ -1,0 +1,228 @@
+(* Simulated byte-addressable NVM with an explicit write-back cache.
+
+   Two byte buffers back each arena:
+   - [durable] is the NVM contents: the only state that survives {!crash}.
+   - [volatile] is what the CPU sees: [durable] plus all not-yet-written-back
+     cached stores.
+
+   A cached {!write} lands in [volatile] and marks its cacheline dirty.  It
+   becomes durable only when the line is written back by {!flush_line} /
+   {!flush_all} or when the store was issued as a non-temporal {!nt_write}.
+   {!crash} throws away every dirty line, exactly the failure REWIND's WAL
+   protocol must survive.
+
+   Cost model: every write that reaches NVM charges [nvm_write_ns] to the
+   calling domain's {!Clock}, with consecutive writes to one cacheline merged
+   into a single charge (the paper's accounting); {!fence} charges [fence_ns]
+   and breaks write-combining.
+
+   Crash injection: {!arm_crash} makes the [after]+1-th persistence event
+   raise {!Crash} *before* taking effect, so a test can enumerate every
+   intermediate durable state of an operation. *)
+
+exception Crash
+
+type t = {
+  size : int;
+  durable : Bytes.t;
+  volatile : Bytes.t;
+  dirty : Bytes.t;  (* one byte per cacheline: 0 clean, 1 dirty *)
+  line_shift : int;
+  config : Config.t;
+  stats : Stats.t;
+  mutable last_nvm_line : int;
+  mutable crash_countdown : int;  (* -1: disarmed *)
+  mutable crashed : bool;
+}
+
+let log2_exact n =
+  let rec go acc = function
+    | 1 -> acc
+    | m ->
+        if m land 1 <> 0 then invalid_arg "cacheline size must be a power of 2"
+        else go (acc + 1) (m lsr 1)
+  in
+  go 0 n
+
+(* The first [reserved_bytes] hold the root directory (see {!root_get}). *)
+let reserved_bytes = 512
+let root_slots = reserved_bytes / 8
+
+let create ?(config = Config.default ()) ~size_bytes () =
+  if size_bytes < reserved_bytes then invalid_arg "Arena.create: size too small";
+  let line = config.Config.cacheline_bytes in
+  let lines = (size_bytes + line - 1) / line in
+  {
+    size = size_bytes;
+    durable = Bytes.make size_bytes '\000';
+    volatile = Bytes.make size_bytes '\000';
+    dirty = Bytes.make lines '\000';
+    line_shift = log2_exact line;
+    config;
+    stats = Stats.create ();
+    last_nvm_line = -1;
+    crash_countdown = -1;
+    crashed = false;
+  }
+
+let size t = t.size
+let config t = t.config
+let stats t = t.stats
+let line_of t off = off lsr t.line_shift
+
+let check_bounds t off len =
+  if off < 0 || len < 0 || off + len > t.size then
+    Fmt.invalid_arg "Arena: access [%d,%d) outside arena of %d bytes" off
+      (off + len) t.size
+
+(* -- crash machinery ------------------------------------------------- *)
+
+let crash t =
+  Bytes.blit t.durable 0 t.volatile 0 t.size;
+  Bytes.fill t.dirty 0 (Bytes.length t.dirty) '\000';
+  t.last_nvm_line <- -1;
+  t.crash_countdown <- -1;
+  t.crashed <- true;
+  t.stats.Stats.crashes <- t.stats.Stats.crashes + 1
+
+let arm_crash t ~after =
+  if after < 0 then invalid_arg "Arena.arm_crash";
+  t.crash_countdown <- after
+
+let disarm_crash t = t.crash_countdown <- -1
+let crashed t = t.crashed
+let clear_crashed t = t.crashed <- false
+
+(* Called before every event that would make state durable.  When the
+   countdown expires the crash happens *instead of* the event. *)
+let persist_event t =
+  if t.crash_countdown >= 0 then
+    if t.crash_countdown = 0 then begin
+      crash t;
+      raise Crash
+    end
+    else t.crash_countdown <- t.crash_countdown - 1
+
+let charge_line_write t line =
+  if line <> t.last_nvm_line then begin
+    t.last_nvm_line <- line;
+    t.stats.Stats.nvm_writes <- t.stats.Stats.nvm_writes + 1;
+    Clock.advance t.config.Config.nvm_write_ns
+  end
+
+(* -- loads and cached stores ------------------------------------------ *)
+
+let read t off =
+  check_bounds t off 8;
+  t.stats.Stats.loads <- t.stats.Stats.loads + 1;
+  Clock.advance t.config.Config.dram_read_ns;
+  Bytes.get_int64_le t.volatile off
+
+let write t off v =
+  check_bounds t off 8;
+  t.stats.Stats.stores <- t.stats.Stats.stores + 1;
+  Clock.advance t.config.Config.dram_write_ns;
+  Bytes.set_int64_le t.volatile off v;
+  Bytes.unsafe_set t.dirty (line_of t off) '\001'
+
+let read_byte t off =
+  check_bounds t off 1;
+  t.stats.Stats.loads <- t.stats.Stats.loads + 1;
+  Clock.advance t.config.Config.dram_read_ns;
+  Char.code (Bytes.get t.volatile off)
+
+let write_byte t off v =
+  check_bounds t off 1;
+  t.stats.Stats.stores <- t.stats.Stats.stores + 1;
+  Clock.advance t.config.Config.dram_write_ns;
+  Bytes.set t.volatile off (Char.chr (v land 0xff));
+  Bytes.unsafe_set t.dirty (line_of t off) '\001'
+
+let read_bytes t off len =
+  check_bounds t off len;
+  t.stats.Stats.loads <- t.stats.Stats.loads + 1;
+  Clock.advance t.config.Config.dram_read_ns;
+  Bytes.sub_string t.volatile off len
+
+let write_bytes t off s =
+  let len = String.length s in
+  check_bounds t off len;
+  t.stats.Stats.stores <- t.stats.Stats.stores + 1;
+  Clock.advance t.config.Config.dram_write_ns;
+  Bytes.blit_string s 0 t.volatile off len;
+  let first = line_of t off and last = line_of t (off + max 0 (len - 1)) in
+  for l = first to last do
+    Bytes.unsafe_set t.dirty l '\001'
+  done
+
+(* -- durable stores ---------------------------------------------------- *)
+
+(* Non-temporal word store: bypasses the cache and is durable on arrival.
+   The word's cacheline may still be dirty from earlier cached stores to
+   *other* words of the line; those stay volatile. *)
+let nt_write t off v =
+  check_bounds t off 8;
+  persist_event t;
+  t.stats.Stats.nt_stores <- t.stats.Stats.nt_stores + 1;
+  Bytes.set_int64_le t.volatile off v;
+  Bytes.set_int64_le t.durable off v;
+  charge_line_write t (line_of t off)
+
+let flush_line t off =
+  check_bounds t off 1;
+  let line = line_of t off in
+  if Bytes.unsafe_get t.dirty line = '\001' then begin
+    persist_event t;
+    t.stats.Stats.flushes <- t.stats.Stats.flushes + 1;
+    let base = line lsl t.line_shift in
+    let len = min (1 lsl t.line_shift) (t.size - base) in
+    Bytes.blit t.volatile base t.durable base len;
+    Bytes.unsafe_set t.dirty line '\000';
+    charge_line_write t line
+  end
+
+let flush_range t off len =
+  if len > 0 then begin
+    check_bounds t off len;
+    let first = line_of t off and last = line_of t (off + len - 1) in
+    for l = first to last do
+      flush_line t (l lsl t.line_shift)
+    done
+  end
+
+let flush_all t =
+  for l = 0 to Bytes.length t.dirty - 1 do
+    if Bytes.unsafe_get t.dirty l = '\001' then flush_line t (l lsl t.line_shift)
+  done
+
+let fence t =
+  t.stats.Stats.fences <- t.stats.Stats.fences + 1;
+  t.last_nvm_line <- -1;
+  Clock.advance t.config.Config.fence_ns
+
+(* Persist barrier: flush the word's line and fence.  The common "make this
+   update durable now" sequence. *)
+let persist t off len =
+  flush_range t off len;
+  fence t
+
+(* -- root directory ---------------------------------------------------- *)
+
+let root_off slot =
+  if slot < 1 || slot >= root_slots then invalid_arg "Arena: bad root slot";
+  slot * 8
+
+let root_get t slot = read t (root_off slot)
+
+let root_set t slot v =
+  (* Roots anchor whole structures; they are always written durably. *)
+  nt_write t (root_off slot) v;
+  fence t
+
+(* -- test/debug access to the durable image ---------------------------- *)
+
+let durable_read t off =
+  check_bounds t off 8;
+  Bytes.get_int64_le t.durable off
+
+let is_dirty t off = Bytes.unsafe_get t.dirty (line_of t off) = '\001'

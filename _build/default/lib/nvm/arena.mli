@@ -1,0 +1,80 @@
+(** Simulated byte-addressable NVM with an explicit write-back cache.
+
+    An arena holds two images: the durable NVM contents and the volatile CPU
+    view (NVM plus dirty cachelines).  Cached stores become durable only via
+    {!flush_line}/{!flush_all}; {!nt_write} is durable immediately.  {!crash}
+    discards every dirty line, modelling a power failure.
+
+    Each write that reaches NVM charges the cost model's write latency to the
+    calling domain's {!Clock}, merging consecutive writes to one cacheline.
+    {!fence} charges the fence latency and breaks write-combining. *)
+
+type t
+
+exception Crash
+(** Raised by an armed arena (see {!arm_crash}) when the crash point is hit.
+    The arena has already transitioned to its post-crash state. *)
+
+val create : ?config:Config.t -> size_bytes:int -> unit -> t
+val size : t -> int
+val config : t -> Config.t
+val stats : t -> Stats.t
+
+(** {1 Loads and cached stores} *)
+
+val read : t -> int -> int64
+(** [read t off] loads the word at byte offset [off] (volatile view). *)
+
+val write : t -> int -> int64 -> unit
+(** [write t off v] is a cached store: volatile until its line is flushed. *)
+
+val read_byte : t -> int -> int
+val write_byte : t -> int -> int -> unit
+val read_bytes : t -> int -> int -> string
+val write_bytes : t -> int -> string -> unit
+
+(** {1 Durable stores} *)
+
+val nt_write : t -> int -> int64 -> unit
+(** Non-temporal store: durable on arrival, one persistence event. *)
+
+val flush_line : t -> int -> unit
+(** Write back the cacheline containing the offset, if dirty. *)
+
+val flush_range : t -> int -> int -> unit
+val flush_all : t -> unit
+
+val fence : t -> unit
+(** Persistent memory fence: orders and charges [fence_ns]. *)
+
+val persist : t -> int -> int -> unit
+(** [persist t off len] flushes the range and fences. *)
+
+(** {1 Crash simulation} *)
+
+val crash : t -> unit
+(** Discard all dirty lines; only durable state remains visible. *)
+
+val arm_crash : t -> after:int -> unit
+(** Make the [after]+1-th persistence event (non-temporal store or dirty-line
+    flush) raise {!Crash} instead of taking effect. *)
+
+val disarm_crash : t -> unit
+val crashed : t -> bool
+val clear_crashed : t -> unit
+
+(** {1 Root directory}
+
+    Sixty-three durable word slots at fixed offsets, used to anchor
+    persistent structures across crashes. *)
+
+val root_get : t -> int -> int64
+val root_set : t -> int -> int64 -> unit
+val reserved_bytes : int
+
+(** {1 Test helpers} *)
+
+val durable_read : t -> int -> int64
+(** Read the durable image directly, bypassing the cache (tests only). *)
+
+val is_dirty : t -> int -> bool

@@ -1,0 +1,34 @@
+(* Simulated nanosecond clocks.
+
+   Single-threaded benchmarks read one clock; multi-threaded benchmarks
+   (Figure 9, Figure 11) give each domain its own clock and model lock
+   contention with {!Sim_mutex}, taking the maximum across domains as the
+   run duration.  Each domain transparently gets its own counter through
+   domain-local storage, so library code simply calls {!advance}. *)
+
+type t = { mutable ns : int }
+
+let key : t Domain.DLS.key = Domain.DLS.new_key (fun () -> { ns = 0 })
+let current () = Domain.DLS.get key
+let advance ns = (current ()).ns <- (current ()).ns + ns
+let now () = (current ()).ns
+let set ns = (current ()).ns <- ns
+let reset () = set 0
+
+(* Bring the calling domain's clock up to at least [ns]; used when a
+   simulated lock was released at a later simulated time than the acquiring
+   domain has reached. *)
+let advance_to ns =
+  let c = current () in
+  if ns > c.ns then c.ns <- ns
+
+type span = { start : int }
+
+let start () = { start = now () }
+let elapsed s = now () - s.start
+
+let pp_ns ppf ns =
+  if ns >= 1_000_000_000 then Fmt.pf ppf "%.3fs" (float_of_int ns /. 1e9)
+  else if ns >= 1_000_000 then Fmt.pf ppf "%.3fms" (float_of_int ns /. 1e6)
+  else if ns >= 1_000 then Fmt.pf ppf "%.3fus" (float_of_int ns /. 1e3)
+  else Fmt.pf ppf "%dns" ns

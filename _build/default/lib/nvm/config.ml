@@ -1,0 +1,52 @@
+(* Cost-model parameters of the simulated NVM, mirroring the emulation
+   methodology of REWIND's evaluation (Section 5): every write that reaches
+   NVM is charged a fixed latency, consecutive writes to the same cacheline
+   are merged into a single charge, and persistent memory fences carry their
+   own latency.  All latencies are in nanoseconds of simulated time. *)
+
+type t = {
+  mutable nvm_write_ns : int;
+      (** Latency of one cacheline-granularity write reaching NVM.  The
+          paper uses 510 cycles at 2.5 GHz, i.e. ~150 ns. *)
+  mutable fence_ns : int;
+      (** Latency of a persistent memory fence.  Figure 10 sweeps this
+          parameter between 0 and 5 us. *)
+  mutable dram_write_ns : int;
+      (** Latency of a cached (volatile) CPU store. *)
+  mutable dram_read_ns : int;
+      (** Latency of a CPU load.  The paper models NVM reads as fast as
+          DRAM reads, so a single knob covers both. *)
+  mutable cacheline_bytes : int;  (** Cacheline size; 64 on the paper's hardware. *)
+  mutable read_miss_ns : int;
+      (** Latency of a pointer-chasing load that misses the cache (tree
+          descents, linked-list walks). *)
+  mutable read_seq_ns : int;
+      (** Amortised latency of a sequential, prefetch-friendly scan load
+          (bucketed-log scans). *)
+}
+
+let default () =
+  {
+    nvm_write_ns = 150;
+    fence_ns = 100;
+    dram_write_ns = 1;
+    dram_read_ns = 1;
+    cacheline_bytes = 64;
+    read_miss_ns = 60;
+    read_seq_ns = 8;
+  }
+
+let copy c =
+  {
+    nvm_write_ns = c.nvm_write_ns;
+    fence_ns = c.fence_ns;
+    dram_write_ns = c.dram_write_ns;
+    dram_read_ns = c.dram_read_ns;
+    cacheline_bytes = c.cacheline_bytes;
+    read_miss_ns = c.read_miss_ns;
+    read_seq_ns = c.read_seq_ns;
+  }
+
+let pp ppf c =
+  Fmt.pf ppf "{nvm_write=%dns; fence=%dns; dram_write=%dns; cacheline=%dB}"
+    c.nvm_write_ns c.fence_ns c.dram_write_ns c.cacheline_bytes

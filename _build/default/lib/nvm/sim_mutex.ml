@@ -1,0 +1,75 @@
+(* A mutex that models contention in simulated time.
+
+   Two operating modes:
+
+   - Under the {!Sim_threads} fiber scheduler (the benchmark harness):
+     mutual exclusion is cooperative.  A fiber that finds the lock held
+     advances its clock just past the holder's progress and yields; once
+     free, acquiring pulls the fiber's clock up to the last release time.
+     Contention is thus resolved at lock-section granularity in simulated
+     time.
+
+   - Under real domains (or plain single-threaded code): a real [Mutex]
+     provides exclusion and the release-time rule alone models waiting —
+     a domain whose clock is behind the last release is pulled forward,
+     which is how serialisation on REWIND's log latch (Section 4.7) and
+     the baselines' coarse locks show up in the multithreaded figures. *)
+
+type t = {
+  mu : Mutex.t;
+  mutable released_at : int;  (* simulated ns of the last release *)
+  mutable holder : int;       (* fiber id, -1 when free (fiber mode only) *)
+  acquire_ns : int;           (* fixed cost of the lock operation itself *)
+  contention_free : bool;
+      (* model a lock-free fast path: pay the CAS, never wait.  Real
+         mutual exclusion is still provided (real mutex under domains;
+         no preemption inside the section under the fiber scheduler). *)
+}
+
+let create ?(acquire_ns = 20) ?(contention_free = false) () =
+  { mu = Mutex.create (); released_at = 0; holder = -1; acquire_ns; contention_free }
+
+let lock t =
+  if t.contention_free then begin
+    (* lock-free fast path: CAS cost only, no simulated waiting *)
+    if not (Sim_threads.active ()) then Mutex.lock t.mu;
+    Clock.advance t.acquire_ns
+  end
+  else if Sim_threads.active () then begin
+    (* Reschedule first: a fiber with a smaller clock must reach this
+       point before us in simulated time, so lock acquisitions are
+       processed in (near) simulated-time order. *)
+    Sim_threads.yield ();
+    while t.holder >= 0 do
+      (* Busy in simulated time: catch up to the holder and let it run. *)
+      Clock.advance_to (Sim_threads.clock_of t.holder + 1);
+      Sim_threads.yield ()
+    done;
+    t.holder <- Sim_threads.current ();
+    Clock.advance_to t.released_at;
+    Clock.advance t.acquire_ns
+  end
+  else begin
+    Mutex.lock t.mu;
+    Clock.advance_to t.released_at;
+    Clock.advance t.acquire_ns
+  end
+
+let unlock t =
+  if t.contention_free then begin
+    if not (Sim_threads.active ()) then Mutex.unlock t.mu
+  end
+  else begin
+    t.released_at <- Clock.now ();
+    if t.holder >= 0 then t.holder <- -1 else Mutex.unlock t.mu
+  end
+
+let with_lock t f =
+  lock t;
+  match f () with
+  | v ->
+      unlock t;
+      v
+  | exception e ->
+      unlock t;
+      raise e

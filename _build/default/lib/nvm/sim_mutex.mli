@@ -1,0 +1,20 @@
+(** A mutex that models contention in simulated time.
+
+    Under the {!Sim_threads} fiber scheduler, exclusion is cooperative: a
+    fiber reaching a busy lock advances past the holder's progress and
+    yields; acquiring pulls the fiber's clock to the last release time.
+    Under real domains, a real [Mutex] provides exclusion and the
+    release-time rule models the waiting. *)
+
+type t
+
+val create : ?acquire_ns:int -> ?contention_free:bool -> unit -> t
+(** [acquire_ns] is the fixed simulated cost of the lock operation itself
+    (default 20 ns).  [contention_free] models a lock-free fast path (the
+    paper's Section 7 future work): the acquirer pays only the CAS cost
+    and never waits in simulated time, while real mutual exclusion is
+    still provided. *)
+
+val lock : t -> unit
+val unlock : t -> unit
+val with_lock : t -> (unit -> 'a) -> 'a

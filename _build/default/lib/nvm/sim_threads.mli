@@ -1,0 +1,28 @@
+(** Simulated multithreading: conservative discrete-event execution of
+    logical threads as cooperative fibers (OCaml effects) on one domain.
+
+    The scheduler always resumes the fiber with the smallest simulated
+    clock; fibers yield between operations and inside {!Sim_mutex.lock},
+    so lock contention is resolved at lock-section granularity in
+    simulated time.  Deterministic. *)
+
+val run : threads:int -> ops_per_thread:int -> (int -> int -> unit) -> int
+(** [run ~threads ~ops_per_thread f] executes [f thread op_index] for
+    every operation of every fiber; an operation's cost is whatever it
+    advances the clock by.  Returns the slowest fiber's finish time
+    relative to the common start.  The clock is never moved backwards —
+    lock release times stamped during setup stay on the same timeline. *)
+
+(** {1 Scheduler state} (used by {!Sim_mutex}) *)
+
+val active : unit -> bool
+(** Whether a fiber scheduler is currently running on this domain. *)
+
+val current : unit -> int
+(** The running fiber's id. *)
+
+val clock_of : int -> int
+(** A fiber's current simulated clock. *)
+
+val yield : unit -> unit
+(** Reschedule (no-op outside a scheduler). *)

@@ -1,0 +1,50 @@
+(* Operation counters for the simulated NVM.  Benchmarks report these next
+   to simulated durations; tests use them to assert cost properties such as
+   "batched logging issues one fence per [group] records". *)
+
+type t = {
+  mutable nvm_writes : int;  (** cacheline-granularity writes that reached NVM *)
+  mutable nt_stores : int;   (** non-temporal word stores issued *)
+  mutable flushes : int;     (** explicit cacheline write-backs *)
+  mutable fences : int;      (** persistent memory fences *)
+  mutable loads : int;       (** CPU loads *)
+  mutable stores : int;      (** cached CPU stores *)
+  mutable crashes : int;     (** simulated crashes *)
+}
+
+let create () =
+  {
+    nvm_writes = 0;
+    nt_stores = 0;
+    flushes = 0;
+    fences = 0;
+    loads = 0;
+    stores = 0;
+    crashes = 0;
+  }
+
+let reset s =
+  s.nvm_writes <- 0;
+  s.nt_stores <- 0;
+  s.flushes <- 0;
+  s.fences <- 0;
+  s.loads <- 0;
+  s.stores <- 0;
+  s.crashes <- 0
+
+let diff a b =
+  {
+    nvm_writes = a.nvm_writes - b.nvm_writes;
+    nt_stores = a.nt_stores - b.nt_stores;
+    flushes = a.flushes - b.flushes;
+    fences = a.fences - b.fences;
+    loads = a.loads - b.loads;
+    stores = a.stores - b.stores;
+    crashes = a.crashes - b.crashes;
+  }
+
+let snapshot s = { s with nvm_writes = s.nvm_writes }
+
+let pp ppf s =
+  Fmt.pf ppf "nvm_writes=%d nt=%d flushes=%d fences=%d loads=%d stores=%d"
+    s.nvm_writes s.nt_stores s.flushes s.fences s.loads s.stores

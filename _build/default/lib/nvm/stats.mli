@@ -1,0 +1,19 @@
+(** Operation counters for the simulated NVM: benchmarks report them next
+    to simulated durations; tests assert cost properties with them (e.g.
+    "batched logging issues one fence per group"). *)
+
+type t = {
+  mutable nvm_writes : int;  (** cacheline-granularity writes that reached NVM *)
+  mutable nt_stores : int;   (** non-temporal word stores issued *)
+  mutable flushes : int;     (** explicit cacheline write-backs *)
+  mutable fences : int;      (** persistent memory fences *)
+  mutable loads : int;       (** CPU loads *)
+  mutable stores : int;      (** cached CPU stores *)
+  mutable crashes : int;     (** simulated crashes *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val diff : t -> t -> t
+val snapshot : t -> t
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/pds/btree.ml: Alloc Arena Clock Config Int64 List Rewind Rewind_nvm Tm

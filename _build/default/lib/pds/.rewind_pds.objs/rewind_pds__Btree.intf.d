@@ -1,0 +1,1 @@
+lib/pds/btree.mli: Rewind Rewind_nvm

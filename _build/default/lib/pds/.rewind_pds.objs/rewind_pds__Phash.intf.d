@@ -1,0 +1,1 @@
+lib/pds/phash.mli: Rewind Rewind_nvm

@@ -1,0 +1,1 @@
+lib/pds/plist.mli: Rewind Rewind_nvm

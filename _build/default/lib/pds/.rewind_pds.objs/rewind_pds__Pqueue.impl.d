@@ -1,0 +1,1 @@
+lib/pds/pqueue.ml: Alloc Arena Int64 List Rewind Rewind_nvm Tm

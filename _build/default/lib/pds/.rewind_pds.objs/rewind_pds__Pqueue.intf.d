@@ -1,0 +1,1 @@
+lib/pds/pqueue.mli: Rewind Rewind_nvm

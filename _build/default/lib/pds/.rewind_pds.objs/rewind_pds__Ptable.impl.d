@@ -1,0 +1,1 @@
+lib/pds/ptable.ml: Alloc Arena Rewind Rewind_nvm Tm

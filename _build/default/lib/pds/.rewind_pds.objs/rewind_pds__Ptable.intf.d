@@ -1,0 +1,1 @@
+lib/pds/ptable.mli: Rewind Rewind_nvm

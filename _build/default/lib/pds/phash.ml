@@ -1,0 +1,103 @@
+(* A persistent chained hash table over REWIND — an "arbitrary persistent
+   data structure" beyond those evaluated in the paper, exercising the same
+   API (fixed bucket directory in NVM; separate chaining; transactional
+   insert/remove/update).
+
+   Bucket directory: [nbuckets] words.  Chain node: key, value, next. *)
+
+open Rewind_nvm
+open Rewind
+
+let node_bytes = 24
+let o_key = 0
+let o_value = 8
+let o_next = 16
+
+type t = {
+  tm : Tm.t;
+  arena : Arena.t;
+  alloc : Alloc.t;
+  dir : int;  (* first bucket word *)
+  nbuckets : int;
+}
+
+let create ?(nbuckets = 256) tm alloc =
+  let arena = Alloc.arena alloc in
+  let dir = Alloc.alloc_fresh ~align:64 alloc (8 * nbuckets) in
+  { tm; arena; alloc; dir; nbuckets }
+
+let attach ?(nbuckets = 256) tm alloc ~dir =
+  { tm; arena = Alloc.arena alloc; alloc; dir; nbuckets }
+
+let dir t = t.dir
+
+let bucket_of t k =
+  let h = Int64.to_int (Int64.logand k 0x3fffffffffffffffL) in
+  let h = (h * 2654435761) land max_int in
+  t.dir + (8 * (h mod t.nbuckets))
+
+let rd t off = Int64.to_int (Arena.read t.arena off)
+
+let find_node t k =
+  let rec go n =
+    if n = 0 then 0
+    else if Arena.read t.arena (n + o_key) = k then n
+    else go (rd t (n + o_next))
+  in
+  go (rd t (bucket_of t k))
+
+let lookup t k =
+  let n = find_node t k in
+  if n = 0 then None else Some (Arena.read t.arena (n + o_value))
+
+let mem t k = lookup t k <> None
+
+(* Insert or update within an open transaction. *)
+let put t txn k v =
+  let n = find_node t k in
+  if n <> 0 then Tm.write t.tm txn ~addr:(n + o_value) ~value:v
+  else begin
+    let b = bucket_of t k in
+    let fresh = Alloc.alloc t.alloc node_bytes in
+    Arena.nt_write t.arena (fresh + o_key) k;
+    Arena.nt_write t.arena (fresh + o_value) v;
+    Arena.nt_write t.arena (fresh + o_next) (Arena.read t.arena b);
+    (* one logged write links the node *)
+    Tm.write t.tm txn ~addr:b ~value:(Int64.of_int fresh)
+  end
+
+let remove t txn k =
+  let b = bucket_of t k in
+  let rec go prev n =
+    if n = 0 then false
+    else if Arena.read t.arena (n + o_key) = k then begin
+      let nx = Arena.read t.arena (n + o_next) in
+      (if prev = 0 then Tm.write t.tm txn ~addr:b ~value:nx
+       else Tm.write t.tm txn ~addr:(prev + o_next) ~value:nx);
+      Tm.log_delete t.tm txn ~addr:n ~size:node_bytes;
+      true
+    end
+    else go n (rd t (n + o_next))
+  in
+  go 0 (rd t b)
+
+let iter t f =
+  for b = 0 to t.nbuckets - 1 do
+    let rec go n =
+      if n <> 0 then begin
+        f (Arena.read t.arena (n + o_key)) (Arena.read t.arena (n + o_value));
+        go (rd t (n + o_next))
+      end
+    in
+    go (rd t (t.dir + (8 * b)))
+  done
+
+let size t =
+  let n = ref 0 in
+  iter t (fun _ _ -> incr n);
+  !n
+
+let bindings t =
+  let acc = ref [] in
+  iter t (fun k v -> acc := (k, v) :: !acc);
+  List.sort compare !acc

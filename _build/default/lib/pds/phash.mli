@@ -1,0 +1,20 @@
+(** A persistent chained hash table over REWIND: a fixed bucket directory
+    in NVM with separate chaining, every mutation transactional.  An
+    "arbitrary persistent data structure" beyond those the paper
+    evaluates, exercising the same API surface. *)
+
+type t
+
+val create : ?nbuckets:int -> Rewind.Tm.t -> Rewind_nvm.Alloc.t -> t
+val attach : ?nbuckets:int -> Rewind.Tm.t -> Rewind_nvm.Alloc.t -> dir:int -> t
+val dir : t -> int
+
+val put : t -> Rewind.Tm.txn -> int64 -> int64 -> unit
+(** Insert or update within an open transaction. *)
+
+val remove : t -> Rewind.Tm.txn -> int64 -> bool
+val lookup : t -> int64 -> int64 option
+val mem : t -> int64 -> bool
+val iter : t -> (int64 -> int64 -> unit) -> unit
+val size : t -> int
+val bindings : t -> (int64 * int64) list

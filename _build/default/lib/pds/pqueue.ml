@@ -1,0 +1,98 @@
+(* A persistent FIFO queue over REWIND: a transactional producer/consumer
+   structure of the kind the paper's introduction motivates (task queues,
+   message logs, outboxes whose contents must survive crashes together
+   with the state they describe).
+
+   Built on the recoverable doubly-linked list pattern of Listings 1/2:
+   enqueue appends at the tail, dequeue unlinks at the head; both are
+   ordinary logged updates inside the caller's transaction, so an enqueue
+   and the work that produced it commit or vanish together.
+
+   Node layout: value, next (singly linked, head-to-tail), two root cells
+   (head, tail). *)
+
+open Rewind_nvm
+open Rewind
+
+let node_bytes = 16
+let o_value = 0
+let o_next = 8
+
+type t = {
+  tm : Tm.t;
+  arena : Arena.t;
+  alloc : Alloc.t;
+  head_cell : int;
+  tail_cell : int;
+}
+
+let create tm alloc =
+  let arena = Alloc.arena alloc in
+  let head_cell = Alloc.alloc_fresh alloc 8 in
+  let tail_cell = Alloc.alloc_fresh alloc 8 in
+  { tm; arena; alloc; head_cell; tail_cell }
+
+let attach tm alloc ~head_cell ~tail_cell =
+  { tm; arena = Alloc.arena alloc; alloc; head_cell; tail_cell }
+
+let head_cell t = t.head_cell
+let tail_cell t = t.tail_cell
+let rd t off = Int64.to_int (Arena.read t.arena off)
+let is_empty t = rd t t.head_cell = 0
+
+let enqueue t txn v =
+  (* fresh node, durably initialised before it becomes reachable *)
+  let n = Alloc.alloc t.alloc node_bytes in
+  Arena.nt_write t.arena (n + o_value) v;
+  Arena.nt_write t.arena (n + o_next) 0L;
+  let tl = rd t t.tail_cell in
+  if tl = 0 then Tm.write t.tm txn ~addr:t.head_cell ~value:(Int64.of_int n)
+  else Tm.write t.tm txn ~addr:(tl + o_next) ~value:(Int64.of_int n);
+  Tm.write t.tm txn ~addr:t.tail_cell ~value:(Int64.of_int n)
+
+let peek t =
+  let h = rd t t.head_cell in
+  if h = 0 then None else Some (Arena.read t.arena (h + o_value))
+
+let dequeue t txn =
+  let h = rd t t.head_cell in
+  if h = 0 then None
+  else begin
+    let v = Arena.read t.arena (h + o_value) in
+    let nx = rd t (h + o_next) in
+    Tm.write t.tm txn ~addr:t.head_cell ~value:(Int64.of_int nx);
+    if nx = 0 then Tm.write t.tm txn ~addr:t.tail_cell ~value:0L;
+    (* the node's memory goes back only after the dequeue commits *)
+    Tm.log_delete t.tm txn ~addr:h ~size:node_bytes;
+    Some v
+  end
+
+let iter t f =
+  let rec go n =
+    if n <> 0 then begin
+      f (Arena.read t.arena (n + o_value));
+      go (rd t (n + o_next))
+    end
+  in
+  go (rd t t.head_cell)
+
+let length t =
+  let n = ref 0 in
+  iter t (fun _ -> incr n);
+  !n
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun v -> acc := v :: !acc);
+  List.rev !acc
+
+let well_formed t =
+  (* tail reachable from head and actually last *)
+  let h = rd t t.head_cell and tl = rd t t.tail_cell in
+  if h = 0 then tl = 0
+  else begin
+    let last = ref 0 in
+    let rec go n = if n <> 0 then begin last := n; go (rd t (n + o_next)) end in
+    go h;
+    !last = tl && rd t (tl + o_next) = 0
+  end

@@ -1,0 +1,20 @@
+(** A persistent FIFO queue over REWIND: enqueue/dequeue are ordinary
+    logged updates inside the caller's transaction, so a message and the
+    work that produced it commit or vanish together.  Dequeued node memory
+    is reclaimed only after the dequeue commits (DELETE records). *)
+
+type t
+
+val create : Rewind.Tm.t -> Rewind_nvm.Alloc.t -> t
+val attach : Rewind.Tm.t -> Rewind_nvm.Alloc.t -> head_cell:int -> tail_cell:int -> t
+val head_cell : t -> int
+val tail_cell : t -> int
+
+val enqueue : t -> Rewind.Tm.txn -> int64 -> unit
+val dequeue : t -> Rewind.Tm.txn -> int64 option
+val peek : t -> int64 option
+val is_empty : t -> bool
+val length : t -> int
+val iter : t -> (int64 -> unit) -> unit
+val to_list : t -> int64 list
+val well_formed : t -> bool

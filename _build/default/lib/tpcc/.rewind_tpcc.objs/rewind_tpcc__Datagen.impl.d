@@ -1,0 +1,1 @@
+lib/tpcc/datagen.ml: Array Btree Int64 Rewind_pds Rng Schema

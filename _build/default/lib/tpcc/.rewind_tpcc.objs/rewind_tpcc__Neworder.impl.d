@@ -1,0 +1,1 @@
+lib/tpcc/neworder.ml: Array Btree Int64 List Rewind Rewind_nvm Rewind_pds Rng Schema

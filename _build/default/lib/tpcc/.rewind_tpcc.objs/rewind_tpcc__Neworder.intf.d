@@ -1,0 +1,1 @@
+lib/tpcc/neworder.mli: Rewind Rng Schema

@@ -1,0 +1,1 @@
+lib/tpcc/payment.ml: Array Btree Int64 Option Rewind Rewind_nvm Rewind_pds Rng Schema

@@ -1,0 +1,1 @@
+lib/tpcc/payment.mli: Rewind Rng Schema

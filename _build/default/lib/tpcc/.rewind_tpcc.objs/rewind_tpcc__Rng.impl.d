@@ -1,0 +1,1 @@
+lib/tpcc/rng.ml: Int64

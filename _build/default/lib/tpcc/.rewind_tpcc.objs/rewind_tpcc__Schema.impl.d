@@ -1,0 +1,1 @@
+lib/tpcc/schema.ml: Alloc Arena Array Btree Int64 Rewind Rewind_nvm Rewind_pds

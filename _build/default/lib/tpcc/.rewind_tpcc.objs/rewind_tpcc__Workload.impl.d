@@ -1,0 +1,1 @@
+lib/tpcc/workload.ml: Alloc Arena Array Datagen Fmt Int64 Neworder Rewind Rewind_nvm Rewind_pds Rng Schema Sim_mutex Sim_threads

@@ -1,0 +1,1 @@
+lib/tpcc/workload.mli: Datagen Fmt Rewind Schema

@@ -1,0 +1,53 @@
+(* TPC-C initial population, scale factor 1 (scaled item/customer counts
+   are configurable so tests and quick benches stay fast).  Loading writes
+   rows with raw durable stores and inserts tree entries through a
+   throwaway transaction of the provided loader mode — the benchmark then
+   reattaches the trees in the measured persistence mode. *)
+
+open Rewind_pds
+
+type params = {
+  items : int;          (* TPC-C: 100_000 *)
+  customers_per_district : int;  (* TPC-C: 3_000 *)
+  initial_orders : int;  (* pre-existing orders per district *)
+}
+
+let default = { items = 100_000; customers_per_district = 3_000; initial_orders = 0 }
+let small = { items = 2_000; customers_per_district = 100; initial_orders = 0 }
+
+(* Populate [db]; the trees must be in a raw mode (Dram / Direct_nvm) or a
+   logged mode whose transaction [txn] is provided by the caller. *)
+let load ?(params = default) db txn =
+  let rng = Rng.create 42 in
+  (* warehouse + districts *)
+  for d = 1 to Schema.districts do
+    let row = Schema.new_row db Schema.district_words in
+    db.Schema.districts_rows.(d) <- row;
+    Schema.row_set_raw db row Schema.d_tax (Int64.of_int (Rng.int rng 0 2000));
+    Schema.row_set_raw db row Schema.d_ytd 0L;
+    Schema.row_set_raw db row Schema.d_next_o_id
+      (Int64.of_int (params.initial_orders + 1));
+    Schema.row_set_raw db row Schema.d_next_h_id 1L
+  done;
+  (* customers *)
+  for d = 1 to Schema.districts do
+    for c = 1 to params.customers_per_district do
+      let row = Schema.new_row db Schema.customer_words in
+      Schema.row_set_raw db row Schema.c_discount
+        (Int64.of_int (Rng.int rng 0 5000));
+      Schema.row_set_raw db row Schema.c_balance 0L;
+      Btree.insert db.Schema.customer txn (Schema.key_customer d c)
+        (Int64.of_int row)
+    done
+  done;
+  (* items and stock *)
+  for i = 1 to params.items do
+    let irow = Schema.new_row db Schema.item_words in
+    Schema.row_set_raw db irow Schema.i_price
+      (Int64.of_int (Rng.int rng 100 10000));
+    Btree.insert db.Schema.item txn (Schema.key_item i) (Int64.of_int irow);
+    let srow = Schema.new_row db Schema.stock_words in
+    Schema.row_set_raw db srow Schema.s_quantity
+      (Int64.of_int (Rng.int rng 10 100));
+    Btree.insert db.Schema.stock txn (Schema.key_stock i) (Int64.of_int srow)
+  done

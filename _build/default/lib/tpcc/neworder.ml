@@ -1,0 +1,116 @@
+(* The TPC-C new-order transaction — the paper's Section 5.3 workload: the
+   most write-intensive TPC-C transaction and the backbone of the full mix.
+
+   Per the spec: pick a district and customer, draw 5-15 order lines with
+   NURand item ids, increment the district's next-order id, insert the
+   order / new-order rows, and for every line read the item, update the
+   stock row and insert an order-line row.  One percent of transactions
+   reference an invalid item and must roll back; the paper's
+   non-recoverable NVM configuration simply abandons them mid-flight. *)
+
+open Rewind_pds
+
+exception Invalid_item
+
+type line = { li_item : int; li_qty : int }
+
+type request = {
+  rq_district : int;
+  rq_customer : int;
+  rq_lines : line list;
+  rq_invalid : bool;  (* the 1 % rollback case *)
+}
+
+let gen_request ?(district = 0) rng ~items =
+  let d = if district > 0 then district else Rng.int rng 1 Schema.districts in
+  let n_lines = Rng.int rng 5 15 in
+  {
+    rq_district = d;
+    rq_customer = Rng.int rng 1 100;
+    rq_lines =
+      List.init n_lines (fun _ ->
+          { li_item = 1 + Rng.nurand rng 8191 0 (items - 1); li_qty = Rng.int rng 1 10 });
+    rq_invalid = Rng.int rng 1 100 = 1;
+  }
+
+(* Application-level work per request: row construction, key encoding,
+   price arithmetic, terminal handling — present identically in the raw
+   and the transactional executions. *)
+let request_work_ns rq = 10_000 + (12_000 * List.length rq.rq_lines)
+
+(* The body, parameterised over how rows and trees are written.  [txn] is 0
+   for raw (non-transactional) execution. *)
+let body db tm_opt txn rq =
+  Rewind_nvm.Clock.advance (request_work_ns rq);
+  let d = rq.rq_district in
+  let drow = db.Schema.districts_rows.(d) in
+  let set row field v =
+    match tm_opt with
+    | Some tm -> Schema.row_set db tm txn row field v
+    | None -> Schema.row_set_raw db row field v
+  in
+  (* district: allocate the order id *)
+  let o_id = Int64.to_int (Schema.row_get db drow Schema.d_next_o_id) in
+  set drow Schema.d_next_o_id (Int64.of_int (o_id + 1));
+  (* orders + new-order *)
+  let orow = Schema.new_row db Schema.order_words in
+  Schema.row_set_raw db orow Schema.o_c_id (Int64.of_int rq.rq_customer);
+  Schema.row_set_raw db orow Schema.o_ol_cnt
+    (Int64.of_int (List.length rq.rq_lines));
+  Btree.insert (Schema.order_tree db d) txn (Schema.key_order db d o_id)
+    (Int64.of_int orow);
+  Btree.insert (Schema.new_order_tree db d) txn (Schema.key_order db d o_id)
+    (Int64.of_int o_id);
+  (* order lines *)
+  List.iteri
+    (fun ol line ->
+      match Btree.lookup db.Schema.item (Schema.key_item line.li_item) with
+      | None -> raise Invalid_item
+      | Some irow_v ->
+          let irow = Int64.to_int irow_v in
+          let price = Schema.row_get db irow Schema.i_price in
+          let srow =
+            match Btree.lookup db.Schema.stock (Schema.key_stock line.li_item) with
+            | Some v -> Int64.to_int v
+            | None -> raise Invalid_item
+          in
+          (* stock update *)
+          let q = Int64.to_int (Schema.row_get db srow Schema.s_quantity) in
+          let q' = if q - line.li_qty >= 10 then q - line.li_qty else q - line.li_qty + 91 in
+          set srow Schema.s_quantity (Int64.of_int q');
+          set srow Schema.s_ytd
+            (Int64.add (Schema.row_get db srow Schema.s_ytd) (Int64.of_int line.li_qty));
+          set srow Schema.s_order_cnt
+            (Int64.add (Schema.row_get db srow Schema.s_order_cnt) 1L);
+          (* order line *)
+          let lrow = Schema.new_row db Schema.order_line_words in
+          Schema.row_set_raw db lrow Schema.ol_i_id (Int64.of_int line.li_item);
+          Schema.row_set_raw db lrow Schema.ol_quantity (Int64.of_int line.li_qty);
+          Schema.row_set_raw db lrow Schema.ol_amount
+            (Int64.mul price (Int64.of_int line.li_qty));
+          Btree.insert (Schema.order_line_tree db d) txn
+            (Schema.key_order_line db d o_id (ol + 1))
+            (Int64.of_int lrow))
+    rq.rq_lines;
+  (* the 1 % invalid-item case aborts after doing real work *)
+  if rq.rq_invalid then raise Invalid_item
+
+type outcome = Committed | Aborted
+
+(* Transactional execution over REWIND: commit, or roll back on the
+   invalid-item abort. *)
+let run_transactional db tm rq =
+  let txn = Rewind.Tm.begin_txn tm in
+  match body db (Some tm) txn rq with
+  | () ->
+      Rewind.Tm.commit tm txn;
+      Committed
+  | exception Invalid_item ->
+      Rewind.Tm.rollback tm txn;
+      Aborted
+
+(* Non-recoverable execution: aborted transactions are abandoned (their
+   partial effects remain — the paper's "considered non-recoverable and
+   ignored"). *)
+let run_raw db rq =
+  match body db None 0 rq with () -> Committed | exception Invalid_item -> Aborted

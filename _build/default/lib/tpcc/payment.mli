@@ -1,0 +1,13 @@
+(** The TPC-C payment transaction — an extension beyond the paper's
+    new-order-only evaluation: updates the district's year-to-date total
+    and the customer's balance/statistics, and appends a history row. *)
+
+type request = { p_district : int; p_customer : int; p_amount : int }
+
+val gen_request : ?district:int -> Rng.t -> request
+
+val run_transactional : Schema.db -> Rewind.Tm.t -> request -> unit
+val run_raw : Schema.db -> request -> unit
+
+val check_consistency : Schema.db -> bool
+(** Per district, d_ytd must equal the sum of its history amounts. *)

@@ -1,0 +1,14 @@
+(** Deterministic pseudo-random generator (splitmix64) for TPC-C data and
+    workload generation — reproducible across runs, as the simulated-time
+    methodology requires. *)
+
+type t
+
+val create : int -> t
+val next : t -> int64
+val int : t -> int -> int -> int
+(** Uniform in [lo, hi] inclusive. *)
+
+val float : t -> float
+val nurand : t -> int -> int -> int -> int
+(** The TPC-C NURand non-uniform distribution. *)

@@ -1,0 +1,163 @@
+(* TPC-C schema subset for the new-order transaction (Section 5.3).
+
+   Tables are B+-trees over NVM; rows are fixed-width NVM regions of word
+   fields referenced by the tree's value word.  Two physical layouts are
+   supported, reflecting the paper's co-design experiment:
+
+   - [Naive]: one tree per table; the order-side tables (orders,
+     order-line, new-order) use compound keys (d_id, o_id [, ol_number])
+     packed into one 64-bit key;
+   - [Optimized]: the order-side tables become an array of ten trees — one
+     per district — keyed by o_id alone, exploiting the tiny district
+     domain exactly as the paper's optimised data structure does.
+
+   Scale factor 1: one warehouse, ten districts. *)
+
+open Rewind_nvm
+open Rewind_pds
+
+let districts = 10
+
+type layout = Naive | Optimized
+
+(* -- row field offsets (words) -- *)
+
+(* district row: d_tax, d_ytd, d_next_o_id, d_next_h_id *)
+let district_words = 4
+let d_tax = 0
+let d_ytd = 1
+let d_next_o_id = 2
+let d_next_h_id = 3
+
+(* customer row: c_discount, c_balance, c_ytd_payment, c_payment_cnt *)
+let customer_words = 4
+let c_discount = 0
+let c_balance = 1
+let c_ytd_payment = 2
+let c_payment_cnt = 3
+
+(* item row: i_price *)
+let item_words = 1
+let i_price = 0
+
+(* stock row: s_quantity, s_ytd, s_order_cnt, s_remote_cnt *)
+let stock_words = 4
+let s_quantity = 0
+let s_ytd = 1
+let s_order_cnt = 2
+let s_remote_cnt = 3
+
+(* orders row: o_c_id, o_entry_d, o_ol_cnt *)
+let order_words = 3
+let o_c_id = 0
+let o_entry_d = 1
+let o_ol_cnt = 2
+
+(* order-line row: ol_i_id, ol_supply_w_id, ol_quantity, ol_amount *)
+let order_line_words = 4
+let ol_i_id = 0
+let ol_supply_w_id = 1
+let ol_quantity = 2
+let ol_amount = 3
+
+(* history row: h_c_id, h_d_id, h_amount *)
+let history_words = 3
+let h_c_id = 0
+let h_d_id = 1
+let h_amount = 2
+
+(* -- key encodings -- *)
+
+let key_district d = Int64.of_int d
+let key_customer d c = Int64.of_int ((d * 100000) + c)
+let key_item i = Int64.of_int i
+let key_stock i = Int64.of_int i
+
+(* compound order keys for the naive layout *)
+let key_order_naive d o = Int64.of_int ((d * 100_000_000) + o)
+let key_history d h = Int64.of_int ((d * 100_000_000) + h)
+let key_order_line_naive d o ol = Int64.of_int ((((d * 100_000_000) + o) * 16) + ol)
+
+(* per-district keys for the optimised layout *)
+let key_order_opt o = Int64.of_int o
+let key_order_line_opt o ol = Int64.of_int ((o * 16) + ol)
+
+(* -- database -- *)
+
+type db = {
+  layout : layout;
+  arena : Arena.t;
+  alloc : Alloc.t;
+  mode : Btree.mode;
+  warehouse_tax : int;  (* fixed-point (x10000) *)
+  districts_rows : int array;  (* district row addresses, index 1..10 *)
+  customer : Btree.t;
+  item : Btree.t;
+  stock : Btree.t;
+  orders : Btree.t array;      (* length 1 (naive) or [districts] (optimized) *)
+  order_line : Btree.t array;
+  new_order : Btree.t array;
+  history : Btree.t;           (* payment history, append-only *)
+}
+
+(* Allocate a row and initialise its fields with raw durable stores (rows
+   are reachable only after the loader or a logged tree insert links them). *)
+let new_row db words =
+  let r = Alloc.alloc ~align:64 db.alloc (8 * words) in
+  for w = 0 to words - 1 do
+    Arena.nt_write db.arena (r + (8 * w)) 0L
+  done;
+  r
+
+let row_get db row field = Arena.read db.arena (row + (8 * field))
+
+(* Logged (transactional) row update. *)
+let row_set (_ : db) tm txn row field v =
+  Rewind.Tm.write tm txn ~addr:(row + (8 * field)) ~value:v
+
+(* Raw durable row update, for the non-recoverable NVM configuration. *)
+let row_set_raw db row field v = Arena.nt_write db.arena (row + (8 * field)) v
+
+let order_trees_count = function Naive -> 1 | Optimized -> districts
+
+let order_tree db d =
+  match db.layout with
+  | Naive -> db.orders.(0)
+  | Optimized -> db.orders.(d - 1)
+
+let order_line_tree db d =
+  match db.layout with
+  | Naive -> db.order_line.(0)
+  | Optimized -> db.order_line.(d - 1)
+
+let new_order_tree db d =
+  match db.layout with
+  | Naive -> db.new_order.(0)
+  | Optimized -> db.new_order.(d - 1)
+
+let key_order db d o =
+  match db.layout with Naive -> key_order_naive d o | Optimized -> key_order_opt o
+
+let key_order_line db d o ol =
+  match db.layout with
+  | Naive -> key_order_line_naive d o ol
+  | Optimized -> key_order_line_opt o ol
+
+let create ?(layout = Naive) mode alloc =
+  let arena = Alloc.arena alloc in
+  let n = order_trees_count layout in
+  {
+    layout;
+    arena;
+    alloc;
+    mode;
+    warehouse_tax = 1000;
+    districts_rows = Array.make (districts + 1) 0;
+    customer = Btree.create mode alloc;
+    item = Btree.create mode alloc;
+    stock = Btree.create mode alloc;
+    orders = Array.init n (fun _ -> Btree.create mode alloc);
+    order_line = Array.init n (fun _ -> Btree.create mode alloc);
+    new_order = Array.init n (fun _ -> Btree.create mode alloc);
+    history = Btree.create mode alloc;
+  }

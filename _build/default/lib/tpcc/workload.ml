@@ -1,0 +1,170 @@
+(* The Section 5.3 benchmark driver: ten terminals issuing new-order
+   transactions, one terminal per district, in the paper's four
+   configurations:
+
+   - non-recoverable NVM B+-trees with the naive layout;
+   - naive layout over REWIND (one shared log);
+   - co-designed (per-district-tree) layout over REWIND (shared log);
+   - co-designed layout over REWIND with a distributed (per-terminal) log.
+
+   Terminals run as OCaml domains; each carries its own simulated clock
+   and the run's duration is the slowest terminal.  Contention appears
+   through the Sim_mutex release-time model: the shared data lock in the
+   naive layout, the per-district locks in the optimised layout, and
+   REWIND's internal log latch.
+
+   The terminal<->district pinning keeps domains from racing on the same
+   B+-tree nodes: with the naive layout all terminals share the trees and
+   must take the single data lock; with the optimised layout each
+   terminal's district trees are private to it. *)
+
+open Rewind_nvm
+
+type configuration =
+  | Nvm_naive           (* persistent, not recoverable *)
+  | Rewind_naive        (* naive data structures over REWIND *)
+  | Rewind_opt          (* co-designed layout, shared log *)
+  | Rewind_opt_dlog     (* co-designed layout, distributed (per-terminal) log *)
+
+let pp_configuration ppf c =
+  Fmt.string ppf
+    (match c with
+    | Nvm_naive -> "Simple NVM B+Trees"
+    | Rewind_naive -> "REWIND Naive Data Structure"
+    | Rewind_opt -> "REWIND Opt. Data Structure"
+    | Rewind_opt_dlog -> "REWIND Opt. Data Structure D.Log")
+
+type result = {
+  committed : int;
+  aborted : int;
+  sim_ns : int;  (* slowest terminal's simulated time *)
+  tpm : float;   (* new-order transactions per simulated minute *)
+}
+
+(* TM root slots: 4.. for the per-terminal distributed logs, 3 for shared. *)
+let shared_root = 3
+let dlog_root term = 4 + (2 * term)
+
+let tm_config = { Rewind.config_1l_nfp with variant = Rewind.Log.Batch 8 }
+
+let setup ~config ~params arena =
+  let alloc = Alloc.create arena in
+  let layout =
+    match config with
+    | Nvm_naive | Rewind_naive -> Schema.Naive
+    | Rewind_opt | Rewind_opt_dlog -> Schema.Optimized
+  in
+  (* Load through raw durable stores, then run in the measured mode. *)
+  let db = Schema.create ~layout Rewind_pds.Btree.Direct_nvm alloc in
+  Datagen.load ~params db 0;
+  (alloc, db)
+
+(* Rebind the database's trees to the terminal's persistence mode. *)
+let rebind db mode alloc =
+  let rb t = Rewind_pds.Btree.attach mode alloc ~root_cell:(Rewind_pds.Btree.root_cell t) in
+  {
+    db with
+    Schema.mode;
+    Schema.customer = rb db.Schema.customer;
+    Schema.item = rb db.Schema.item;
+    Schema.stock = rb db.Schema.stock;
+    Schema.orders = Array.map rb db.Schema.orders;
+    Schema.order_line = Array.map rb db.Schema.order_line;
+    Schema.new_order = Array.map rb db.Schema.new_order;
+    Schema.history = rb db.Schema.history;
+  }
+
+let run ?(terminals = Schema.districts) ?(txns_per_terminal = 1000)
+    ?(params = Datagen.small) ?(arena_mb = 256) ~config () =
+  let arena = Arena.create ~size_bytes:(arena_mb lsl 20) () in
+  let alloc, base_db = setup ~config ~params arena in
+  let shared_tm =
+    match config with
+    | Nvm_naive -> None
+    | Rewind_naive | Rewind_opt ->
+        Some (Rewind.Tm.create ~cfg:tm_config alloc ~root_slot:shared_root)
+    | Rewind_opt_dlog -> None
+  in
+  (* Lock model: the naive REWIND implementation shares every tree and
+     takes one coarse lock per transaction; the co-designed layouts give
+     each terminal its own district trees, leaving REWIND's internal log
+     latch as the only shared resource (none at all with distributed
+     logs).  The non-recoverable NVM configuration is run with the
+     fine-grained latching the paper assumes for it. *)
+  let data_lock = Sim_mutex.create () in
+  let committed = ref 0 and aborted = ref 0 in
+  (* Per-terminal state; terminals are simulated threads scheduled in
+     simulated-time order (one per district, as ten TPC-C terminals). *)
+  let rngs = Array.init terminals (fun t -> Rng.create (1000 + t)) in
+  let tms =
+    Array.init terminals (fun term ->
+        match config with
+        | Nvm_naive -> None
+        | Rewind_naive | Rewind_opt -> shared_tm
+        | Rewind_opt_dlog ->
+            Some (Rewind.Tm.create ~cfg:tm_config alloc ~root_slot:(dlog_root term)))
+  in
+  let dbs =
+    Array.init terminals (fun term ->
+        match tms.(term) with
+        | None -> base_db
+        | Some tm -> rebind base_db (Rewind_pds.Btree.Logged tm) alloc)
+  in
+  let sim_ns =
+    Sim_threads.run ~threads:terminals ~ops_per_thread:txns_per_terminal
+      (fun term _ ->
+        let rng = rngs.(term) in
+        let district = 1 + (term mod Schema.districts) in
+        let db = dbs.(term) and tm = tms.(term) in
+        let rq = Neworder.gen_request ~district rng ~items:params.Datagen.items in
+        let exec () =
+          match tm with
+          | None -> Neworder.run_raw db rq
+          | Some tm -> Neworder.run_transactional db tm rq
+        in
+        let outcome =
+          match config with
+          | Rewind_naive -> Sim_mutex.with_lock data_lock exec
+          | Nvm_naive | Rewind_opt | Rewind_opt_dlog -> exec ()
+        in
+        match outcome with
+        | Neworder.Committed -> incr committed
+        | Neworder.Aborted -> incr aborted)
+  in
+  let minutes = float_of_int sim_ns /. 60e9 in
+  {
+    committed = !committed;
+    aborted = !aborted;
+    sim_ns;
+    tpm =
+      (if minutes > 0. then float_of_int (!committed + !aborted) /. minutes
+       else 0.);
+  }
+
+(* Consistency probes used by tests: every committed new-order must leave
+   matching orders/new-order/order-line entries and a consistent
+   d_next_o_id. *)
+let check_consistency db =
+  let ok = ref true in
+  for d = 1 to Schema.districts do
+    let drow = db.Schema.districts_rows.(d) in
+    let next = Int64.to_int (Schema.row_get db drow Schema.d_next_o_id) in
+    for o = 1 to next - 1 do
+      match
+        Rewind_pds.Btree.lookup (Schema.order_tree db d) (Schema.key_order db d o)
+      with
+      | None -> ok := false
+      | Some orow_v ->
+          let orow = Int64.to_int orow_v in
+          let cnt = Int64.to_int (Schema.row_get db orow Schema.o_ol_cnt) in
+          for ol = 1 to cnt do
+            if
+              Rewind_pds.Btree.lookup
+                (Schema.order_line_tree db d)
+                (Schema.key_order_line db d o ol)
+              = None
+            then ok := false
+          done
+    done
+  done;
+  !ok

@@ -1,0 +1,34 @@
+(** The Section 5.3 benchmark driver: ten terminals (one per district)
+    issuing new-order transactions as simulated threads, in the four
+    configurations Figure 11 compares. *)
+
+type configuration =
+  | Nvm_naive        (** persistent, not recoverable, naive layout *)
+  | Rewind_naive     (** naive data structures over REWIND, coarse lock *)
+  | Rewind_opt       (** co-designed per-district layout, shared log *)
+  | Rewind_opt_dlog  (** co-designed layout, distributed (per-terminal) log *)
+
+val pp_configuration : configuration Fmt.t
+
+type result = {
+  committed : int;
+  aborted : int;
+  sim_ns : int;   (** slowest terminal's simulated time *)
+  tpm : float;    (** new-order transactions per simulated minute *)
+}
+
+val tm_config : Rewind.Tm.config
+(** The REWIND configuration the TPC-C runs use (1L, no-force, Batch 8). *)
+
+val run :
+  ?terminals:int ->
+  ?txns_per_terminal:int ->
+  ?params:Datagen.params ->
+  ?arena_mb:int ->
+  config:configuration ->
+  unit ->
+  result
+
+val check_consistency : Schema.db -> bool
+(** Every committed order has matching orders/order-line rows up to the
+    district's next-order id. *)

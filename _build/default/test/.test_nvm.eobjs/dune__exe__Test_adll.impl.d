@@ -1,0 +1,1 @@
+test/test_adll.ml: Adll Alcotest Alloc Arena List QCheck QCheck_alcotest Rewind Rewind_nvm String

@@ -1,0 +1,1 @@
+test/test_avl.ml: Alcotest Alloc Arena Avl_index Gen Int64 List Log QCheck QCheck_alcotest Rewind Rewind_nvm String

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Bdb_like Clock Int64 List Paged_kv Rewind_baselines Rewind_nvm Shore_like Stasis_like

@@ -1,0 +1,1 @@
+test/test_benchshape.ml: Alcotest Figures List Rewind_benchlib Series

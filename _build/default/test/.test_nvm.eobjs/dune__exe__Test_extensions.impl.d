@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Alloc Arena Array Autotune Fmt Int64 List Log Record Rewind Rewind_nvm Sim_threads String Tm

@@ -1,0 +1,1 @@
+test/test_log.ml: Alcotest Alloc Arena Clock Fmt Int64 List Log QCheck QCheck_alcotest Record Rewind Rewind_nvm Stats

@@ -1,0 +1,1 @@
+test/test_nvm.ml: Alcotest Alloc Arena Block_dev Bytes Clock Config Gen Hashtbl Int64 List QCheck QCheck_alcotest Rewind_nvm Sim_mutex Stats

@@ -1,0 +1,1 @@
+test/test_pds.ml: Alcotest Alloc Arena Btree Fmt Hashtbl Int64 List Log Map Phash Plist Ptable QCheck QCheck_alcotest Rewind Rewind_nvm Rewind_pds Tm

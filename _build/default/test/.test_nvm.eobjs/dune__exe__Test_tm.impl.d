@@ -1,0 +1,1 @@
+test/test_tm.ml: Alcotest Alloc Arena Array Fmt Gen Hashtbl Int64 List Log QCheck QCheck_alcotest Rewind Rewind_nvm Tm

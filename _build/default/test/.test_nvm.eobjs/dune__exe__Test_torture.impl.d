@@ -1,0 +1,1 @@
+test/test_torture.ml: Alcotest Alloc Arena Array Clock Fmt Hashtbl Int64 List Log QCheck QCheck_alcotest Rewind Rewind_nvm Sim_mutex Sim_threads Stats Tm

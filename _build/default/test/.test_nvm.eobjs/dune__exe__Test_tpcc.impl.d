@@ -1,0 +1,1 @@
+test/test_tpcc.ml: Alcotest Alloc Arena Array Datagen Int64 List Neworder Option Rewind Rewind_nvm Rewind_pds Rewind_tpcc Rng Schema Workload

@@ -1,0 +1,293 @@
+(* Atomic Doubly-Linked List tests: functional behaviour plus exhaustive
+   crash-point enumeration of Algorithm 1's append/remove windows —
+   including crashes *during recovery* (repeated-redo safety). *)
+
+open Rewind_nvm
+open Rewind
+
+let fresh () =
+  let arena = Arena.create ~size_bytes:(1 lsl 20) () in
+  let alloc = Alloc.create arena in
+  (arena, alloc)
+
+let check_int = Alcotest.(check int)
+let check_list = Alcotest.(check (list int))
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Functional behaviour                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_empty () =
+  let _, alloc = fresh () in
+  let l = Adll.create alloc in
+  check_bool "empty" true (Adll.is_empty l);
+  check_int "length" 0 (Adll.length l);
+  check_list "elements" [] (Adll.elements l)
+
+let test_append_order () =
+  let _, alloc = fresh () in
+  let l = Adll.create alloc in
+  List.iter (fun e -> ignore (Adll.append l e)) [ 10; 20; 30 ];
+  check_list "fifo order" [ 10; 20; 30 ] (Adll.elements l);
+  check_int "length" 3 (Adll.length l);
+  check_bool "well formed" true (Adll.well_formed l)
+
+let test_remove_middle () =
+  let _, alloc = fresh () in
+  let l = Adll.create alloc in
+  let _ = Adll.append l 1 in
+  let n2 = Adll.append l 2 in
+  let _ = Adll.append l 3 in
+  Adll.remove l n2;
+  check_list "middle removed" [ 1; 3 ] (Adll.elements l);
+  check_bool "well formed" true (Adll.well_formed l)
+
+let test_remove_head_tail () =
+  let _, alloc = fresh () in
+  let l = Adll.create alloc in
+  let n1 = Adll.append l 1 in
+  let _ = Adll.append l 2 in
+  let n3 = Adll.append l 3 in
+  Adll.remove l n1;
+  check_list "head removed" [ 2; 3 ] (Adll.elements l);
+  Adll.remove l n3;
+  check_list "tail removed" [ 2 ] (Adll.elements l);
+  check_bool "well formed" true (Adll.well_formed l)
+
+let test_remove_only_node () =
+  let _, alloc = fresh () in
+  let l = Adll.create alloc in
+  let n = Adll.append l 7 in
+  Adll.remove l n;
+  check_bool "empty again" true (Adll.is_empty l);
+  check_bool "well formed" true (Adll.well_formed l)
+
+let test_iter_back () =
+  let _, alloc = fresh () in
+  let l = Adll.create alloc in
+  List.iter (fun e -> ignore (Adll.append l e)) [ 1; 2; 3 ];
+  let acc = ref [] in
+  Adll.iter_back l (fun n -> acc := Adll.element l n :: !acc);
+  check_list "backward order reversed back" [ 1; 2; 3 ] !acc
+
+let test_reattach_without_crash () =
+  let _, alloc = fresh () in
+  let l = Adll.create alloc in
+  List.iter (fun e -> ignore (Adll.append l e)) [ 4; 5 ];
+  let l2 = Adll.attach alloc ~base:(Adll.base l) in
+  check_list "same content" [ 4; 5 ] (Adll.elements l2)
+
+(* ------------------------------------------------------------------ *)
+(* Crash exhaustion                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Run [op] with a crash armed after [k] persistence events for every k
+   until the operation completes without crashing.  After each crash,
+   recover and check the invariant; [valid] lists acceptable outcomes. *)
+let exhaust_crashes ~build ~op ~valid ~recovery_crashes () =
+  let k = ref 0 in
+  let completed = ref false in
+  let crash_points = ref 0 in
+  while not !completed do
+    let arena, l, state = build () in
+    Arena.arm_crash arena ~after:!k;
+    (try
+       op l state;
+       Arena.disarm_crash arena;
+       completed := true
+     with Arena.Crash -> incr crash_points);
+    if Arena.crashed arena then begin
+      (* Optionally crash during recovery itself, then recover again. *)
+      for j = 0 to recovery_crashes - 1 do
+        Arena.clear_crashed arena;
+        Arena.arm_crash arena ~after:j;
+        (try
+           Adll.recover l;
+           Arena.disarm_crash arena
+         with Arena.Crash -> ())
+      done;
+      Arena.disarm_crash arena;
+      Adll.recover l;
+      let elems = Adll.elements l in
+      if not (Adll.well_formed l) then
+        Alcotest.failf "crash point %d: list not well formed" !k;
+      if not (List.mem elems valid) then
+        Alcotest.failf "crash point %d: unexpected elements [%s]" !k
+          (String.concat ";" (List.map string_of_int elems))
+    end;
+    incr k
+  done;
+  !crash_points
+
+let build_list n () =
+  let arena, alloc = fresh () in
+  let l = Adll.create alloc in
+  let nodes = List.map (fun e -> Adll.append l e) (List.init n (fun i -> i + 1)) in
+  (arena, l, nodes)
+
+let test_crash_append () =
+  let points =
+    exhaust_crashes
+      ~build:(build_list 3)
+      ~op:(fun l _ -> ignore (Adll.append l 99))
+      ~valid:[ [ 1; 2; 3 ]; [ 1; 2; 3; 99 ] ]
+      ~recovery_crashes:0 ()
+  in
+  check_bool "several crash points exercised" true (points >= 3)
+
+let test_crash_append_empty_list () =
+  ignore
+    (exhaust_crashes
+       ~build:(build_list 0)
+       ~op:(fun l _ -> ignore (Adll.append l 99))
+       ~valid:[ []; [ 99 ] ]
+       ~recovery_crashes:0 ())
+
+let test_crash_remove_middle () =
+  ignore
+    (exhaust_crashes
+       ~build:(build_list 3)
+       ~op:(fun l nodes -> Adll.remove l (List.nth nodes 1))
+       ~valid:[ [ 1; 2; 3 ]; [ 1; 3 ] ]
+       ~recovery_crashes:0 ())
+
+let test_crash_remove_head () =
+  ignore
+    (exhaust_crashes
+       ~build:(build_list 3)
+       ~op:(fun l nodes -> Adll.remove l (List.nth nodes 0))
+       ~valid:[ [ 1; 2; 3 ]; [ 2; 3 ] ]
+       ~recovery_crashes:0 ())
+
+let test_crash_remove_tail () =
+  ignore
+    (exhaust_crashes
+       ~build:(build_list 3)
+       ~op:(fun l nodes -> Adll.remove l (List.nth nodes 2))
+       ~valid:[ [ 1; 2; 3 ]; [ 1; 2 ] ]
+       ~recovery_crashes:0 ())
+
+let test_crash_remove_only () =
+  ignore
+    (exhaust_crashes
+       ~build:(build_list 1)
+       ~op:(fun l nodes -> Adll.remove l (List.nth nodes 0))
+       ~valid:[ [ 1 ]; [] ]
+       ~recovery_crashes:0 ())
+
+(* Crashes during recovery of a crashed append/remove: recovery must be
+   re-runnable any number of times (redo-idempotence, Section 3.2). *)
+let test_crash_during_recovery_append () =
+  ignore
+    (exhaust_crashes
+       ~build:(build_list 2)
+       ~op:(fun l _ -> ignore (Adll.append l 99))
+       ~valid:[ [ 1; 2 ]; [ 1; 2; 99 ] ]
+       ~recovery_crashes:8 ())
+
+let test_crash_during_recovery_remove () =
+  ignore
+    (exhaust_crashes
+       ~build:(build_list 3)
+       ~op:(fun l nodes -> Adll.remove l (List.nth nodes 1))
+       ~valid:[ [ 1; 2; 3 ]; [ 1; 3 ] ]
+       ~recovery_crashes:8 ())
+
+(* Recovery on a quiescent list must be a no-op. *)
+let test_recover_noop () =
+  let arena, l, _ = build_list 3 () in
+  Arena.crash arena;
+  Adll.recover l;
+  check_list "unchanged" [ 1; 2; 3 ] (Adll.elements l)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Random op sequences against a model list. *)
+let prop_model =
+  QCheck.Test.make ~name:"ADLL matches model list" ~count:200
+    QCheck.(list (pair bool small_nat))
+    (fun ops ->
+      let _, alloc = fresh () in
+      let l = Adll.create alloc in
+      let model = ref [] and nodes = ref [] in
+      List.iter
+        (fun (is_append, v) ->
+          if is_append || !nodes = [] then begin
+            let n = Adll.append l v in
+            model := !model @ [ v ];
+            nodes := !nodes @ [ (n, v) ]
+          end
+          else begin
+            let i = v mod List.length !nodes in
+            let n, value = List.nth !nodes i in
+            Adll.remove l n;
+            nodes := List.filteri (fun j _ -> j <> i) !nodes;
+            let removed = ref false in
+            model :=
+              List.filter
+                (fun x ->
+                  if (not !removed) && x = value then begin
+                    removed := true;
+                    false
+                  end
+                  else true)
+                !model
+          end)
+        ops;
+      Adll.elements l = List.map snd !nodes && Adll.well_formed l)
+
+(* Random crash point inside a random op sequence: after recovery the list
+   must be well-formed and hold a prefix-consistent state. *)
+let prop_crash_any_point =
+  QCheck.Test.make ~name:"ADLL recovery from random crash points" ~count:300
+    QCheck.(pair (int_bound 200) (int_range 1 20))
+    (fun (crash_after, n_ops) ->
+      let arena, alloc = fresh () in
+      let l = Adll.create alloc in
+      Arena.arm_crash arena ~after:crash_after;
+      (try
+         for i = 1 to n_ops do
+           let n = Adll.append l i in
+           if i mod 3 = 0 then Adll.remove l n
+         done;
+         Arena.disarm_crash arena
+       with Arena.Crash -> ());
+      Arena.disarm_crash arena;
+      if Arena.crashed arena then Adll.recover l;
+      Adll.well_formed l)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "adll"
+    [
+      ( "functional",
+        [
+          tc "empty" `Quick test_empty;
+          tc "append order" `Quick test_append_order;
+          tc "remove middle" `Quick test_remove_middle;
+          tc "remove head/tail" `Quick test_remove_head_tail;
+          tc "remove only node" `Quick test_remove_only_node;
+          tc "iter back" `Quick test_iter_back;
+          tc "reattach" `Quick test_reattach_without_crash;
+        ] );
+      ( "crash-exhaustion",
+        [
+          tc "append" `Quick test_crash_append;
+          tc "append to empty" `Quick test_crash_append_empty_list;
+          tc "remove middle" `Quick test_crash_remove_middle;
+          tc "remove head" `Quick test_crash_remove_head;
+          tc "remove tail" `Quick test_crash_remove_tail;
+          tc "remove only" `Quick test_crash_remove_only;
+          tc "recovery crash (append)" `Quick test_crash_during_recovery_append;
+          tc "recovery crash (remove)" `Quick test_crash_during_recovery_remove;
+          tc "recover is noop when quiescent" `Quick test_recover_noop;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_model;
+          QCheck_alcotest.to_alcotest prop_crash_any_point;
+        ] );
+    ]

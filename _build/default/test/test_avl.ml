@@ -1,0 +1,217 @@
+(* Tests for the Atomic AVL Tree: AVL semantics, logged-write atomicity,
+   crash exhaustion over insert/remove (including tree rebalancing), and
+   recovery idempotence under repeated crashes. *)
+
+open Rewind_nvm
+open Rewind
+
+let fresh () =
+  let arena = Arena.create ~size_bytes:(8 lsl 20) () in
+  let alloc = Alloc.create arena in
+  let ilog = Log.create Log.Optimized ~bucket_cap:64 alloc ~root_slot:2 in
+  let idx = Avl_index.create alloc ~ilog in
+  Arena.root_set arena 3 (Int64.of_int (Avl_index.root_ptr idx));
+  (arena, alloc, ilog, idx)
+
+let reattach arena =
+  let alloc = Alloc.recover arena in
+  let ilog = Log.attach Log.Optimized ~bucket_cap:64 alloc ~root_slot:2 in
+  let root_ptr = Int64.to_int (Arena.root_get arena 3) in
+  let idx = Avl_index.attach alloc ~ilog ~root_ptr in
+  Avl_index.recover idx;
+  idx
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_list = Alcotest.(check (list int))
+
+(* ------------------------------------------------------------------ *)
+(* Functional behaviour                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_insert_find () =
+  let _, _, _, idx = fresh () in
+  List.iter (fun k -> ignore (Avl_index.insert idx k)) [ 5; 3; 8; 1; 4 ];
+  check_bool "find 4" true (Avl_index.mem idx 4);
+  check_bool "find 8" true (Avl_index.mem idx 8);
+  check_bool "no 7" false (Avl_index.mem idx 7);
+  check_list "sorted keys" [ 1; 3; 4; 5; 8 ] (Avl_index.keys idx);
+  check_bool "avl invariant" true (Avl_index.well_formed idx)
+
+let test_insert_idempotent () =
+  let _, _, _, idx = fresh () in
+  let a = Avl_index.insert idx 5 in
+  let b = Avl_index.insert idx 5 in
+  check_int "same node" a b;
+  check_int "size 1" 1 (Avl_index.size idx)
+
+let test_sequential_inserts_balance () =
+  let _, _, _, idx = fresh () in
+  for k = 1 to 64 do
+    ignore (Avl_index.insert idx k)
+  done;
+  check_int "size" 64 (Avl_index.size idx);
+  check_bool "balanced" true (Avl_index.well_formed idx)
+
+let test_remove () =
+  let _, _, _, idx = fresh () in
+  List.iter (fun k -> ignore (Avl_index.insert idx k)) [ 5; 3; 8; 1; 4; 9; 7 ];
+  check_bool "removed leaf" true (Avl_index.remove idx 1);
+  check_bool "removed inner (two children)" true (Avl_index.remove idx 8);
+  check_bool "removed root-ish" true (Avl_index.remove idx 5);
+  check_bool "remove absent" false (Avl_index.remove idx 100);
+  check_list "remaining" [ 3; 4; 7; 9 ] (Avl_index.keys idx);
+  check_bool "avl invariant" true (Avl_index.well_formed idx)
+
+let test_payload_fields () =
+  let _, _, _, idx = fresh () in
+  let n = Avl_index.insert idx 7 in
+  Avl_index.op idx (fun () ->
+      Avl_index.set_head_record idx n 4096;
+      Avl_index.set_status idx n 2;
+      Avl_index.set_undo_next idx n 8192);
+  Alcotest.(check int) "head" 4096 (Avl_index.head_record idx n);
+  Alcotest.(check int) "status" 2 (Avl_index.status idx n);
+  Alcotest.(check int) "undo next" 8192 (Avl_index.undo_next idx n)
+
+let test_internal_log_cleared_after_op () =
+  let _, _, ilog, idx = fresh () in
+  for k = 1 to 20 do
+    ignore (Avl_index.insert idx k)
+  done;
+  check_int "internal log empty between ops" 0 (Log.length ilog)
+
+(* ------------------------------------------------------------------ *)
+(* Crash exhaustion                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Run [op] on a freshly-built tree with a crash armed after every k and,
+   after recovery, require the tree to be either pre-op or post-op. *)
+let exhaust ~keys ~op ~pre ~post ~recovery_crashes =
+  let k = ref 0 in
+  let completed = ref false in
+  while not !completed do
+    let arena, _, _, idx = fresh () in
+    List.iter (fun key -> ignore (Avl_index.insert idx key)) keys;
+    Arena.arm_crash arena ~after:!k;
+    (try
+       op idx;
+       Arena.disarm_crash arena;
+       completed := true
+     with Arena.Crash -> ());
+    if Arena.crashed arena then begin
+      for j = 0 to recovery_crashes - 1 do
+        Arena.clear_crashed arena;
+        Arena.arm_crash arena ~after:j;
+        (try ignore (reattach arena) with Arena.Crash -> ())
+      done;
+      Arena.disarm_crash arena;
+      Arena.clear_crashed arena;
+      let idx2 = reattach arena in
+      if not (Avl_index.well_formed idx2) then
+        Alcotest.failf "crash point %d: AVL invariant broken" !k;
+      let ks = Avl_index.keys idx2 in
+      if ks <> pre && ks <> post then
+        Alcotest.failf "crash point %d: unexpected keys [%s]" !k
+          (String.concat ";" (List.map string_of_int ks))
+    end;
+    incr k
+  done
+
+let test_crash_insert_rebalancing () =
+  (* inserting 6 into [1..5] triggers rotations *)
+  exhaust ~keys:[ 1; 2; 3; 4; 5 ]
+    ~op:(fun idx -> ignore (Avl_index.insert idx 6))
+    ~pre:[ 1; 2; 3; 4; 5 ] ~post:[ 1; 2; 3; 4; 5; 6 ] ~recovery_crashes:0
+
+let test_crash_insert_empty () =
+  exhaust ~keys:[]
+    ~op:(fun idx -> ignore (Avl_index.insert idx 1))
+    ~pre:[] ~post:[ 1 ] ~recovery_crashes:0
+
+let test_crash_remove_two_children () =
+  exhaust ~keys:[ 5; 3; 8; 1; 4; 9; 7 ]
+    ~op:(fun idx -> ignore (Avl_index.remove idx 5))
+    ~pre:[ 1; 3; 4; 5; 7; 8; 9 ] ~post:[ 1; 3; 4; 7; 8; 9 ] ~recovery_crashes:0
+
+let test_crash_remove_with_recovery_crashes () =
+  exhaust ~keys:[ 2; 1; 3 ]
+    ~op:(fun idx -> ignore (Avl_index.remove idx 2))
+    ~pre:[ 1; 2; 3 ] ~post:[ 1; 3 ] ~recovery_crashes:6
+
+let test_crash_insert_with_recovery_crashes () =
+  exhaust ~keys:[ 2; 1; 3 ]
+    ~op:(fun idx -> ignore (Avl_index.insert idx 4))
+    ~pre:[ 1; 2; 3 ] ~post:[ 1; 2; 3; 4 ] ~recovery_crashes:6
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_model =
+  QCheck.Test.make ~name:"AAVLT matches a set model" ~count:100
+    QCheck.(list (pair bool (int_bound 50)))
+    (fun ops ->
+      let _, _, _, idx = fresh () in
+      let model = ref [] in
+      List.iter
+        (fun (ins, k) ->
+          if ins then begin
+            ignore (Avl_index.insert idx k);
+            if not (List.mem k !model) then model := k :: !model
+          end
+          else begin
+            ignore (Avl_index.remove idx k);
+            model := List.filter (fun x -> x <> k) !model
+          end)
+        ops;
+      Avl_index.keys idx = List.sort compare !model && Avl_index.well_formed idx)
+
+let prop_crash_random =
+  QCheck.Test.make ~name:"AAVLT survives random crash points" ~count:150
+    QCheck.(pair (int_bound 600) (list_of_size (Gen.int_range 1 25) (int_bound 40)))
+    (fun (crash_after, keys) ->
+      let arena, _, _, idx = fresh () in
+      Arena.arm_crash arena ~after:crash_after;
+      (try
+         List.iter
+           (fun k ->
+             ignore (Avl_index.insert idx k);
+             if k mod 3 = 0 then ignore (Avl_index.remove idx k))
+           keys;
+         Arena.disarm_crash arena
+       with Arena.Crash -> ());
+      Arena.disarm_crash arena;
+      if Arena.crashed arena then begin
+        let idx2 = reattach arena in
+        Avl_index.well_formed idx2
+      end
+      else true)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "avl"
+    [
+      ( "functional",
+        [
+          tc "insert/find" `Quick test_insert_find;
+          tc "insert idempotent" `Quick test_insert_idempotent;
+          tc "sequential inserts balance" `Quick test_sequential_inserts_balance;
+          tc "remove" `Quick test_remove;
+          tc "payload fields" `Quick test_payload_fields;
+          tc "internal log cleared" `Quick test_internal_log_cleared_after_op;
+        ] );
+      ( "crash-exhaustion",
+        [
+          tc "insert with rebalancing" `Slow test_crash_insert_rebalancing;
+          tc "insert into empty" `Quick test_crash_insert_empty;
+          tc "remove two children" `Slow test_crash_remove_two_children;
+          tc "remove + recovery crashes" `Quick test_crash_remove_with_recovery_crashes;
+          tc "insert + recovery crashes" `Quick test_crash_insert_with_recovery_crashes;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_model;
+          QCheck_alcotest.to_alcotest prop_crash_random;
+        ] );
+    ]

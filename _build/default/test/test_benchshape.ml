@@ -1,0 +1,167 @@
+(* Shape-regression tests: tiny versions of the paper's figures asserting
+   the qualitative relationships the reproduction stands on.  If a change
+   to the cost model or the core breaks "who wins", these fail long before
+   anyone reads bench output. *)
+
+open Rewind_benchlib
+
+let check_bool = Alcotest.(check bool)
+
+let ys_of series = List.map (fun r -> r.Series.ys) series.Series.rows
+let col i rows = List.map (fun ys -> List.nth ys i) rows
+
+let increasing xs =
+  let rec go = function
+    | a :: (b :: _ as rest) -> a <= b && go rest
+    | _ -> true
+  in
+  go xs
+
+let strictly_dominates a b = List.for_all2 (fun x y -> x > y) a b
+
+(* fig3-left: 2L-FP > 2L-NFP > 1L-FP > 1L-NFP, and all overheads decrease
+   with lower update intensity *)
+let test_fig3_left_shape () =
+  let s = Figures.fig3_left ~n_ops:1_000 () in
+  let rows = ys_of s in
+  check_bool "2L-FP worst" true (strictly_dominates (col 0 rows) (col 1 rows));
+  check_bool "2L-NFP > 1L-FP" true (strictly_dominates (col 1 rows) (col 2 rows));
+  check_bool "1L-FP > 1L-NFP" true (strictly_dominates (col 2 rows) (col 3 rows));
+  check_bool "overhead grows with intensity" true (increasing (col 3 rows))
+
+(* fig3-right: 1L grows with skip records, 2L stays flat (within 25 %) *)
+let test_fig3_right_shape () =
+  let s = Figures.fig3_right ~target_updates:15 () in
+  let rows = ys_of s in
+  let two_l = col 0 rows and one_l = col 1 rows in
+  check_bool "1L grows" true
+    (List.nth one_l (List.length one_l - 1) > 3. *. List.hd one_l);
+  let mn = List.fold_left min (List.hd two_l) two_l in
+  let mx = List.fold_left max (List.hd two_l) two_l in
+  check_bool "2L flat" true (mx < 1.25 *. mn)
+
+(* fig4-left: 1L rollback linear in skip records; crossover exists *)
+let test_fig4_left_shape () =
+  let s = Figures.fig4_left ~target_updates:15 () in
+  let rows = ys_of s in
+  let two_l = col 0 rows and one_l = col 1 rows in
+  check_bool "1L grows" true (increasing one_l);
+  check_bool "1L eventually exceeds 2L" true
+    (List.nth one_l (List.length one_l - 1)
+    > List.nth two_l (List.length two_l - 1))
+
+(* fig4-right: one-layer recovery beats two-layer at every point *)
+let test_fig4_right_shape () =
+  let s = Figures.fig4_right ~target_updates:15 () in
+  let rows = ys_of s in
+  check_bool "1L recovery cheaper" true (strictly_dominates (col 0 rows) (col 1 rows))
+
+(* fig7: Simple > Optimized > Batch > NVM >= DRAM at 100 % updates, and
+   the baselines are at least an order of magnitude above REWIND *)
+let test_fig7_shape () =
+  let s = Figures.fig7_left ~n_records:800 ~n_ops:1_500 () in
+  let last = List.nth (ys_of s) (List.length s.Series.rows - 1) in
+  (match last with
+  | [ simple; opt; batch; nvm; dram ] ->
+      check_bool "simple > opt" true (simple > opt);
+      check_bool "opt > batch" true (opt > batch);
+      check_bool "batch > nvm" true (batch > nvm);
+      check_bool "nvm >= dram" true (nvm >= dram)
+  | _ -> Alcotest.fail "unexpected series");
+  let s = Figures.fig7_right ~n_records:800 ~n_ops:1_500 () in
+  let last = List.nth (ys_of s) (List.length s.Series.rows - 1) in
+  match last with
+  | [ bdb; stasis; rewind; shore ] ->
+      check_bool "shore worst" true (shore > bdb && bdb > stasis);
+      check_bool "rewind 10x better than stasis" true (stasis > 10. *. rewind)
+  | _ -> Alcotest.fail "unexpected series"
+
+(* fig8: rollback/recovery ordering Stasis > BDB > Shore > REWIND *)
+let test_fig8_shape () =
+  let check s =
+    let last = List.nth (ys_of s) (List.length s.Series.rows - 1) in
+    match last with
+    | [ shore; bdb; stasis; rewind ] ->
+        check_bool "stasis > bdb" true (stasis > bdb);
+        check_bool "bdb > shore" true (bdb > shore);
+        check_bool "shore > rewind" true (shore > rewind)
+    | _ -> Alcotest.fail "unexpected series"
+  in
+  check (Figures.fig8_left ~n_records:800 ());
+  check (Figures.fig8_right ~n_records:800 ())
+
+(* fig10: larger batch groups are less fence-sensitive; the optimized log
+   is the most sensitive *)
+let test_fig10_shape () =
+  let s = Figures.fig10 ~n_records:500 ~n_ops:1_000 () in
+  let rows = ys_of s in
+  let slope col_i =
+    let c = col col_i rows in
+    List.nth c (List.length c - 1) /. List.hd c
+  in
+  check_bool "batch32 least sensitive" true (slope 0 < slope 2);
+  check_bool "batch8 < optimized" true (slope 2 < slope 3)
+
+(* fig9 + lockfree: REWIND scales far better than the baselines; the
+   lock-free latch beats the latched log at 8 threads *)
+let test_fig9_shape () =
+  let s = Figures.fig9 ~ops_per_thread:800 ~n_records:400 () in
+  let rows = ys_of s in
+  let last = List.nth rows (List.length rows - 1) in
+  (match last with
+  | [ _shore; bdb; _stasis; rewind ] ->
+      check_bool "rewind beats bdb at 8 threads" true (bdb > 5. *. rewind)
+  | _ -> Alcotest.fail "unexpected series");
+  let s = Figures.ablation_lockfree ~ops_per_thread:500 ~n_records:300 () in
+  let rows = ys_of s in
+  let last = List.nth rows (List.length rows - 1) in
+  match last with
+  | [ latched; lockfree ] ->
+      check_bool "lock-free wins at 8 threads" true (lockfree < latched)
+  | _ -> Alcotest.fail "unexpected series"
+
+(* fig11: NVM fastest; distributed log within 1.5x; naive REWIND worst *)
+let test_fig11_shape () =
+  let bars = Figures.fig11 ~txns_per_terminal:40 () in
+  let get name = List.assoc name bars in
+  let nvm = get "Simple NVM B+Trees" in
+  let dlog = get "REWIND Opt. Data Structure D.Log" in
+  let opt = get "REWIND Opt. Data Structure" in
+  let naive = get "REWIND Naive Data Structure" in
+  check_bool "nvm fastest" true (nvm >= dlog && nvm >= opt && nvm >= naive);
+  check_bool "dlog within 1.5x of nvm" true (nvm /. dlog < 1.5);
+  check_bool "dlog beats shared log" true (dlog > opt);
+  check_bool "naive worst" true (naive <= opt)
+
+(* ablation-group: per-record cost decreases with group size and the gap
+   widens with fence cost *)
+let test_ablation_group_shape () =
+  let s = Figures.ablation_group ~n_ops:4_000 () in
+  let rows = ys_of s in
+  check_bool "cheap fences: decreasing" true
+    (increasing (List.rev (col 0 rows)));
+  check_bool "expensive fences: decreasing" true
+    (increasing (List.rev (col 1 rows)));
+  let first = List.hd rows and last = List.nth rows (List.length rows - 1) in
+  let gain col_i a b = List.nth a col_i /. List.nth b col_i in
+  check_bool "grouping matters more at 1us fences" true
+    (gain 1 first last > gain 0 first last)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "benchshape"
+    [
+      ( "figures",
+        [
+          tc "fig3-left ordering" `Slow test_fig3_left_shape;
+          tc "fig3-right crossover" `Slow test_fig3_right_shape;
+          tc "fig4-left crossover" `Slow test_fig4_left_shape;
+          tc "fig4-right 1L wins" `Slow test_fig4_right_shape;
+          tc "fig7 ordering" `Slow test_fig7_shape;
+          tc "fig8 ordering" `Slow test_fig8_shape;
+          tc "fig10 fence sensitivity" `Slow test_fig10_shape;
+          tc "fig9 scaling + lockfree" `Slow test_fig9_shape;
+          tc "fig11 ordering" `Slow test_fig11_shape;
+          tc "ablation-group" `Slow test_ablation_group_shape;
+        ] );
+    ]

@@ -1,0 +1,246 @@
+(* Tests for the three log implementations (Simple / Optimized / Batch):
+   append/iterate/remove behaviour, batch persistence semantics, cost
+   properties, and post-crash reattachment. *)
+
+open Rewind_nvm
+open Rewind
+
+let variants =
+  [ ("simple", Log.Simple); ("optimized", Log.Optimized); ("batch8", Log.Batch 8) ]
+
+let fresh () =
+  let arena = Arena.create ~size_bytes:(4 lsl 20) () in
+  let alloc = Alloc.create arena in
+  (arena, alloc)
+
+let mk_record alloc ~lsn ~txn =
+  Record.make alloc ~lsn ~txn ~typ:Record.Update ~addr:(8 * lsn)
+    ~old_value:0L ~new_value:(Int64.of_int lsn) ~undo_next:0 ~prev_same_txn:0
+
+let lsns arena log =
+  let acc = ref [] in
+  Log.iter log (fun r -> acc := Record.lsn arena r :: !acc);
+  List.rev !acc
+
+let lsns_back arena log =
+  let acc = ref [] in
+  Log.iter_back log (fun r -> acc := Record.lsn arena r :: !acc);
+  List.rev !acc
+
+let check_list = Alcotest.(check (list int))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Behaviour shared by all variants                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_append_iterate variant () =
+  let arena, alloc = fresh () in
+  let log = Log.create variant ~bucket_cap:4 alloc ~root_slot:2 in
+  for i = 1 to 10 do
+    Log.append log (mk_record alloc ~lsn:i ~txn:1)
+  done;
+  check_list "forward order" (List.init 10 (fun i -> i + 1)) (lsns arena log);
+  check_list "backward order"
+    (List.rev (List.init 10 (fun i -> i + 1)))
+    (lsns_back arena log);
+  check_int "length" 10 (Log.length log)
+
+let test_remove_where variant () =
+  let arena, alloc = fresh () in
+  let log = Log.create variant ~bucket_cap:4 alloc ~root_slot:2 in
+  for i = 1 to 10 do
+    Log.append log (mk_record alloc ~lsn:i ~txn:(i mod 2))
+  done;
+  Log.remove_where log (fun r -> Record.txn arena r = 0);
+  check_list "odd lsns remain" [ 1; 3; 5; 7; 9 ] (lsns arena log)
+
+let test_remove_all_then_append variant () =
+  let arena, alloc = fresh () in
+  let log = Log.create variant ~bucket_cap:4 alloc ~root_slot:2 in
+  for i = 1 to 9 do
+    Log.append log (mk_record alloc ~lsn:i ~txn:1)
+  done;
+  Log.remove_where log (fun _ -> true);
+  check_int "empty" 0 (Log.length log);
+  Log.append log (mk_record alloc ~lsn:42 ~txn:1);
+  check_list "usable after emptying" [ 42 ] (lsns arena log)
+
+let test_clear_all variant () =
+  let arena, alloc = fresh () in
+  let log = Log.create variant ~bucket_cap:4 alloc ~root_slot:2 in
+  for i = 1 to 10 do
+    Log.append log (mk_record alloc ~lsn:i ~txn:1)
+  done;
+  Log.clear_all log;
+  check_int "cleared" 0 (Log.length log);
+  Log.append log (mk_record alloc ~lsn:5 ~txn:1);
+  check_list "fresh log usable" [ 5 ] (lsns arena log)
+
+(* Reattach after a clean crash: everything persistent must reappear and
+   the cursor must allow further appends. *)
+let test_crash_reattach variant () =
+  let arena, alloc = fresh () in
+  let log = Log.create variant ~bucket_cap:4 alloc ~root_slot:2 in
+  for i = 1 to 10 do
+    Log.append ~is_end:(i = 10) log (mk_record alloc ~lsn:i ~txn:1)
+  done;
+  Arena.crash arena;
+  let alloc = Alloc.recover arena in
+  let log2 = Log.attach variant ~bucket_cap:4 alloc ~root_slot:2 in
+  check_list "records recovered" (List.init 10 (fun i -> i + 1)) (lsns arena log2);
+  Log.append log2 (mk_record alloc ~lsn:11 ~txn:1);
+  check_list "append after recovery"
+    (List.init 11 (fun i -> i + 1))
+    (lsns arena log2)
+
+(* ------------------------------------------------------------------ *)
+(* Batch-specific persistence semantics                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Records beyond the last group fence are lost by a crash — and recovery
+   must not see them. *)
+let test_batch_untrusted_tail () =
+  let arena, alloc = fresh () in
+  let log = Log.create (Log.Batch 8) ~bucket_cap:100 alloc ~root_slot:2 in
+  for i = 1 to 11 do
+    Log.append log (mk_record alloc ~lsn:i ~txn:1)
+  done;
+  (* group of 8 persisted; 9..11 pending *)
+  check_int "pending" 3 (Log.pending log);
+  Arena.crash arena;
+  let alloc = Alloc.recover arena in
+  let log2 = Log.attach (Log.Batch 8) ~bucket_cap:100 alloc ~root_slot:2 in
+  check_list "only fenced prefix survives"
+    (List.init 8 (fun i -> i + 1))
+    (lsns arena log2)
+
+let test_batch_end_forces () =
+  let arena, alloc = fresh () in
+  let log = Log.create (Log.Batch 8) ~bucket_cap:100 alloc ~root_slot:2 in
+  for i = 1 to 3 do
+    Log.append log (mk_record alloc ~lsn:i ~txn:1)
+  done;
+  Log.append ~is_end:true log (mk_record alloc ~lsn:4 ~txn:1);
+  check_int "nothing pending after END" 0 (Log.pending log);
+  Arena.crash arena;
+  let alloc = Alloc.recover arena in
+  let log2 = Log.attach (Log.Batch 8) ~bucket_cap:100 alloc ~root_slot:2 in
+  check_list "all survive thanks to END" [ 1; 2; 3; 4 ] (lsns arena log2)
+
+let test_batch_flush_group () =
+  let arena, alloc = fresh () in
+  let log = Log.create (Log.Batch 8) ~bucket_cap:100 alloc ~root_slot:2 in
+  for i = 1 to 5 do
+    Log.append log (mk_record alloc ~lsn:i ~txn:1)
+  done;
+  Log.flush_group log;
+  Arena.crash arena;
+  let alloc = Alloc.recover arena in
+  let log2 = Log.attach (Log.Batch 8) ~bucket_cap:100 alloc ~root_slot:2 in
+  check_list "explicit flush persists tail" [ 1; 2; 3; 4; 5 ] (lsns arena log2)
+
+(* ------------------------------------------------------------------ *)
+(* Cost properties                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The whole point of Batch: one fence per [group] records instead of one
+   per record. *)
+let test_fence_counts () =
+  let count variant =
+    let arena, alloc = fresh () in
+    let log = Log.create variant ~bucket_cap:1000 alloc ~root_slot:2 in
+    let before = (Arena.stats arena).Stats.fences in
+    for i = 1 to 64 do
+      Log.append log (mk_record alloc ~lsn:i ~txn:1)
+    done;
+    (Arena.stats arena).Stats.fences - before
+  in
+  let opt = count Log.Optimized in
+  let batch = count (Log.Batch 8) in
+  check_int "optimized: one fence per record" 64 opt;
+  check_int "batch: one fence per group" 8 batch
+
+let test_batch_cheaper_than_optimized_than_simple () =
+  let cost variant =
+    let arena, alloc = fresh () in
+    let log = Log.create variant ~bucket_cap:1000 alloc ~root_slot:2 in
+    Clock.reset ();
+    for i = 1 to 256 do
+      Log.append log (mk_record alloc ~lsn:i ~txn:1)
+    done;
+    ignore arena;
+    Clock.now ()
+  in
+  let simple = cost Log.Simple in
+  let opt = cost Log.Optimized in
+  let batch = cost (Log.Batch 8) in
+  check_bool "optimized beats simple" true (opt < simple);
+  check_bool "batch beats optimized" true (batch < opt)
+
+(* ------------------------------------------------------------------ *)
+(* Crash-point property                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* After a crash at any point, reattachment yields a prefix of the appended
+   records (modulo batch groups), iteration works and further appends
+   succeed. *)
+let prop_crash_prefix variant =
+  QCheck.Test.make
+    ~name:(Fmt.str "%a: crash leaves a clean prefix" Log.pp_variant variant)
+    ~count:150
+    QCheck.(int_bound 400)
+    (fun crash_after ->
+      let arena, alloc = fresh () in
+      let log = Log.create variant ~bucket_cap:4 alloc ~root_slot:2 in
+      Arena.arm_crash arena ~after:crash_after;
+      (try
+         for i = 1 to 30 do
+           Log.append log (mk_record alloc ~lsn:i ~txn:1)
+         done;
+         Arena.disarm_crash arena
+       with Arena.Crash -> ());
+      Arena.disarm_crash arena;
+      if Arena.crashed arena then begin
+        let alloc = Alloc.recover arena in
+        let log2 = Log.attach variant ~bucket_cap:4 alloc ~root_slot:2 in
+        let ls = lsns arena log2 in
+        let expected_prefix = List.init (List.length ls) (fun i -> i + 1) in
+        ls = expected_prefix
+        && begin
+             Log.append log2 (mk_record alloc ~lsn:999 ~txn:1);
+             let ls' = lsns arena log2 in
+             ls' = expected_prefix @ [ 999 ]
+           end
+      end
+      else true)
+
+let () =
+  let tc = Alcotest.test_case in
+  let per_variant name f =
+    List.map (fun (vn, v) -> tc (name ^ " (" ^ vn ^ ")") `Quick (f v)) variants
+  in
+  Alcotest.run "log"
+    [
+      ("append-iterate", per_variant "append/iterate" test_append_iterate);
+      ("remove", per_variant "remove_where" test_remove_where);
+      ("empty-refill", per_variant "remove all then append" test_remove_all_then_append);
+      ("clear-all", per_variant "clear_all" test_clear_all);
+      ("crash-reattach", per_variant "crash reattach" test_crash_reattach);
+      ( "batch-semantics",
+        [
+          tc "untrusted tail dropped" `Quick test_batch_untrusted_tail;
+          tc "END forces persistence" `Quick test_batch_end_forces;
+          tc "flush_group persists tail" `Quick test_batch_flush_group;
+        ] );
+      ( "costs",
+        [
+          tc "fence counts" `Quick test_fence_counts;
+          tc "variant ordering" `Quick test_batch_cheaper_than_optimized_than_simple;
+        ] );
+      ( "properties",
+        List.map
+          (fun (_, v) -> QCheck_alcotest.to_alcotest (prop_crash_prefix v))
+          variants );
+    ]

@@ -1,0 +1,413 @@
+(* Tests for the NVM substrate: arena cache/durability semantics, crash
+   behaviour, crash injection, cost accounting, allocator, block device. *)
+
+open Rewind_nvm
+
+let arena ?(size = 1 lsl 20) () = Arena.create ~size_bytes:size ()
+
+let check_i64 = Alcotest.(check int64)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Arena: cache and durability semantics                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_cached_write_visible () =
+  let a = arena () in
+  Arena.write a 1024 42L;
+  check_i64 "volatile view sees cached store" 42L (Arena.read a 1024);
+  check_i64 "durable image does not" 0L (Arena.durable_read a 1024)
+
+let test_cached_write_lost_on_crash () =
+  let a = arena () in
+  Arena.write a 1024 42L;
+  Arena.crash a;
+  check_i64 "cached store lost" 0L (Arena.read a 1024)
+
+let test_flush_makes_durable () =
+  let a = arena () in
+  Arena.write a 1024 42L;
+  Arena.flush_line a 1024;
+  Arena.fence a;
+  Arena.crash a;
+  check_i64 "flushed store survives" 42L (Arena.read a 1024)
+
+let test_nt_write_durable () =
+  let a = arena () in
+  Arena.nt_write a 2048 7L;
+  Arena.crash a;
+  check_i64 "non-temporal store survives" 7L (Arena.read a 2048)
+
+let test_flush_line_covers_whole_line () =
+  let a = arena () in
+  (* Two words on the same 64-byte line. *)
+  Arena.write a 1024 1L;
+  Arena.write a 1032 2L;
+  Arena.flush_line a 1024;
+  Arena.crash a;
+  check_i64 "first word" 1L (Arena.read a 1024);
+  check_i64 "second word on same line" 2L (Arena.read a 1032)
+
+let test_flush_all () =
+  let a = arena () in
+  Arena.write a 1024 1L;
+  Arena.write a 409600 2L;
+  Arena.flush_all a;
+  Arena.crash a;
+  check_i64 "line 1" 1L (Arena.read a 1024);
+  check_i64 "line 2" 2L (Arena.read a 409600)
+
+let test_nt_write_does_not_persist_neighbours () =
+  let a = arena () in
+  Arena.write a 1024 1L;      (* cached, same line as below *)
+  Arena.nt_write a 1032 2L;   (* durable word store *)
+  Arena.crash a;
+  check_i64 "cached neighbour lost" 0L (Arena.read a 1024);
+  check_i64 "nt word survives" 2L (Arena.read a 1032)
+
+let test_dirty_tracking () =
+  let a = arena () in
+  check_bool "clean initially" false (Arena.is_dirty a 1024);
+  Arena.write a 1024 1L;
+  check_bool "dirty after store" true (Arena.is_dirty a 1024);
+  Arena.flush_line a 1024;
+  check_bool "clean after flush" false (Arena.is_dirty a 1024)
+
+let test_bytes_roundtrip () =
+  let a = arena () in
+  Arena.write_bytes a 1024 "hello, nvm!";
+  Alcotest.(check string) "bytes" "hello, nvm!" (Arena.read_bytes a 1024 11);
+  Arena.flush_range a 1024 11;
+  Arena.crash a;
+  Alcotest.(check string) "bytes durable" "hello, nvm!" (Arena.read_bytes a 1024 11)
+
+let test_bounds_check () =
+  let a = arena ~size:4096 () in
+  Alcotest.check_raises "oob read"
+    (Invalid_argument "Arena: access [4095,4103) outside arena of 4096 bytes")
+    (fun () -> ignore (Arena.read a 4095))
+
+(* ------------------------------------------------------------------ *)
+(* Arena: crash injection                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_crash_injection_counts_events () =
+  let a = arena () in
+  Arena.arm_crash a ~after:2;
+  Arena.nt_write a 1024 1L;
+  Arena.nt_write a 1032 2L;
+  (try
+     Arena.nt_write a 1040 3L;
+     Alcotest.fail "expected crash"
+   with Arena.Crash -> ());
+  check_i64 "first survived" 1L (Arena.read a 1024);
+  check_i64 "second survived" 2L (Arena.read a 1032);
+  check_i64 "third never applied" 0L (Arena.read a 1040)
+
+let test_crash_injection_on_flush () =
+  let a = arena () in
+  Arena.write a 1024 1L;
+  Arena.arm_crash a ~after:0;
+  (try
+     Arena.flush_line a 1024;
+     Alcotest.fail "expected crash"
+   with Arena.Crash -> ());
+  check_i64 "flush interrupted, store lost" 0L (Arena.read a 1024)
+
+let test_disarm () =
+  let a = arena () in
+  Arena.arm_crash a ~after:0;
+  Arena.disarm_crash a;
+  Arena.nt_write a 1024 1L;
+  check_i64 "no crash after disarm" 1L (Arena.read a 1024)
+
+let test_clean_flush_is_not_an_event () =
+  let a = arena () in
+  Arena.arm_crash a ~after:0;
+  (* Flushing a clean line must not consume a crash budget event. *)
+  Arena.flush_line a 1024;
+  Arena.disarm_crash a;
+  check_bool "no crash happened" false (Arena.crashed a)
+
+(* ------------------------------------------------------------------ *)
+(* Arena: cost accounting                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_write_combining () =
+  let a = arena () in
+  Clock.reset ();
+  let cfg = Arena.config a in
+  (* Eight words on one cacheline: a single NVM write charge. *)
+  for i = 0 to 7 do
+    Arena.nt_write a (1024 + (8 * i)) (Int64.of_int i)
+  done;
+  check_int "one line charge" cfg.Config.nvm_write_ns (Clock.now ());
+  check_int "one nvm write counted" 1 (Arena.stats a).Stats.nvm_writes
+
+let test_fence_breaks_combining () =
+  let a = arena () in
+  Clock.reset ();
+  let cfg = Arena.config a in
+  Arena.nt_write a 1024 1L;
+  Arena.fence a;
+  Arena.nt_write a 1032 2L;
+  check_int "two line charges plus fence"
+    ((2 * cfg.Config.nvm_write_ns) + cfg.Config.fence_ns)
+    (Clock.now ())
+
+let test_distinct_lines_charged () =
+  let a = arena () in
+  Clock.reset ();
+  let cfg = Arena.config a in
+  Arena.nt_write a 1024 1L;
+  Arena.nt_write a 2048 2L;
+  check_int "two charges" (2 * cfg.Config.nvm_write_ns) (Clock.now ())
+
+let test_cached_store_cost () =
+  let a = arena () in
+  Clock.reset ();
+  let cfg = Arena.config a in
+  Arena.write a 1024 1L;
+  check_int "dram cost" cfg.Config.dram_write_ns (Clock.now ())
+
+(* ------------------------------------------------------------------ *)
+(* Roots                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_roots_survive_crash () =
+  let a = arena () in
+  Arena.root_set a 5 12345L;
+  Arena.crash a;
+  check_i64 "root durable" 12345L (Arena.root_get a 5)
+
+let test_bad_root_slot () =
+  let a = arena () in
+  Alcotest.check_raises "slot 0 reserved" (Invalid_argument "Arena: bad root slot")
+    (fun () -> ignore (Arena.root_get a 0))
+
+(* ------------------------------------------------------------------ *)
+(* Allocator                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_alloc_distinct () =
+  let a = arena () in
+  let al = Alloc.create a in
+  let x = Alloc.alloc al 24 and y = Alloc.alloc al 24 in
+  check_bool "distinct" true (x <> y);
+  check_bool "disjoint" true (abs (x - y) >= 24)
+
+let test_alloc_aligned () =
+  let a = arena () in
+  let al = Alloc.create a in
+  for _ = 1 to 20 do
+    let off = Alloc.alloc al 13 in
+    check_int "8-aligned" 0 (off land 7)
+  done
+
+let test_free_reuse () =
+  let a = arena () in
+  let al = Alloc.create a in
+  let x = Alloc.alloc al 32 in
+  Alloc.free al x 32;
+  let y = Alloc.alloc al 32 in
+  check_int "freed block reused" x y
+
+let test_alloc_fresh_never_reuses () =
+  let a = arena () in
+  let al = Alloc.create a in
+  let x = Alloc.alloc_fresh al 64 in
+  Arena.nt_write a x 99L;
+  Alloc.free al x 64;
+  let y = Alloc.alloc_fresh al 64 in
+  check_bool "fresh block is new space" true (x <> y);
+  check_i64 "fresh block durably zero" 0L (Arena.durable_read a y)
+
+let test_cursor_survives_crash () =
+  let a = arena () in
+  let al = Alloc.create a in
+  let x = Alloc.alloc al 64 in
+  Arena.crash a;
+  let al2 = Alloc.recover a in
+  let y = Alloc.alloc al2 64 in
+  check_bool "no overlap with pre-crash allocation" true (y >= x + 64)
+
+let test_out_of_memory () =
+  let a = arena ~size:2048 () in
+  let al = Alloc.create a in
+  Alcotest.check_raises "oom" Alloc.Out_of_memory_arena (fun () ->
+      for _ = 1 to 1000 do
+        ignore (Alloc.alloc al 64)
+      done)
+
+(* ------------------------------------------------------------------ *)
+(* Block device                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_block_roundtrip () =
+  let d = Block_dev.create () in
+  let b = Bytes.make (Block_dev.block_size d) 'x' in
+  Block_dev.write d 3 b;
+  Alcotest.(check bytes) "block read back" b (Block_dev.read d 3)
+
+let test_block_absent_is_zero () =
+  let d = Block_dev.create () in
+  let b = Block_dev.read d 42 in
+  check_bool "zeroed" true (Bytes.for_all (fun c -> c = '\000') b)
+
+let test_block_cost_model () =
+  let d = Block_dev.create ~syscall_ns:2500 () in
+  Clock.reset ();
+  Block_dev.write d 0 (Bytes.make 4096 'a');
+  (* 4096/64 = 64 cachelines at 150 ns + 2500 ns syscall. *)
+  check_int "write cost" (2500 + (64 * 150)) (Clock.now ())
+
+let test_block_survives_crash () =
+  let d = Block_dev.create () in
+  Block_dev.write d 1 (Bytes.make 4096 'z');
+  Block_dev.crash d;
+  Alcotest.(check bytes) "durable" (Bytes.make 4096 'z') (Block_dev.read d 1)
+
+(* ------------------------------------------------------------------ *)
+(* Sim_mutex                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_sim_mutex_serialises_time () =
+  let m = Sim_mutex.create ~acquire_ns:0 () in
+  Clock.reset ();
+  Sim_mutex.with_lock m (fun () -> Clock.advance 100);
+  (* A later acquirer whose clock is behind must be pulled forward. *)
+  Clock.set 10;
+  Sim_mutex.lock m;
+  check_int "waited until release time" 100 (Clock.now ());
+  Sim_mutex.unlock m
+
+let test_sim_mutex_no_wait_when_ahead () =
+  let m = Sim_mutex.create ~acquire_ns:0 () in
+  Clock.reset ();
+  Sim_mutex.with_lock m (fun () -> Clock.advance 50);
+  Clock.set 500;
+  Sim_mutex.lock m;
+  check_int "no artificial wait" 500 (Clock.now ());
+  Sim_mutex.unlock m
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Durability property: a random mix of cached writes, NT writes, flushes
+   and a final crash must leave exactly the persisted state visible. *)
+let prop_durability =
+  QCheck.Test.make ~name:"crash keeps persisted writes and only those" ~count:200
+    QCheck.(list (pair (int_bound 63) (int_bound 1000)))
+    (fun ops ->
+      let a = arena ~size:8192 () in
+      let durable = Hashtbl.create 16 and volatile = Hashtbl.create 16 in
+      List.iter
+        (fun (slot, v) ->
+          let off = 1024 + (slot * 8) in
+          let v = Int64.of_int v in
+          if v < 300L then begin
+            Arena.write a off v;
+            Hashtbl.replace volatile off v
+          end
+          else if v < 600L then begin
+            Arena.nt_write a off v;
+            Hashtbl.replace volatile off v;
+            Hashtbl.replace durable off v
+          end
+          else begin
+            Arena.write a off v;
+            Hashtbl.replace volatile off v;
+            Arena.flush_line a off;
+            (* the whole line persists *)
+            let line = off land lnot 63 in
+            Hashtbl.iter
+              (fun o v -> if o land lnot 63 = line then Hashtbl.replace durable o v)
+              volatile
+          end)
+        ops;
+      Arena.crash a;
+      Hashtbl.fold (fun off v acc -> acc && Arena.read a off = v) durable true)
+
+let prop_alloc_disjoint =
+  QCheck.Test.make ~name:"allocations never overlap" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 50) (int_range 1 128))
+    (fun sizes ->
+      let a = arena ~size:(1 lsl 20) () in
+      let al = Alloc.create a in
+      let regions =
+        List.map (fun s -> (Alloc.alloc al s, (s + 7) land lnot 7)) sizes
+      in
+      let rec disjoint = function
+        | [] -> true
+        | (o, s) :: rest ->
+            List.for_all (fun (o', s') -> o + s <= o' || o' + s' <= o) rest
+            && disjoint rest
+      in
+      disjoint regions)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "nvm"
+    [
+      ( "arena-durability",
+        [
+          tc "cached write visible" `Quick test_cached_write_visible;
+          tc "cached write lost on crash" `Quick test_cached_write_lost_on_crash;
+          tc "flush makes durable" `Quick test_flush_makes_durable;
+          tc "nt write durable" `Quick test_nt_write_durable;
+          tc "flush covers whole line" `Quick test_flush_line_covers_whole_line;
+          tc "flush all" `Quick test_flush_all;
+          tc "nt write does not persist neighbours" `Quick
+            test_nt_write_does_not_persist_neighbours;
+          tc "dirty tracking" `Quick test_dirty_tracking;
+          tc "bytes roundtrip" `Quick test_bytes_roundtrip;
+          tc "bounds check" `Quick test_bounds_check;
+        ] );
+      ( "arena-crash-injection",
+        [
+          tc "counts events" `Quick test_crash_injection_counts_events;
+          tc "crash on flush" `Quick test_crash_injection_on_flush;
+          tc "disarm" `Quick test_disarm;
+          tc "clean flush is free" `Quick test_clean_flush_is_not_an_event;
+        ] );
+      ( "arena-costs",
+        [
+          tc "write combining" `Quick test_write_combining;
+          tc "fence breaks combining" `Quick test_fence_breaks_combining;
+          tc "distinct lines charged" `Quick test_distinct_lines_charged;
+          tc "cached store cost" `Quick test_cached_store_cost;
+        ] );
+      ( "roots",
+        [
+          tc "roots survive crash" `Quick test_roots_survive_crash;
+          tc "bad root slot" `Quick test_bad_root_slot;
+        ] );
+      ( "alloc",
+        [
+          tc "distinct" `Quick test_alloc_distinct;
+          tc "aligned" `Quick test_alloc_aligned;
+          tc "free reuse" `Quick test_free_reuse;
+          tc "fresh never reuses" `Quick test_alloc_fresh_never_reuses;
+          tc "cursor survives crash" `Quick test_cursor_survives_crash;
+          tc "out of memory" `Quick test_out_of_memory;
+        ] );
+      ( "block-dev",
+        [
+          tc "roundtrip" `Quick test_block_roundtrip;
+          tc "absent is zero" `Quick test_block_absent_is_zero;
+          tc "cost model" `Quick test_block_cost_model;
+          tc "survives crash" `Quick test_block_survives_crash;
+        ] );
+      ( "sim-mutex",
+        [
+          tc "serialises time" `Quick test_sim_mutex_serialises_time;
+          tc "no wait when ahead" `Quick test_sim_mutex_no_wait_when_ahead;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_durability;
+          QCheck_alcotest.to_alcotest prop_alloc_disjoint;
+        ] );
+    ]

@@ -1,0 +1,202 @@
+(* TPC-C substrate tests: deterministic generation, new-order semantics in
+   both layouts, abort/rollback behaviour, crash recovery of the database,
+   consistency probes, and a single-terminal workload smoke test. *)
+
+open Rewind_nvm
+open Rewind_tpcc
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let small = Datagen.small
+
+let mk ?(layout = Schema.Naive) () =
+  let arena = Arena.create ~size_bytes:(256 lsl 20) () in
+  let alloc = Alloc.create arena in
+  let db = Schema.create ~layout Rewind_pds.Btree.Direct_nvm alloc in
+  Datagen.load ~params:small db 0;
+  (arena, alloc, db)
+
+let with_tm arena alloc db =
+  let tm = Rewind.Tm.create ~cfg:Rewind.config_1l_nfp alloc ~root_slot:3 in
+  let rb t =
+    Rewind_pds.Btree.attach (Rewind_pds.Btree.Logged tm) alloc
+      ~root_cell:(Rewind_pds.Btree.root_cell t)
+  in
+  ignore arena;
+  ( tm,
+    {
+      db with
+      Schema.mode = Rewind_pds.Btree.Logged tm;
+      Schema.customer = rb db.Schema.customer;
+      Schema.item = rb db.Schema.item;
+      Schema.stock = rb db.Schema.stock;
+      Schema.orders = Array.map rb db.Schema.orders;
+      Schema.order_line = Array.map rb db.Schema.order_line;
+      Schema.new_order = Array.map rb db.Schema.new_order;
+      Schema.history = rb db.Schema.history;
+    } )
+
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    check_bool "same stream" true (Rng.next a = Rng.next b)
+  done;
+  let r = Rng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 5 15 in
+    check_bool "in range" true (v >= 5 && v <= 15)
+  done
+
+let test_datagen_loads () =
+  let _, _, db = mk () in
+  check_int "items" small.Datagen.items (Rewind_pds.Btree.size db.Schema.item);
+  check_int "stock" small.Datagen.items (Rewind_pds.Btree.size db.Schema.stock);
+  check_int "customers"
+    (Schema.districts * small.Datagen.customers_per_district)
+    (Rewind_pds.Btree.size db.Schema.customer);
+  for d = 1 to Schema.districts do
+    check_bool "district row" true (db.Schema.districts_rows.(d) <> 0)
+  done
+
+let test_request_shape () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 200 do
+    let rq = Neworder.gen_request rng ~items:small.Datagen.items in
+    check_bool "district" true (rq.Neworder.rq_district >= 1 && rq.Neworder.rq_district <= 10);
+    let n = List.length rq.Neworder.rq_lines in
+    check_bool "5-15 lines" true (n >= 5 && n <= 15);
+    List.iter
+      (fun l ->
+        check_bool "item in range" true
+          (l.Neworder.li_item >= 1 && l.Neworder.li_item <= small.Datagen.items))
+      rq.Neworder.rq_lines
+  done
+
+let test_abort_rate () =
+  let rng = Rng.create 11 in
+  let n = 20_000 in
+  let aborts = ref 0 in
+  for _ = 1 to n do
+    let rq = Neworder.gen_request rng ~items:small.Datagen.items in
+    if rq.Neworder.rq_invalid then incr aborts
+  done;
+  let rate = float_of_int !aborts /. float_of_int n in
+  check_bool "~1% aborts" true (rate > 0.005 && rate < 0.02)
+
+let run_fixed db tm_opt ~district ~invalid =
+  let rq =
+    {
+      Neworder.rq_district = district;
+      rq_customer = 1;
+      rq_lines = [ { Neworder.li_item = 1; li_qty = 3 }; { li_item = 2; li_qty = 1 } ];
+      rq_invalid = invalid;
+    }
+  in
+  match tm_opt with
+  | Some tm -> Neworder.run_transactional db tm rq
+  | None -> Neworder.run_raw db rq
+
+let test_neworder_effects layout () =
+  let arena, alloc, db0 = mk ~layout () in
+  let tm, db = with_tm arena alloc db0 in
+  let drow = db.Schema.districts_rows.(1) in
+  let stock1 =
+    Int64.to_int
+      (Schema.row_get db
+         (Int64.to_int (Option.get (Rewind_pds.Btree.lookup db.Schema.stock 1L)))
+         Schema.s_quantity)
+  in
+  let outcome = run_fixed db (Some tm) ~district:1 ~invalid:false in
+  check_bool "committed" true (outcome = Neworder.Committed);
+  check_int "next_o_id advanced" 2
+    (Int64.to_int (Schema.row_get db drow Schema.d_next_o_id));
+  check_bool "order row present" true
+    (Rewind_pds.Btree.lookup (Schema.order_tree db 1) (Schema.key_order db 1 1) <> None);
+  check_bool "order lines present" true
+    (Rewind_pds.Btree.lookup (Schema.order_line_tree db 1)
+       (Schema.key_order_line db 1 1 1)
+    <> None);
+  let srow = Int64.to_int (Option.get (Rewind_pds.Btree.lookup db.Schema.stock 1L)) in
+  let q = Int64.to_int (Schema.row_get db srow Schema.s_quantity) in
+  check_bool "stock decremented (mod refill)" true (q <> stock1);
+  check_bool "consistent" true (Workload.check_consistency db)
+
+let test_abort_rolls_back layout () =
+  let arena, alloc, db0 = mk ~layout () in
+  let tm, db = with_tm arena alloc db0 in
+  ignore (run_fixed db (Some tm) ~district:2 ~invalid:false);
+  let drow = db.Schema.districts_rows.(2) in
+  let before_noid = Schema.row_get db drow Schema.d_next_o_id in
+  let outcome = run_fixed db (Some tm) ~district:2 ~invalid:true in
+  check_bool "aborted" true (outcome = Neworder.Aborted);
+  check_bool "next_o_id restored" true
+    (Schema.row_get db drow Schema.d_next_o_id = before_noid);
+  check_bool "no phantom order" true
+    (Rewind_pds.Btree.lookup (Schema.order_tree db 2) (Schema.key_order db 2 2) = None);
+  check_bool "consistent after abort" true (Workload.check_consistency db)
+
+let test_crash_recovery () =
+  let arena, alloc, db0 = mk () in
+  let tm, db = with_tm arena alloc db0 in
+  ignore (run_fixed db (Some tm) ~district:3 ~invalid:false);
+  ignore (run_fixed db (Some tm) ~district:3 ~invalid:false);
+  (* a third transaction left in flight *)
+  let txn = Rewind.Tm.begin_txn tm in
+  let drow = db.Schema.districts_rows.(3) in
+  Schema.row_set db tm txn drow Schema.d_next_o_id 999L;
+  Arena.crash arena;
+  let alloc2 = Alloc.recover arena in
+  let _tm2 = Rewind.Tm.attach ~cfg:Rewind.config_1l_nfp alloc2 ~root_slot:3 in
+  check_int "two committed orders" 3
+    (Int64.to_int (Schema.row_get db drow Schema.d_next_o_id));
+  check_bool "orders intact" true
+    (Rewind_pds.Btree.lookup (Schema.order_tree db 3) (Schema.key_order db 3 2) <> None);
+  check_bool "consistent after recovery" true (Workload.check_consistency db)
+
+let test_workload_single_terminal config () =
+  let r = Workload.run ~terminals:1 ~txns_per_terminal:50 ~params:small ~arena_mb:128 ~config () in
+  check_int "all transactions accounted" 50 (r.Workload.committed + r.Workload.aborted);
+  check_bool "positive throughput" true (r.Workload.tpm > 0.)
+
+let test_workload_multi_terminal () =
+  let r =
+    Workload.run ~terminals:4 ~txns_per_terminal:25 ~params:small ~arena_mb:128
+      ~config:Workload.Rewind_opt_dlog ()
+  in
+  check_int "all transactions" 100 (r.Workload.committed + r.Workload.aborted);
+  check_bool "positive time" true (r.Workload.sim_ns > 0)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "tpcc"
+    [
+      ( "generation",
+        [
+          tc "rng deterministic" `Quick test_rng_deterministic;
+          tc "datagen loads" `Quick test_datagen_loads;
+          tc "request shape" `Quick test_request_shape;
+          tc "1% abort rate" `Quick test_abort_rate;
+        ] );
+      ( "neworder",
+        [
+          tc "effects (naive)" `Quick (test_neworder_effects Schema.Naive);
+          tc "effects (optimized)" `Quick (test_neworder_effects Schema.Optimized);
+          tc "abort rolls back (naive)" `Quick (test_abort_rolls_back Schema.Naive);
+          tc "abort rolls back (optimized)" `Quick
+            (test_abort_rolls_back Schema.Optimized);
+          tc "crash recovery" `Quick test_crash_recovery;
+        ] );
+      ( "workload",
+        [
+          tc "single terminal (nvm)" `Quick
+            (test_workload_single_terminal Workload.Nvm_naive);
+          tc "single terminal (rewind naive)" `Quick
+            (test_workload_single_terminal Workload.Rewind_naive);
+          tc "single terminal (rewind opt)" `Quick
+            (test_workload_single_terminal Workload.Rewind_opt);
+          tc "multi terminal (dlog)" `Quick test_workload_multi_terminal;
+        ] );
+    ]
