@@ -52,6 +52,7 @@ type t = {
   mutable pending : int;     (* slots appended since the last persist point *)
   occupancy : (int, int ref) Hashtbl.t;  (* bucket -> live records (volatile) *)
   mutable appended : int;  (* total records ever appended (stat) *)
+  mutable torn : int;  (* bad-checksum records truncated by the last attach *)
 }
 
 let variant t = t.variant
@@ -94,6 +95,7 @@ let create variant ?(bucket_cap = 1000) alloc ~root_slot =
       pending = 0;
       occupancy = Hashtbl.create 64;
       appended = 0;
+      torn = 0;
     }
   in
   (match variant with Simple -> () | Optimized | Batch _ -> ignore (new_bucket t));
@@ -159,6 +161,7 @@ let append_h ?(is_end = false) t r =
 let append ?(is_end = false) t r = ignore (append_h ~is_end t r)
 
 let appended t = t.appended
+let torn_truncated t = t.torn
 
 (* Slots appended but not yet persisted (Batch only; 0 otherwise). *)
 let pending t = t.pending
@@ -401,10 +404,34 @@ let compact ?(threshold = 0.5) t =
 
 (* -- post-crash attachment --------------------------------------------- *)
 
+(* Is [v] even addressable as a record?  A slot or list element should
+   only ever hold 0, the tombstone, or a cacheline-aligned in-bounds
+   record address — anything else is corruption caught before
+   [Record.verify] dereferences it. *)
+let plausible_record t v =
+  v >= 0
+  && v land (Record.size_bytes - 1) = 0
+  && v + Record.size_bytes <= Arena.size t.arena
+
+(* Checksum-verify a reachable record during analysis; count and report a
+   failure as a torn write. *)
+let record_intact t v =
+  let ok = plausible_record t v && Record.verify t.arena v in
+  if not ok then begin
+    t.torn <- t.torn + 1;
+    let s = Arena.stats t.arena in
+    s.Stats.torn_records <- s.Stats.torn_records + 1
+  end;
+  ok
+
 (* Reconstruct the volatile cursor and occupancy from the durable image:
    recover the ADLL itself, then scan the buckets, counting live slots and
    locating the insertion point in the last bucket (the paper's analysis-
-   phase reconstruction of Section 3.3). *)
+   phase reconstruction of Section 3.3).  Every reachable record is
+   checksum-verified first: a record that fails is a torn write (or media
+   corruption) and is truncated out of the log — tombstoned in its slot,
+   or unlinked from the Simple chain — instead of being replayed as
+   garbage. *)
 let attach variant ?(bucket_cap = 1000) alloc ~root_slot =
   let arena = Alloc.arena alloc in
   let base = Int64.to_int (Arena.root_get arena root_slot) in
@@ -426,10 +453,19 @@ let attach variant ?(bucket_cap = 1000) alloc ~root_slot =
         pending = 0;
         occupancy = Hashtbl.create 64;
         appended = 0;
+        torn = 0;
       }
     in
     (match variant with
-    | Simple -> ()
+    | Simple ->
+        (* Unlink torn records from the chain.  Their memory is leaked —
+           a crash already leaks all volatile free lists, so recovery-time
+           truncation leaks nothing extra worth tracking. *)
+        let bad = ref [] in
+        Adll.iter chain (fun node ->
+            if not (record_intact t (Adll.element chain node)) then
+              bad := node :: !bad);
+        List.iter (fun node -> Adll.remove chain node) !bad
     | Optimized | Batch _ ->
         Adll.iter chain (fun node ->
             let b = Adll.element chain node in
@@ -443,7 +479,10 @@ let attach variant ?(bucket_cap = 1000) alloc ~root_slot =
             for i = 0 to bound - 1 do
               let v = rd t (slot_off b i) in
               if v > tombstone then begin
-                incr occ;
+                if record_intact t v then incr occ
+                else
+                  (* torn write: truncate the record out of the log *)
+                  wr_nt t (slot_off b i) tombstone;
                 last_used := i
               end
               else if v = tombstone then last_used := i

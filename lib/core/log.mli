@@ -29,7 +29,14 @@ val attach :
   variant -> ?bucket_cap:int -> Rewind_nvm.Alloc.t -> root_slot:int -> t
 (** Reattach after a crash: recovers the underlying ADLL, then rebuilds
     the cursor and occupancy from the durable image.  Batch-variant slots
-    beyond a bucket's last persistent index are not trusted. *)
+    beyond a bucket's last persistent index are not trusted.  Reachable
+    records are checksum-verified; one that fails is treated as a torn
+    write and truncated out of the log (see {!torn_truncated}) instead of
+    being replayed. *)
+
+val torn_truncated : t -> int
+(** Bad-checksum records truncated by the last {!attach} (0 for a log
+    created with {!create}). *)
 
 val variant : t -> variant
 val arena : t -> Rewind_nvm.Arena.t

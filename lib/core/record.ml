@@ -7,6 +7,11 @@
    address, before/after images, the undo-next pointer used by CLRs, and
    the previous-record-of-same-transaction chain used by two-layer logging.
 
+   The type word carries the record's CRC-32 in its upper half (the type
+   code needs only the lower half): recovery verifies it before
+   interpreting any field, so a torn or media-corrupted line is detected
+   and truncated instead of being replayed as garbage.
+
    Records are manipulated by NVM address (an [int] arena offset). *)
 
 open Rewind_nvm
@@ -60,12 +65,50 @@ let o_prev_same_txn = 56
 
 let lsn a r = Int64.to_int (Arena.read a (r + o_lsn))
 let txn a r = Int64.to_int (Arena.read a (r + o_txn))
-let typ a r = typ_of_int (Int64.to_int (Arena.read a (r + o_typ)))
+
+let typ a r =
+  typ_of_int (Int64.to_int (Int64.logand (Arena.read a (r + o_typ)) 0xFFFFFFFFL))
+
 let addr a r = Int64.to_int (Arena.read a (r + o_addr))
 let old_value a r = Arena.read a (r + o_old)
 let new_value a r = Arena.read a (r + o_new)
 let undo_next a r = Int64.to_int (Arena.read a (r + o_undo_next))
 let prev_same_txn a r = Int64.to_int (Arena.read a (r + o_prev_same_txn))
+
+(* CRC-32 of the record image with the checksum half of the type word held
+   at zero.  Computed from raw words so creation and verification agree
+   bit-for-bit. *)
+let image_crc ~lsn ~txn ~typw ~addr ~old_value ~new_value ~undo_next
+    ~prev_same_txn =
+  let b = Bytes.create size_bytes in
+  Bytes.set_int64_le b o_lsn lsn;
+  Bytes.set_int64_le b o_txn txn;
+  Bytes.set_int64_le b o_typ (Int64.logand typw 0xFFFFFFFFL);
+  Bytes.set_int64_le b o_addr addr;
+  Bytes.set_int64_le b o_old old_value;
+  Bytes.set_int64_le b o_new new_value;
+  Bytes.set_int64_le b o_undo_next undo_next;
+  Bytes.set_int64_le b o_prev_same_txn prev_same_txn;
+  Crc32.digest_bytes b
+
+let pack_typ_word ~typw ~crc =
+  Int64.logor
+    (Int64.logand typw 0xFFFFFFFFL)
+    (Int64.shift_left (Int64.of_int crc) 32)
+
+let checksum a r =
+  Int64.to_int (Int64.shift_right_logical (Arena.read a (r + o_typ)) 32)
+
+(* Recompute the CRC from the record as currently readable and compare it
+   with the stored one.  Interprets no field, so it is safe on garbage. *)
+let verify a r =
+  let w o = Arena.read a (r + o) in
+  let typw = w o_typ in
+  let stored = Int64.to_int (Int64.shift_right_logical typw 32) in
+  stored
+  = image_crc ~lsn:(w o_lsn) ~txn:(w o_txn) ~typw ~addr:(w o_addr)
+      ~old_value:(w o_old) ~new_value:(w o_new) ~undo_next:(w o_undo_next)
+      ~prev_same_txn:(w o_prev_same_txn)
 
 (* Create a record with cached stores and one write-back.  No fence is
    issued here: the caller decides when the record must be ordered before
@@ -75,9 +118,15 @@ let make alloc ~lsn:l ~txn:x ~typ:t ~addr:ad ~old_value:ov ~new_value:nv
     ~undo_next:un ~prev_same_txn:pv =
   let a = Alloc.arena alloc in
   let r = Alloc.alloc ~align:size_bytes alloc size_bytes in
+  let typw = Int64.of_int (int_of_typ t) in
+  let crc =
+    image_crc ~lsn:(Int64.of_int l) ~txn:(Int64.of_int x) ~typw
+      ~addr:(Int64.of_int ad) ~old_value:ov ~new_value:nv
+      ~undo_next:(Int64.of_int un) ~prev_same_txn:(Int64.of_int pv)
+  in
   Arena.write a (r + o_lsn) (Int64.of_int l);
   Arena.write a (r + o_txn) (Int64.of_int x);
-  Arena.write a (r + o_typ) (Int64.of_int (int_of_typ t));
+  Arena.write a (r + o_typ) (pack_typ_word ~typw ~crc);
   Arena.write a (r + o_addr) (Int64.of_int ad);
   Arena.write a (r + o_old) ov;
   Arena.write a (r + o_new) nv;
@@ -87,9 +136,19 @@ let make alloc ~lsn:l ~txn:x ~typ:t ~addr:ad ~old_value:ov ~new_value:nv
   r
 
 (* Durable update of the same-transaction back-chain; only legal while the
-   record is not yet reachable from the log or an index chain. *)
+   record is not yet reachable from the log or an index chain.  The
+   checksum covers the chain pointer, so it is rewritten too — same
+   cacheline, so the NVM charge write-combines with the pointer store. *)
 let set_prev_same_txn a r v =
-  Arena.nt_write a (r + o_prev_same_txn) (Int64.of_int v)
+  Arena.nt_write a (r + o_prev_same_txn) (Int64.of_int v);
+  let w o = Arena.read a (r + o) in
+  let typw = w o_typ in
+  let crc =
+    image_crc ~lsn:(w o_lsn) ~txn:(w o_txn) ~typw ~addr:(w o_addr)
+      ~old_value:(w o_old) ~new_value:(w o_new) ~undo_next:(w o_undo_next)
+      ~prev_same_txn:(Int64.of_int v)
+  in
+  Arena.nt_write a (r + o_typ) (pack_typ_word ~typw ~crc)
 
 let free alloc r = Alloc.free ~align:size_bytes alloc r size_bytes
 

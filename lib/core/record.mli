@@ -45,7 +45,22 @@ val prev_same_txn : Rewind_nvm.Arena.t -> int -> int
 
 val set_prev_same_txn : Rewind_nvm.Arena.t -> int -> int -> unit
 (** Durable update of the back-chain; only legal while the record is not
-    yet reachable from the log or an index chain. *)
+    yet reachable from the log or an index chain.  Rewrites the checksum,
+    which covers the chain pointer. *)
+
+(** {1 Integrity}
+
+    Every record carries a CRC-32 of its fields in the upper half of the
+    type word.  Recovery verifies it before interpreting a record, so a
+    torn write or media corruption is detected and truncated rather than
+    replayed. *)
+
+val checksum : Rewind_nvm.Arena.t -> int -> int
+(** The stored CRC-32. *)
+
+val verify : Rewind_nvm.Arena.t -> int -> bool
+(** Recompute and compare the checksum.  Interprets no field, so it is
+    safe to call on a suspect (torn or corrupted) record. *)
 
 val free : Rewind_nvm.Alloc.t -> int -> unit
 val pp : Rewind_nvm.Arena.t -> int Fmt.t

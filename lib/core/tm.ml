@@ -47,6 +47,23 @@ let pp_config ppf c =
 
 type txn = int
 
+(* What recovery found and did — surfaced so callers (and the fault
+   campaign) can distinguish a clean recovery from one that had to
+   truncate torn records. *)
+type recovery_report = {
+  records_scanned : int;  (* log records examined by analysis *)
+  torn_truncated : int;   (* bad-checksum records dropped as torn writes *)
+  redo_applied : int;     (* records re-applied by the redo pass *)
+  txns_finished : int;    (* transactions found committed/rolled back *)
+  txns_undone : int;      (* unfinished transactions rolled back by undo *)
+}
+
+let pp_recovery_report ppf r =
+  Fmt.pf ppf
+    "@[<h>scanned=%d torn=%d redo=%d finished=%d undone=%d@]"
+    r.records_scanned r.torn_truncated r.redo_applied r.txns_finished
+    r.txns_undone
+
 type t = {
   cfg : config;
   alloc : Alloc.t;
@@ -60,10 +77,15 @@ type t = {
   mutable ended : (int, unit) Hashtbl.t;  (* committed/rolled back, awaiting clearing *)
   mutable deferred_deletes : (txn * int * int * int) list;
       (* txn, DELETE record lsn, addr, size *)
-  mutable pending_force : (int * int64) list;
-      (* Batch+Force: user stores awaiting their group's log persistence *)
+  mutable deferred : (int * bool) list;
+      (* Batch: user stores (addr, durably) whose undo records sit in a
+         not-yet-persistent group.  Under the arbitrary-eviction fault
+         model even a *cached* store may reach NVM at any moment, so these
+         lines are pinned in the store buffer (visible to every load,
+         never written back) until the group is durable. *)
   mutable commits : int;
   mutable rollbacks : int;
+  mutable last_recovery : recovery_report option;
 }
 
 (* Reserved txn id 0 belongs to the AAVLT's internal logging. *)
@@ -85,9 +107,10 @@ let make_t cfg alloc log index =
     next_lsn = Atomic.make 1;
     ended = Hashtbl.create 64;
     deferred_deletes = [];
-    pending_force = [];
+    deferred = [];
     commits = 0;
     rollbacks = 0;
+    last_recovery = None;
   }
 
 let create ?(cfg = default_config) alloc ~root_slot =
@@ -108,6 +131,7 @@ let log t = t.log
 let commits t = t.commits
 let rollbacks t = t.rollbacks
 let active_transactions t = Txn_table.size t.table
+let last_recovery t = t.last_recovery
 
 let fresh_lsn t = Atomic.fetch_and_add t.next_lsn 1
 
@@ -126,24 +150,36 @@ let begin_txn t =
 
 (* -- logging ------------------------------------------------------------ *)
 
-(* Under Batch+Force, user stores that were deferred behind their group's
-   log persistence become durable as soon as the group is flushed. *)
-let drain_pending_force t =
-  if t.pending_force <> [] && Log.pending t.log = 0 then begin
+(* Under Batch, pinned user stores are released as soon as their group is
+   persistent (durably for Force, cached for No_force — by then the undo
+   record is reachable, so a later eviction of the line is recoverable). *)
+let drain_deferred t =
+  if t.deferred <> [] && Log.pending t.log = 0 then begin
     List.iter
-      (fun (addr, v) -> Arena.nt_write t.arena addr v)
-      (List.rev t.pending_force);
-    t.pending_force <- []
+      (fun (addr, durably) ->
+        if durably then Arena.flush_line t.arena addr
+        else Arena.unpin_line t.arena addr)
+      (List.rev t.deferred);
+    t.deferred <- []
   end
 
-let force_user_write t addr v =
+let user_write t addr v =
+  let durably = t.cfg.policy = Force in
   match t.cfg.variant with
   | Log.Batch _ ->
-      (* Visible immediately; durable at the group boundary to keep WAL. *)
+      (* WAL under arbitrary eviction: hardware may write any dirty line
+         back at any moment, so the store is held in the (pinned) store
+         buffer until its log record's group is persistently reachable.
+         Pin before the store — the store itself may trigger an eviction
+         roll. *)
+      Arena.pin_line t.arena addr;
       Arena.write t.arena addr v;
-      t.pending_force <- (addr, v) :: t.pending_force;
-      drain_pending_force t
-  | Log.Simple | Log.Optimized -> Arena.nt_write t.arena addr v
+      t.deferred <- (addr, durably) :: t.deferred;
+      drain_deferred t
+  | Log.Simple | Log.Optimized ->
+      (* The record and its slot are already durably reachable. *)
+      if durably then Arena.nt_write t.arena addr v
+      else Arena.write t.arena addr v
 
 (* Append a user record.  In two-layer mode the AAVLT indexes records by
    their LSN (Section 3.4): every record becomes a tree node whose payload
@@ -178,14 +214,14 @@ let log_update t txn_id ~addr ~old_value ~new_value =
 let write t txn_id ~addr ~value =
   let old_value = Arena.read t.arena addr in
   log_update t txn_id ~addr ~old_value ~new_value:value;
-  match t.cfg.policy with
-  | No_force ->
+  match (t.cfg.policy, t.cfg.variant) with
+  | No_force, (Log.Simple | Log.Optimized) ->
       (* Thread-safe access to user data is the programmer's concern
          (Section 4.7); the cached store itself needs no TM latch. *)
       Arena.write t.arena addr value
-  | Force ->
-      (* The Batch+Force deferral list is TM state: serialise it. *)
-      Sim_mutex.with_lock t.latch (fun () -> force_user_write t addr value)
+  | Force, _ | No_force, Log.Batch _ ->
+      (* The Batch deferral list is TM state: serialise it. *)
+      Sim_mutex.with_lock t.latch (fun () -> user_write t addr value)
 
 let read t _txn_id ~addr = Arena.read t.arena addr
 
@@ -266,7 +302,7 @@ let commit ?(clear = true) t txn_id =
           (* All of the transaction's stores are already on their way to
              NVM; fence, log END, and clear immediately. *)
           Log.flush_group t.log;
-          drain_pending_force t;
+          drain_deferred t;
           Arena.fence t.arena;
           append_end t txn_id;
           if clear then begin
@@ -276,7 +312,10 @@ let commit ?(clear = true) t txn_id =
             free_deferred_deletes t txn_id
           end
       | No_force ->
+          (* The END record forces the batch group; buffered stores can
+             then reach the (volatile) cache. *)
           append_end t txn_id;
+          drain_deferred t;
           Hashtbl.replace t.ended txn_id ()))
 
 (* -- rollback -------------------------------------------------------------- *)
@@ -293,8 +332,10 @@ let undo_one t txn_id rec_ ~durably =
       ~undo_next:(Record.lsn t.arena rec_) ~prev_same_txn:0
   in
   append_user_record t txn_id clr ~is_end:durably;
-  if durably then Arena.nt_write t.arena addr restored
-  else Arena.write t.arena addr restored
+  (* Route the restore through the same WAL-ordered store path as forward
+     writes: under Batch it must stay buffered behind the CLR's group (and
+     behind any still-pending forward store to the same line). *)
+  user_write t addr restored
 
 let rollback_one_layer t txn_id =
   (* One-layer: no per-transaction chain — a full backward scan skipping
@@ -390,15 +431,16 @@ let rollback_to t txn_id (sp : savepoint) =
 let rollback t txn_id =
   Sim_mutex.with_lock t.latch (fun () ->
       t.rollbacks <- t.rollbacks + 1;
-      (* Settle any deferred (Batch+Force) user stores *before* undoing,
-         or a stale pending store could overwrite a restored value. *)
+      (* Settle any deferred (Batch) user stores *before* undoing, or a
+         stale pending store could overwrite a restored value. *)
       Log.flush_group t.log;
-      drain_pending_force t;
+      drain_deferred t;
       (match t.index with
       | None -> rollback_one_layer t txn_id
       | Some idx -> rollback_two_layer t idx txn_id);
       Log.flush_group t.log;
       append_end t txn_id;
+      drain_deferred t;
       drop_deferred_deletes t txn_id;
       match t.cfg.policy with
       | Force -> (
@@ -414,7 +456,7 @@ let checkpoint t =
       (* Persist the batch cursor first: otherwise flushed user data could
          refer to untrusted log slots after a crash. *)
       Log.flush_group t.log;
-      drain_pending_force t;
+      drain_deferred t;
       (* CHECKPOINT record marks the durable point, inserted before the
          cache flush. *)
       let cp =
@@ -445,11 +487,13 @@ let checkpoint t =
 (* -- recovery (Section 4.5) -------------------------------------------------- *)
 
 (* Analysis for one-layer logging: reconstruct the transaction table with a
-   forward scan to the point of failure. *)
+   forward scan to the point of failure.  Returns (records scanned,
+   transactions found finished). *)
 let analysis_one_layer t =
   Txn_table.clear t.table;
-  let max_lsn = ref 0 and max_txn = ref 0 in
+  let max_lsn = ref 0 and max_txn = ref 0 and scanned = ref 0 in
   Log.iter t.log (fun r ->
+      incr scanned;
       let lsn = Record.lsn t.arena r in
       if lsn > !max_lsn then max_lsn := lsn;
       let x = record_txn t r in
@@ -463,20 +507,28 @@ let analysis_one_layer t =
         | Record.Update | Record.Clr | Record.Delete | Record.Checkpoint -> ()
       end);
   Atomic.set t.next_lsn (!max_lsn + 1);
-  t.next_txn <- max !max_txn t.next_txn + 1
+  t.next_txn <- max !max_txn t.next_txn + 1;
+  let finished = ref 0 in
+  Txn_table.iter t.table (fun e ->
+      if e.Txn_table.status = Txn_table.Finished then incr finished);
+  (!scanned, !finished)
 
 (* Redo phase (no-force only): repeat history forward.  Physical redo is
-   idempotent, so a crash during recovery just restarts it. *)
+   idempotent, so a crash during recovery just restarts it.  Returns the
+   number of records re-applied. *)
 let redo_one_layer t =
+  let applied = ref 0 in
   Log.iter t.log (fun r ->
       match record_typ t r with
       | Record.Update | Record.Clr ->
+          incr applied;
           Arena.write t.arena (Record.addr t.arena r) (Record.new_value t.arena r)
-      | Record.End | Record.Checkpoint | Record.Delete | Record.Rollback -> ())
+      | Record.End | Record.Checkpoint | Record.Delete | Record.Rollback -> ());
+  !applied
 
 (* Undo phase: Algorithm 2 — a single backward scan undoing every
    unfinished transaction, tracking per-transaction CLR bounds so that
-   already-undone updates are skipped. *)
+   already-undone updates are skipped.  Returns the number of losers. *)
 let undo_one_layer t =
   let durably = t.cfg.policy = Force in
   let undo_map : (int, int) Hashtbl.t = Hashtbl.create 16 in
@@ -513,8 +565,10 @@ let undo_one_layer t =
                 | Record.Rollback ->
                     ())));
   (* END records for every transaction we just settled *)
+  let losers = ref 0 in
   Txn_table.iter t.table (fun e ->
       if e.Txn_table.status <> Txn_table.Finished then begin
+        incr losers;
         (if Hashtbl.mem to_mark_rollback e.Txn_table.id then
            let r =
              Record.make t.alloc ~lsn:(fresh_lsn t) ~txn:e.Txn_table.id
@@ -524,18 +578,38 @@ let undo_one_layer t =
            Log.append t.log r);
         append_end t e.Txn_table.id;
         e.Txn_table.status <- Txn_table.Finished
-      end)
+      end);
+  !losers
+
+(* Checksum gate used by two-layer recovery before a tree-indexed record
+   is interpreted: plausibly addressed, then CRC-intact. *)
+let record_intact t r =
+  r >= 0
+  && r land (Record.size_bytes - 1) = 0
+  && r + Record.size_bytes <= Arena.size t.arena
+  && Record.verify t.arena r
 
 (* Two-layer analysis + undo: the AAVLT *is* the durable transaction table. *)
 (* Two-layer recovery: the AAVLT's in-order traversal *is* the LSN-ordered
    log.  Analysis rebuilds the transaction table from the per-transaction
    back-chains; redo (no-force) repeats history in LSN order; undo walks
-   each unfinished transaction's chain with the Algorithm-2 CLR bound. *)
+   each unfinished transaction's chain with the Algorithm-2 CLR bound.
+   Records failing their checksum are torn writes: they are dropped from
+   analysis/redo, and a chain walk stops at the first torn link. *)
 let recover_two_layer t idx =
   Txn_table.clear t.table;
+  let torn = ref 0 in
+  let count_torn () =
+    incr torn;
+    let s = Arena.stats t.arena in
+    s.Stats.torn_records <- s.Stats.torn_records + 1
+  in
   (* analysis: in-order traversal gives records in ascending LSN *)
   let descending = ref [] in
-  Avl_index.iter idx (fun n -> descending := Avl_index.head_record idx n :: !descending);
+  Avl_index.iter idx (fun n ->
+      let r = Avl_index.head_record idx n in
+      if record_intact t r then descending := r :: !descending
+      else count_torn ());
   let ascending = List.rev !descending in
   let max_lsn = ref 0 and max_txn = ref 0 in
   List.iter
@@ -555,12 +629,17 @@ let recover_two_layer t idx =
     ascending;
   Atomic.set t.next_lsn (!max_lsn + 1);
   t.next_txn <- max !max_txn t.next_txn + 1;
+  let finished = ref 0 in
+  Txn_table.iter t.table (fun e ->
+      if e.Txn_table.status = Txn_table.Finished then incr finished);
   (* redo (no-force only): repeat history *)
+  let redo = ref 0 in
   if t.cfg.policy = No_force then
     List.iter
       (fun r ->
         match record_typ t r with
         | Record.Update | Record.Clr ->
+            incr redo;
             Arena.write t.arena (Record.addr t.arena r)
               (Record.new_value t.arena r)
         | Record.End | Record.Checkpoint | Record.Delete | Record.Rollback ->
@@ -569,6 +648,7 @@ let recover_two_layer t idx =
   (* undo unfinished transactions via their back-chains *)
   let durably = t.cfg.policy = Force in
   let losers = Txn_table.unfinished t.table in
+  let n_losers = List.length losers in
   List.iter
     (fun e ->
       let x = e.Txn_table.id in
@@ -580,19 +660,24 @@ let recover_two_layer t idx =
            (Record.new_value t.arena head));
       let bound = ref max_int in
       let rec go r =
-        if r <> 0 then begin
-          let next = Record.prev_same_txn t.arena r in
-          (match record_typ t r with
-          | Record.Clr -> bound := Record.undo_next t.arena r
-          | Record.Update ->
-              if Record.lsn t.arena r < !bound then begin
-                ignore (Avl_index.find idx (Record.lsn t.arena r));
-                undo_one t x r ~durably
-              end
-          | Record.End | Record.Checkpoint | Record.Delete | Record.Rollback
-            -> ());
-          go next
-        end
+        if r <> 0 then
+          if not (record_intact t r) then
+            (* torn link: the chain beyond it predates the tear and was
+               settled by earlier groups — stop here *)
+            count_torn ()
+          else begin
+            let next = Record.prev_same_txn t.arena r in
+            (match record_typ t r with
+            | Record.Clr -> bound := Record.undo_next t.arena r
+            | Record.Update ->
+                if Record.lsn t.arena r < !bound then begin
+                  ignore (Avl_index.find idx (Record.lsn t.arena r));
+                  undo_one t x r ~durably
+                end
+            | Record.End | Record.Checkpoint | Record.Delete | Record.Rollback
+              -> ());
+            go next
+          end
       in
       go head;
       append_end t x;
@@ -600,36 +685,62 @@ let recover_two_layer t idx =
     losers;
   (* Make the redo/undo results durable *before* dropping records: a crash
      here must still find the log able to repeat history. *)
+  Log.flush_group t.log;
+  drain_deferred t;
   Arena.flush_all t.arena;
   Arena.fence t.arena;
   (* every transaction is settled: free the records, then drop the whole
-     tree with one atomic root swing *)
+     tree with one atomic root swing.  Torn records leak, like every
+     volatile free list across a crash. *)
   let records = ref [] in
-  Avl_index.iter idx (fun n -> records := Avl_index.head_record idx n :: !records);
+  Avl_index.iter idx (fun n ->
+      let r = Avl_index.head_record idx n in
+      if record_intact t r then records := r :: !records);
   Avl_index.clear idx;
-  List.iter (fun r -> Record.free t.alloc r) !records
+  List.iter (fun r -> Record.free t.alloc r) !records;
+  {
+    records_scanned = List.length ascending;
+    torn_truncated = !torn;
+    redo_applied = !redo;
+    txns_finished = !finished;
+    txns_undone = n_losers;
+  }
 
 let clear_after_recovery t =
   (* All transactions are settled; make their effects durable and clear the
-     log wholesale (three-step swap, Section 4.5). *)
+     log wholesale (three-step swap, Section 4.5).  Buffered Batch stores
+     must land before the flush or they would be silently dropped. *)
+  Log.flush_group t.log;
+  drain_deferred t;
   Arena.flush_all t.arena;
   Arena.fence t.arena;
   Log.clear_all t.log;
   Txn_table.clear t.table;
   Hashtbl.reset t.ended;
   t.deferred_deletes <- [];
-  t.pending_force <- []
+  t.deferred <- []
 
 let recover t =
-  match t.index with
-  | None ->
-      analysis_one_layer t;
-      if t.cfg.policy = No_force then redo_one_layer t;
-      undo_one_layer t;
-      clear_after_recovery t
-  | Some idx ->
-      recover_two_layer t idx;
-      clear_after_recovery t
+  let report =
+    match t.index with
+    | None ->
+        let scanned, finished = analysis_one_layer t in
+        let redo = if t.cfg.policy = No_force then redo_one_layer t else 0 in
+        let undone = undo_one_layer t in
+        {
+          records_scanned = scanned;
+          torn_truncated = Log.torn_truncated t.log;
+          redo_applied = redo;
+          txns_finished = finished;
+          txns_undone = undone;
+        }
+    | Some idx ->
+        let r = recover_two_layer t idx in
+        (* the AAVLT's internal log may have truncated torn records too *)
+        { r with torn_truncated = r.torn_truncated + Log.torn_truncated t.log }
+  in
+  clear_after_recovery t;
+  t.last_recovery <- Some report
 
 (* Reattach after a crash: recover the log structure, the AAVLT, and then
    run transaction recovery. *)

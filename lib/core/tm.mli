@@ -107,6 +107,23 @@ val recover : t -> unit
 
 (** {1 Introspection} *)
 
+(** What the last recovery found and did.  [torn_truncated] counts
+    bad-checksum log records that recovery dropped as torn writes instead
+    of replaying them (see {!Record.verify}). *)
+type recovery_report = {
+  records_scanned : int;  (** log records examined by analysis *)
+  torn_truncated : int;   (** bad-checksum records dropped as torn writes *)
+  redo_applied : int;     (** records re-applied by the redo pass *)
+  txns_finished : int;    (** transactions found committed/rolled back *)
+  txns_undone : int;      (** unfinished transactions rolled back by undo *)
+}
+
+val pp_recovery_report : recovery_report Fmt.t
+
+val last_recovery : t -> recovery_report option
+(** The report of the most recent {!recover}/{!attach}; [None] if this
+    manager has never run recovery. *)
+
 val commits : t -> int
 val rollbacks : t -> int
 val active_transactions : t -> int

@@ -18,21 +18,43 @@
 
    Crash injection: {!arm_crash} makes the [after]+1-th persistence event
    raise {!Crash} *before* taking effect, so a test can enumerate every
-   intermediate durable state of an operation. *)
+   intermediate durable state of an operation.
+
+   Fault injection: an attached {!Fault_model} replaces the kind crash
+   semantics with the arbitrary-eviction adversary of real hardware — at
+   crash time each dirty line survives with the model's per-line
+   probability; cached stores may spontaneously evict recently-dirtied
+   lines during normal operation; media-faulty lines serve corrupted
+   cached reads.  Spontaneous evictions are hardware-initiated: they are
+   not persistence events (no crash-countdown tick, no clock charge). *)
 
 exception Crash
+
+(* Ring of recently-dirtied line numbers from which spontaneous evictions
+   pick their victim; must be a power of two. *)
+let recent_cap = 64
+
+(* Deterministic corruption pattern served by media-faulty lines. *)
+let corrupt_byte = 0xA5
+let corrupt_word = 0xA5A5A5A5A5A5A5A5L
 
 type t = {
   size : int;
   durable : Bytes.t;
   volatile : Bytes.t;
   dirty : Bytes.t;  (* one byte per cacheline: 0 clean, 1 dirty *)
+  pinned : Bytes.t; (* one byte per cacheline: 1 = held in the store
+                       buffer — never spontaneously evicted, never
+                       survives a crash (see [pin_line]) *)
   line_shift : int;
   config : Config.t;
   stats : Stats.t;
   mutable last_nvm_line : int;
   mutable crash_countdown : int;  (* -1: disarmed *)
   mutable crashed : bool;
+  mutable fault : Fault_model.t option;
+  recent : int array;      (* ring of recently-dirtied lines *)
+  mutable recent_n : int;  (* total pushes into [recent] *)
 }
 
 let log2_exact n =
@@ -57,18 +79,24 @@ let create ?(config = Config.default ()) ~size_bytes () =
     durable = Bytes.make size_bytes '\000';
     volatile = Bytes.make size_bytes '\000';
     dirty = Bytes.make lines '\000';
+    pinned = Bytes.make lines '\000';
     line_shift = log2_exact line;
     config;
     stats = Stats.create ();
     last_nvm_line = -1;
     crash_countdown = -1;
     crashed = false;
+    fault = None;
+    recent = Array.make recent_cap 0;
+    recent_n = 0;
   }
 
 let size t = t.size
 let config t = t.config
 let stats t = t.stats
 let line_of t off = off lsr t.line_shift
+let set_fault_model t fm = t.fault <- fm
+let fault_model t = t.fault
 
 let check_bounds t off len =
   if off < 0 || len < 0 || off + len > t.size then
@@ -77,9 +105,32 @@ let check_bounds t off len =
 
 (* -- crash machinery ------------------------------------------------- *)
 
+let line_base_len t line =
+  let base = line lsl t.line_shift in
+  (base, min (1 lsl t.line_shift) (t.size - base))
+
 let crash t =
+  (* Partial-eviction adversary: each dirty line survives the power
+     failure with the fault model's per-line probability.  Rolls happen in
+     ascending line order, so the eviction mask is a pure function of the
+     seed and the crash-time dirty set. *)
+  (match t.fault with
+  | None -> ()
+  | Some fm ->
+      for l = 0 to Bytes.length t.dirty - 1 do
+        if
+          Bytes.unsafe_get t.dirty l = '\001'
+          && Bytes.unsafe_get t.pinned l = '\000'
+          && Fault_model.survives_crash fm
+        then begin
+          let base, len = line_base_len t l in
+          Bytes.blit t.volatile base t.durable base len;
+          t.stats.Stats.crash_survivals <- t.stats.Stats.crash_survivals + 1
+        end
+      done);
   Bytes.blit t.durable 0 t.volatile 0 t.size;
   Bytes.fill t.dirty 0 (Bytes.length t.dirty) '\000';
+  Bytes.fill t.pinned 0 (Bytes.length t.pinned) '\000';
   t.last_nvm_line <- -1;
   t.crash_countdown <- -1;
   t.crashed <- true;
@@ -110,49 +161,108 @@ let charge_line_write t line =
     Clock.advance t.config.Config.nvm_write_ns
   end
 
+(* -- fault-model hooks ------------------------------------------------- *)
+
+(* Hardware-initiated write-back of one dirty line: durable immediately,
+   but neither a persistence event nor a clock charge (background traffic
+   on real hardware). *)
+let evict_line t line =
+  if
+    Bytes.unsafe_get t.dirty line = '\001'
+    && Bytes.unsafe_get t.pinned line = '\000'
+  then begin
+    let base, len = line_base_len t line in
+    Bytes.blit t.volatile base t.durable base len;
+    Bytes.unsafe_set t.dirty line '\000';
+    t.stats.Stats.evictions <- t.stats.Stats.evictions + 1
+  end
+
+(* Mark a line dirty and, under an armed fault model, remember it as an
+   eviction candidate and roll the clean-capacity-eviction die. *)
+let dirtied t line =
+  Bytes.unsafe_set t.dirty line '\001';
+  match t.fault with
+  | None -> ()
+  | Some fm ->
+      t.recent.(t.recent_n land (recent_cap - 1)) <- line;
+      t.recent_n <- t.recent_n + 1;
+      if Fault_model.roll_eviction fm then
+        evict_line t
+          t.recent.(Fault_model.choose fm (min t.recent_n recent_cap))
+
+(* Does a cached read of [off] hit a media-faulty line?  Counts the hit. *)
+let media_hit t off =
+  match t.fault with
+  | None -> false
+  | Some fm ->
+      Fault_model.media_faulty fm ~line:(line_of t off)
+      && begin
+           t.stats.Stats.media_faults <- t.stats.Stats.media_faults + 1;
+           true
+         end
+
+(* Cachelines touched by [off, off+len); at least 1 (a zero-length access
+   still issues the instruction). *)
+let lines_touched t off len =
+  if len <= 0 then 1 else line_of t (off + len - 1) - line_of t off + 1
+
 (* -- loads and cached stores ------------------------------------------ *)
 
 let read t off =
   check_bounds t off 8;
   t.stats.Stats.loads <- t.stats.Stats.loads + 1;
   Clock.advance t.config.Config.dram_read_ns;
-  Bytes.get_int64_le t.volatile off
+  let v = Bytes.get_int64_le t.volatile off in
+  if media_hit t off then Int64.logxor v corrupt_word else v
 
 let write t off v =
   check_bounds t off 8;
   t.stats.Stats.stores <- t.stats.Stats.stores + 1;
   Clock.advance t.config.Config.dram_write_ns;
   Bytes.set_int64_le t.volatile off v;
-  Bytes.unsafe_set t.dirty (line_of t off) '\001'
+  dirtied t (line_of t off)
 
 let read_byte t off =
   check_bounds t off 1;
   t.stats.Stats.loads <- t.stats.Stats.loads + 1;
   Clock.advance t.config.Config.dram_read_ns;
-  Char.code (Bytes.get t.volatile off)
+  let v = Char.code (Bytes.get t.volatile off) in
+  if media_hit t off then v lxor corrupt_byte else v
 
 let write_byte t off v =
   check_bounds t off 1;
   t.stats.Stats.stores <- t.stats.Stats.stores + 1;
   Clock.advance t.config.Config.dram_write_ns;
   Bytes.set t.volatile off (Char.chr (v land 0xff));
-  Bytes.unsafe_set t.dirty (line_of t off) '\001'
+  dirtied t (line_of t off)
 
 let read_bytes t off len =
   check_bounds t off len;
-  t.stats.Stats.loads <- t.stats.Stats.loads + 1;
-  Clock.advance t.config.Config.dram_read_ns;
-  Bytes.sub_string t.volatile off len
+  let lines = lines_touched t off len in
+  t.stats.Stats.loads <- t.stats.Stats.loads + lines;
+  Clock.advance (lines * t.config.Config.dram_read_ns);
+  let b = Bytes.sub t.volatile off len in
+  (match t.fault with
+  | Some fm when Fault_model.media_fault_count fm > 0 ->
+      for i = 0 to len - 1 do
+        if Fault_model.media_faulty fm ~line:(line_of t (off + i)) then begin
+          t.stats.Stats.media_faults <- t.stats.Stats.media_faults + 1;
+          Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor corrupt_byte))
+        end
+      done
+  | _ -> ());
+  Bytes.unsafe_to_string b
 
 let write_bytes t off s =
   let len = String.length s in
   check_bounds t off len;
-  t.stats.Stats.stores <- t.stats.Stats.stores + 1;
-  Clock.advance t.config.Config.dram_write_ns;
+  let lines = lines_touched t off len in
+  t.stats.Stats.stores <- t.stats.Stats.stores + lines;
+  Clock.advance (lines * t.config.Config.dram_write_ns);
   Bytes.blit_string s 0 t.volatile off len;
   let first = line_of t off and last = line_of t (off + max 0 (len - 1)) in
   for l = first to last do
-    Bytes.unsafe_set t.dirty l '\001'
+    dirtied t l
   done
 
 (* -- durable stores ---------------------------------------------------- *)
@@ -178,6 +288,7 @@ let flush_line t off =
     let len = min (1 lsl t.line_shift) (t.size - base) in
     Bytes.blit t.volatile base t.durable base len;
     Bytes.unsafe_set t.dirty line '\000';
+    Bytes.unsafe_set t.pinned line '\000';
     charge_line_write t line
   end
 
@@ -226,3 +337,32 @@ let durable_read t off =
   Bytes.get_int64_le t.durable off
 
 let is_dirty t off = Bytes.unsafe_get t.dirty (line_of t off) = '\001'
+
+(* -- store-buffer pinning ---------------------------------------------- *)
+
+(* A pinned line models a store still held back in the store buffer: it is
+   visible to every load (the volatile image has it) but is not yet
+   released to the cache hierarchy, so the eviction adversary cannot write
+   it back and a crash always loses it.  The WAL layer pins user-data
+   lines whose undo records sit in a not-yet-persistent batch group and
+   unpins them once the group is durable.  An explicit [flush_line] also
+   unpins — the caller has taken charge of ordering. *)
+
+let pin_line t off =
+  check_bounds t off 1;
+  Bytes.unsafe_set t.pinned (line_of t off) '\001'
+
+let unpin_line t off =
+  check_bounds t off 1;
+  Bytes.unsafe_set t.pinned (line_of t off) '\000'
+
+let is_pinned t off = Bytes.unsafe_get t.pinned (line_of t off) = '\001'
+
+(* Flip the bits of [len] bytes in both images, simulating in-place media
+   corruption of already-durable data (tests only). *)
+let corrupt t off len =
+  check_bounds t off len;
+  for i = off to off + len - 1 do
+    Bytes.set t.durable i (Char.chr (Char.code (Bytes.get t.durable i) lxor 0xff));
+    Bytes.set t.volatile i (Char.chr (Char.code (Bytes.get t.volatile i) lxor 0xff))
+  done

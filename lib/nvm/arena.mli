@@ -53,7 +53,10 @@ val persist : t -> int -> int -> unit
 (** {1 Crash simulation} *)
 
 val crash : t -> unit
-(** Discard all dirty lines; only durable state remains visible. *)
+(** Discard all dirty lines; only durable state remains visible.  Under an
+    attached {!Fault_model}, each dirty line instead survives
+    independently with the model's per-line probability (the
+    partial-eviction adversary). *)
 
 val arm_crash : t -> after:int -> unit
 (** Make the [after]+1-th persistence event (non-temporal store or dirty-line
@@ -62,6 +65,30 @@ val arm_crash : t -> after:int -> unit
 val disarm_crash : t -> unit
 val crashed : t -> bool
 val clear_crashed : t -> unit
+
+(** {1 Fault injection}
+
+    An attached {!Fault_model} turns the arena adversarial: partial
+    cacheline survival at crash, spontaneous clean-capacity evictions of
+    dirty lines on the cached-store paths, and corrupted cached reads from
+    media-faulty lines.  Spontaneous evictions are hardware-initiated:
+    they do not tick the crash countdown and charge no simulated time. *)
+
+val set_fault_model : t -> Fault_model.t option -> unit
+val fault_model : t -> Fault_model.t option
+
+(** {1 Store-buffer pinning}
+
+    A pinned line models a store held back in the store buffer: every
+    load sees it, but it is not yet released to the cache hierarchy — the
+    eviction adversary cannot write it back, and a crash always loses it.
+    The WAL layer pins user-data lines whose undo records sit in a
+    not-yet-persistent batch group and unpins them once the group is
+    durable.  An explicit {!flush_line} (and {!crash}) clears the pin. *)
+
+val pin_line : t -> int -> unit
+val unpin_line : t -> int -> unit
+val is_pinned : t -> int -> bool
 
 (** {1 Root directory}
 
@@ -78,3 +105,8 @@ val durable_read : t -> int -> int64
 (** Read the durable image directly, bypassing the cache (tests only). *)
 
 val is_dirty : t -> int -> bool
+
+val corrupt : t -> int -> int -> unit
+(** [corrupt t off len] flips the bits of [len] bytes in both the durable
+    and volatile images, simulating in-place media corruption of
+    already-durable data (tests only). *)

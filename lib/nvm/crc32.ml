@@ -1,0 +1,29 @@
+(* CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+
+   Used to checksum log records: a 64-byte record carries a 32-bit CRC of
+   its other fields, so recovery can tell a well-formed record from a torn
+   or media-corrupted line without interpreting garbage field values. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc b =
+  let t = Lazy.force table in
+  t.((crc lxor b) land 0xff) lxor (crc lsr 8)
+
+let digest_sub s pos len =
+  let crc = ref 0xFFFFFFFF in
+  for i = pos to pos + len - 1 do
+    crc := update !crc (Char.code (String.unsafe_get s i))
+  done;
+  !crc lxor 0xFFFFFFFF
+
+let digest s = digest_sub s 0 (String.length s)
+
+let digest_bytes b = digest_sub (Bytes.unsafe_to_string b) 0 (Bytes.length b)

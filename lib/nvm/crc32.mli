@@ -1,0 +1,6 @@
+(** CRC-32 (IEEE 802.3).  Returns the checksum as a non-negative [int]
+    with the low 32 bits significant. *)
+
+val digest : string -> int
+val digest_sub : string -> int -> int -> int
+val digest_bytes : Bytes.t -> int

@@ -10,6 +10,10 @@ type t = {
   mutable loads : int;       (** CPU loads *)
   mutable stores : int;      (** cached CPU stores *)
   mutable crashes : int;     (** simulated crashes *)
+  mutable evictions : int;       (** spontaneous dirty-line write-backs (fault model) *)
+  mutable crash_survivals : int; (** dirty lines persisted by a partial-eviction crash *)
+  mutable media_faults : int;    (** corrupted reads served from media-faulty lines *)
+  mutable torn_records : int;    (** bad-checksum log records truncated by recovery *)
 }
 
 let create () =
@@ -21,6 +25,10 @@ let create () =
     loads = 0;
     stores = 0;
     crashes = 0;
+    evictions = 0;
+    crash_survivals = 0;
+    media_faults = 0;
+    torn_records = 0;
   }
 
 let reset s =
@@ -30,7 +38,11 @@ let reset s =
   s.fences <- 0;
   s.loads <- 0;
   s.stores <- 0;
-  s.crashes <- 0
+  s.crashes <- 0;
+  s.evictions <- 0;
+  s.crash_survivals <- 0;
+  s.media_faults <- 0;
+  s.torn_records <- 0
 
 let diff a b =
   {
@@ -41,10 +53,17 @@ let diff a b =
     loads = a.loads - b.loads;
     stores = a.stores - b.stores;
     crashes = a.crashes - b.crashes;
+    evictions = a.evictions - b.evictions;
+    crash_survivals = a.crash_survivals - b.crash_survivals;
+    media_faults = a.media_faults - b.media_faults;
+    torn_records = a.torn_records - b.torn_records;
   }
 
 let snapshot s = { s with nvm_writes = s.nvm_writes }
 
 let pp ppf s =
   Fmt.pf ppf "nvm_writes=%d nt=%d flushes=%d fences=%d loads=%d stores=%d"
-    s.nvm_writes s.nt_stores s.flushes s.fences s.loads s.stores
+    s.nvm_writes s.nt_stores s.flushes s.fences s.loads s.stores;
+  if s.evictions + s.crash_survivals + s.media_faults + s.torn_records > 0 then
+    Fmt.pf ppf " evictions=%d survivals=%d media_faults=%d torn=%d" s.evictions
+      s.crash_survivals s.media_faults s.torn_records

@@ -10,6 +10,10 @@ type t = {
   mutable loads : int;       (** CPU loads *)
   mutable stores : int;      (** cached CPU stores *)
   mutable crashes : int;     (** simulated crashes *)
+  mutable evictions : int;       (** spontaneous dirty-line write-backs (fault model) *)
+  mutable crash_survivals : int; (** dirty lines persisted by a partial-eviction crash *)
+  mutable media_faults : int;    (** corrupted reads served from media-faulty lines *)
+  mutable torn_records : int;    (** bad-checksum log records truncated by recovery *)
 }
 
 val create : unit -> t

@@ -1,0 +1,257 @@
+(* Fault-injection torture tests: the arbitrary-eviction adversary.
+
+   With a {!Fault_model} attached, a crash persists a *random subset* of
+   the dirty cachelines (instead of dropping them all) and every cached
+   store may spontaneously write back a recently-dirtied line.  The WAL
+   protocol must survive any such schedule; recovery must also survive
+   in-place corruption of log records, truncating them via their CRC
+   instead of raising. *)
+
+open Rewind_nvm
+open Rewind
+module F = Rewind_benchlib.Faultcamp
+
+let root_slot = 2
+
+let configs =
+  [
+    ("1L-NFP", Rewind.config_1l_nfp);
+    ("1L-FP", Rewind.config_1l_fp);
+    ("2L-NFP", Rewind.config_2l_nfp);
+    ("2L-FP", Rewind.config_2l_fp);
+    ("simple", Rewind.config_simple);
+    ("batch8", Rewind.config_batch ());
+  ]
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Small mixed script (6 txns over 8 cells, every third rolled back, one
+   checkpoint) so that full crash-point enumeration stays cheap.  Values
+   encode their writer as [tno * 100 + i]. *)
+let script tm cells =
+  for tno = 1 to 6 do
+    let txn = Tm.begin_txn tm in
+    for i = 0 to 1 do
+      Tm.write tm txn
+        ~addr:cells.((tno + i) mod 8)
+        ~value:(Int64.of_int ((tno * 100) + i + 1))
+    done;
+    if tno mod 3 <> 0 then Tm.commit tm txn else Tm.rollback tm txn;
+    if tno = 4 then Tm.checkpoint tm
+  done
+
+let fresh_setup cfg ~fault =
+  let arena = Arena.create ~size_bytes:(4 lsl 20) () in
+  Arena.set_fault_model arena fault;
+  let alloc = Alloc.create arena in
+  let tm = Tm.create ~cfg alloc ~root_slot in
+  let cells = Array.init 8 (fun _ -> Alloc.alloc alloc 8) in
+  (arena, tm, cells)
+
+let fault_of_mask mask_seed =
+  (* Each mask seed is a different adversary: varying per-line survival
+     probability, spontaneous evictions on the odd ones. *)
+  Fault_model.create
+    ~eviction_ppm:(if mask_seed land 1 = 1 then 50_000 else 0)
+    ~crash_survival_ppm:(125_000 * ((mask_seed mod 8) + 1))
+    ~seed:(0x5EED0 + mask_seed) ()
+
+(* Post-recovery invariants: the log is empty, and every cell holds 0 or
+   a value written by a transaction that was not rolled back. *)
+let check_recovered ~ctx cfg arena cells =
+  let alloc2 = Alloc.recover arena in
+  let tm2 =
+    try Tm.attach ~cfg alloc2 ~root_slot
+    with e -> Alcotest.failf "%s: recovery raised %s" ctx (Printexc.to_string e)
+  in
+  if Log.length (Tm.log tm2) <> 0 then
+    Alcotest.failf "%s: log not cleared after recovery" ctx;
+  Array.iteri
+    (fun idx c ->
+      let v = Int64.to_int (Arena.read arena c) in
+      if v <> 0 && v / 100 mod 3 = 0 then
+        Alcotest.failf "%s: cell %d holds %d from rolled-back txn %d" ctx idx v
+          (v / 100))
+    cells;
+  tm2
+
+(* The tentpole sweep: every crash point x 8 eviction masks.  The event
+   count depends on the mask (a spontaneous eviction can turn a later
+   flush into a no-op), so it is measured per mask with the same seed. *)
+let test_partial_eviction_sweep (name, cfg) () =
+  for mask_seed = 0 to 7 do
+    let events =
+      let arena, tm, cells =
+        fresh_setup cfg ~fault:(Some (fault_of_mask mask_seed))
+      in
+      let s0 =
+        (Arena.stats arena).Stats.nt_stores + (Arena.stats arena).Stats.flushes
+      in
+      script tm cells;
+      (Arena.stats arena).Stats.nt_stores
+      + (Arena.stats arena).Stats.flushes - s0
+    in
+    for k = 0 to events + 2 do
+      let arena, tm, cells =
+        fresh_setup cfg ~fault:(Some (fault_of_mask mask_seed))
+      in
+      Arena.arm_crash arena ~after:k;
+      (try
+         script tm cells;
+         Arena.disarm_crash arena
+       with Arena.Crash -> ());
+      if Arena.crashed arena then
+        ignore
+          (check_recovered
+             ~ctx:(Fmt.str "%s mask %d crash %d" name mask_seed k)
+             cfg arena cells)
+    done
+  done
+
+(* Heavy spontaneous evictions with no crash: the adversary writing lines
+   back early must never change what the program observes. *)
+let test_eviction_transparency (name, cfg) () =
+  let model_arena, model_tm, model_cells = fresh_setup cfg ~fault:None in
+  script model_tm model_cells;
+  let arena, tm, cells =
+    fresh_setup cfg
+      ~fault:
+        (Some
+           (Fault_model.create ~eviction_ppm:400_000 ~crash_survival_ppm:0
+              ~seed:99 ()))
+  in
+  script tm cells;
+  check_bool
+    (Fmt.str "%s: evictions observed" name)
+    true
+    ((Arena.stats arena).Stats.evictions > 0);
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check int64)
+        (Fmt.str "%s cell %d unchanged by evictions" name i)
+        (Arena.read model_arena model_cells.(i))
+        (Arena.read arena c))
+    cells
+
+(* Attach after a crash and require a structurally sound recovery: no
+   exception, empty log.  Used by the white-box corruption tests, where a
+   truncated record legitimately cannot be undone — so no assertion is
+   made about user-cell contents. *)
+let attach_ok ~ctx cfg arena =
+  let alloc2 = Alloc.recover arena in
+  let tm2 =
+    try Tm.attach ~cfg alloc2 ~root_slot
+    with e -> Alcotest.failf "%s: recovery raised %s" ctx (Printexc.to_string e)
+  in
+  if Log.length (Tm.log tm2) <> 0 then
+    Alcotest.failf "%s: log not cleared after recovery" ctx;
+  tm2
+
+(* A corrupted (torn) log record must be truncated by its checksum during
+   recovery, not replayed or crashed on.  One-layer configurations: the
+   records are reachable from the bucket/ADLL log. *)
+let test_corrupt_record_truncated (name, cfg) () =
+  let arena, tm, cells = fresh_setup cfg ~fault:None in
+  (* one committed transaction, one left in flight *)
+  let txn = Tm.begin_txn tm in
+  Tm.write tm txn ~addr:cells.(0) ~value:42L;
+  Tm.commit tm txn;
+  let txn2 = Tm.begin_txn tm in
+  Tm.write tm txn2 ~addr:cells.(1) ~value:43L;
+  Tm.write tm txn2 ~addr:cells.(2) ~value:44L;
+  Log.flush_group (Tm.log tm);
+  let recs = Log.records (Tm.log tm) in
+  check_bool (name ^ ": records present pre-crash") true (recs <> []);
+  Arena.crash arena;
+  (* corrupt the newest record in place: garbage address and values *)
+  let r = List.hd (List.rev recs) in
+  Arena.corrupt arena (r + 24) 16;
+  let tm2 = attach_ok ~ctx:(name ^ " corrupt") cfg arena in
+  check_bool
+    (name ^ ": torn record counted in stats")
+    true
+    ((Arena.stats arena).Stats.torn_records >= 1);
+  match Tm.last_recovery tm2 with
+  | None -> Alcotest.fail (name ^ ": no recovery report")
+  | Some rep ->
+      check_bool
+        (name ^ ": report shows truncation")
+        true (rep.Tm.torn_truncated >= 1)
+
+(* Same, via a persistent media fault instead of one-shot corruption: the
+   faulty line serves corrupted reads, so the checksum gate must reject
+   the record on every pass of recovery. *)
+let test_media_fault_record_truncated (name, cfg) () =
+  let arena, tm, cells = fresh_setup cfg ~fault:None in
+  let txn = Tm.begin_txn tm in
+  Tm.write tm txn ~addr:cells.(0) ~value:7L;
+  Log.flush_group (Tm.log tm);
+  let recs = Log.records (Tm.log tm) in
+  check_bool (name ^ ": records present") true (recs <> []);
+  Arena.crash arena;
+  let fm = Fault_model.create ~seed:5 () in
+  Fault_model.set_media_fault fm ~line:(List.hd recs / 64);
+  Arena.set_fault_model arena (Some fm);
+  ignore (attach_ok ~ctx:(name ^ " media fault") cfg arena);
+  check_bool
+    (name ^ ": media fault observed")
+    true
+    ((Arena.stats arena).Stats.media_faults >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Campaign determinism and health                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_campaign_deterministic () =
+  let s1 = F.schedule ~base_seed:7 ~seeds:3 () in
+  let s2 = F.schedule ~base_seed:7 ~seeds:3 () in
+  check_bool "same schedule for same seed" true (s1 = s2);
+  check_int "schedule digest stable" (F.schedule_digest s1)
+    (F.schedule_digest s2);
+  let v1 = List.map F.run_trial s1 in
+  let v2 = List.map F.run_trial s2 in
+  check_bool "same verdicts for same schedule" true (v1 = v2);
+  let s3 = F.schedule ~base_seed:8 ~seeds:3 () in
+  check_bool "different seed, different schedule" true (s1 <> s3)
+
+let test_campaign_passes () =
+  let r = F.run_campaign ~quiet:true ~base_seed:42 ~seeds:4 () in
+  check_int "trials run" (4 * List.length configs) r.F.trials;
+  (match r.F.failures with
+  | [] -> ()
+  | (t, msg) :: _ ->
+      Alcotest.failf "campaign failure: %a (%s)" F.pp_trial t msg);
+  check_bool "no failures" true (r.F.failures = [])
+
+let () =
+  let tc = Alcotest.test_case in
+  let per_config ?(filter = fun _ -> true) name speed f =
+    List.filter_map
+      (fun (cn, cfg) ->
+        if filter cfg then
+          Some (tc (name ^ " [" ^ cn ^ "]") speed (f (cn, cfg)))
+        else None)
+      configs
+  in
+  let one_layer cfg = cfg.Tm.layers = Tm.One_layer in
+  Alcotest.run "faults"
+    [
+      ( "partial-eviction-sweep",
+        per_config "crash everywhere x 8 masks" `Slow test_partial_eviction_sweep
+      );
+      ( "eviction-transparency",
+        per_config "evictions invisible to reads" `Quick
+          test_eviction_transparency );
+      ( "torn-records",
+        per_config ~filter:one_layer "corrupt record truncated" `Quick
+          test_corrupt_record_truncated
+        @ per_config ~filter:one_layer "media-fault record truncated" `Quick
+            test_media_fault_record_truncated );
+      ( "campaign",
+        [
+          tc "deterministic schedules and verdicts" `Slow
+            test_campaign_deterministic;
+          tc "clean campaign" `Slow test_campaign_passes;
+        ] );
+    ]

@@ -89,6 +89,52 @@ let test_bounds_check () =
     (fun () -> ignore (Arena.read a 4095))
 
 (* ------------------------------------------------------------------ *)
+(* Arena: flush_range edge cases                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_flush_range_zero_length () =
+  let a = arena () in
+  Arena.write a 1024 1L;
+  (* A zero-length flush touches nothing: not even a persistence event. *)
+  Arena.arm_crash a ~after:0;
+  Arena.flush_range a 1024 0;
+  Arena.disarm_crash a;
+  check_bool "no crash consumed" false (Arena.crashed a);
+  Arena.crash a;
+  check_i64 "store was not persisted" 0L (Arena.read a 1024)
+
+let test_flush_range_crosses_line_boundary () =
+  let a = arena () in
+  Arena.write a 1016 1L;  (* last word of one line *)
+  Arena.write a 1024 2L;  (* first word of the next *)
+  Arena.flush_range a 1016 16;
+  Arena.crash a;
+  check_i64 "word before boundary" 1L (Arena.read a 1016);
+  check_i64 "word after boundary" 2L (Arena.read a 1024)
+
+let test_flush_range_tail_line_shorter_than_cacheline () =
+  (* An arena whose size is not a multiple of the cacheline: the last
+     line is short, and flushing it must not step out of bounds. *)
+  let a = arena ~size:1000 () in
+  Arena.write a 992 5L;  (* inside the 40-byte tail line *)
+  Arena.flush_range a 960 40;
+  Arena.crash a;
+  check_i64 "tail line flushed" 5L (Arena.read a 992)
+
+let test_flush_range_interior_clean_lines_free () =
+  let a = arena () in
+  Arena.write a 1024 1L;
+  Arena.write a 1216 2L;  (* three clean lines in between *)
+  (* Exactly two dirty lines -> exactly two persistence events. *)
+  Arena.arm_crash a ~after:2;
+  Arena.flush_range a 1024 200;
+  Arena.disarm_crash a;
+  check_bool "clean interior lines are not events" false (Arena.crashed a);
+  Arena.crash a;
+  check_i64 "first line" 1L (Arena.read a 1024);
+  check_i64 "last line" 2L (Arena.read a 1216)
+
+(* ------------------------------------------------------------------ *)
 (* Arena: crash injection                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -130,6 +176,32 @@ let test_clean_flush_is_not_an_event () =
   Arena.disarm_crash a;
   check_bool "no crash happened" false (Arena.crashed a)
 
+let test_rearm_after_disarm () =
+  let a = arena () in
+  Arena.arm_crash a ~after:1;
+  Arena.nt_write a 1024 1L;  (* consumes the countdown: 1 -> 0 *)
+  Arena.disarm_crash a;
+  Arena.nt_write a 1032 2L;  (* would have crashed if still armed *)
+  Arena.arm_crash a ~after:0;
+  (try
+     Arena.nt_write a 1040 3L;
+     Alcotest.fail "expected crash"
+   with Arena.Crash -> ());
+  check_i64 "pre-disarm store durable" 1L (Arena.read a 1024);
+  check_i64 "post-disarm store durable" 2L (Arena.read a 1032);
+  check_i64 "crashing store never applied" 0L (Arena.read a 1040)
+
+let test_crash_event_not_double_counted () =
+  (* The event that crashes happens *instead of* persisting; after
+     clearing the crashed flag the countdown must be disarmed, so later
+     persists proceed. *)
+  let a = arena () in
+  Arena.arm_crash a ~after:0;
+  (try Arena.nt_write a 1024 1L with Arena.Crash -> ());
+  Arena.clear_crashed a;
+  Arena.nt_write a 1032 2L;
+  check_i64 "arena usable after crash" 2L (Arena.read a 1032)
+
 (* ------------------------------------------------------------------ *)
 (* Arena: cost accounting                                              *)
 (* ------------------------------------------------------------------ *)
@@ -170,6 +242,122 @@ let test_cached_store_cost () =
   let cfg = Arena.config a in
   Arena.write a 1024 1L;
   check_int "dram cost" cfg.Config.dram_write_ns (Clock.now ())
+
+let test_write_bytes_charges_per_line () =
+  let a = arena () in
+  let cfg = Arena.config a in
+  Clock.reset ();
+  let s0 = (Arena.stats a).Stats.stores in
+  (* 130 bytes starting on a line boundary: three lines touched. *)
+  Arena.write_bytes a 1024 (String.make 130 'x');
+  check_int "one store per line" 3 ((Arena.stats a).Stats.stores - s0);
+  check_int "time per line" (3 * cfg.Config.dram_write_ns) (Clock.now ())
+
+let test_read_bytes_charges_per_line () =
+  let a = arena () in
+  let cfg = Arena.config a in
+  Clock.reset ();
+  let l0 = (Arena.stats a).Stats.loads in
+  (* 100 bytes straddling a boundary at offset 1000: lines 15..17. *)
+  ignore (Arena.read_bytes a 1000 100);
+  check_int "one load per line" 3 ((Arena.stats a).Stats.loads - l0);
+  check_int "time per line" (3 * cfg.Config.dram_read_ns) (Clock.now ())
+
+(* ------------------------------------------------------------------ *)
+(* Fault model: evictions, partial crash survival, media faults, pins  *)
+(* ------------------------------------------------------------------ *)
+
+let test_fault_model_deterministic () =
+  let seq () =
+    let fm = Fault_model.create ~crash_survival_ppm:500_000 ~seed:9 () in
+    List.init 200 (fun _ -> (Fault_model.survives_crash fm, Fault_model.choose fm 10))
+  in
+  check_bool "same seed, same rolls" true (seq () = seq ())
+
+let test_partial_crash_survival () =
+  let a = arena () in
+  (* 100% survival: every dirty line persists at the crash. *)
+  Arena.set_fault_model a
+    (Some (Fault_model.create ~crash_survival_ppm:1_000_000 ~seed:1 ()));
+  Arena.write a 1024 1L;
+  Arena.write a 4096 2L;
+  Arena.crash a;
+  check_i64 "dirty line survived" 1L (Arena.read a 1024);
+  check_i64 "other dirty line survived" 2L (Arena.read a 4096);
+  check_int "survivals counted" 2 (Arena.stats a).Stats.crash_survivals
+
+let test_zero_survival_is_classic_crash () =
+  let a = arena () in
+  Arena.set_fault_model a
+    (Some (Fault_model.create ~crash_survival_ppm:0 ~seed:1 ()));
+  Arena.write a 1024 1L;
+  Arena.crash a;
+  check_i64 "all dirty lines lost" 0L (Arena.read a 1024)
+
+let test_spontaneous_eviction () =
+  let a = arena () in
+  (* Evict on every cached store: the line becomes durable without any
+     flush, silently. *)
+  Arena.set_fault_model a
+    (Some (Fault_model.create ~eviction_ppm:1_000_000 ~seed:3 ()));
+  Arena.write a 1024 5L;
+  check_i64 "evicted line is durable" 5L (Arena.durable_read a 1024);
+  check_bool "eviction counted" true ((Arena.stats a).Stats.evictions >= 1);
+  check_bool "evictions are not persistence events" true
+    ((Arena.stats a).Stats.flushes = 0 && (Arena.stats a).Stats.nt_stores = 0)
+
+let test_pinned_line_never_survives_crash () =
+  let a = arena () in
+  Arena.set_fault_model a
+    (Some (Fault_model.create ~crash_survival_ppm:1_000_000 ~seed:1 ()));
+  Arena.write a 1024 1L;
+  Arena.pin_line a 4096;
+  Arena.write a 4096 2L;
+  Arena.crash a;
+  check_i64 "unpinned dirty line survived" 1L (Arena.read a 1024);
+  check_i64 "pinned line lost" 0L (Arena.read a 4096);
+  check_bool "pin cleared by crash" false (Arena.is_pinned a 4096)
+
+let test_pinned_line_not_evicted () =
+  let a = arena () in
+  Arena.set_fault_model a
+    (Some (Fault_model.create ~eviction_ppm:1_000_000 ~seed:3 ()));
+  Arena.pin_line a 1024;
+  Arena.write a 1024 5L;
+  check_i64 "pinned line not written back" 0L (Arena.durable_read a 1024);
+  check_bool "still pinned and dirty" true
+    (Arena.is_pinned a 1024 && Arena.is_dirty a 1024);
+  (* Releasing the pin re-exposes the line to the adversary. *)
+  Arena.unpin_line a 1024;
+  Arena.write a 1032 6L;  (* same line: the store's eviction roll fires *)
+  check_i64 "released line evicted" 5L (Arena.durable_read a 1024)
+
+let test_flush_clears_pin () =
+  let a = arena () in
+  Arena.pin_line a 1024;
+  Arena.write a 1024 9L;
+  Arena.flush_line a 1024;
+  check_bool "explicit flush unpins" false (Arena.is_pinned a 1024);
+  check_i64 "and persists" 9L (Arena.durable_read a 1024)
+
+let test_media_fault_corrupts_reads () =
+  let a = arena () in
+  let fm = Fault_model.create ~seed:4 () in
+  Arena.set_fault_model a (Some fm);
+  Arena.nt_write a 1024 7L;
+  Fault_model.set_media_fault fm ~line:(1024 / 64);
+  check_bool "read corrupted" true (Arena.read a 1024 <> 7L);
+  check_bool "media fault counted" true ((Arena.stats a).Stats.media_faults >= 1);
+  check_i64 "durable image untouched" 7L (Arena.durable_read a 1024);
+  Fault_model.clear_media_fault fm ~line:(1024 / 64);
+  check_i64 "read clean after clearing" 7L (Arena.read a 1024)
+
+let test_crc32_known_vector () =
+  (* The standard IEEE 802.3 check value. *)
+  check_int "crc32(123456789)" 0xCBF43926 (Crc32.digest "123456789");
+  check_int "crc32 of empty" 0 (Crc32.digest "");
+  check_int "digest_sub agrees" (Crc32.digest "456")
+    (Crc32.digest_sub "123456789" 3 3)
 
 (* ------------------------------------------------------------------ *)
 (* Roots                                                               *)
@@ -365,12 +553,24 @@ let () =
           tc "bytes roundtrip" `Quick test_bytes_roundtrip;
           tc "bounds check" `Quick test_bounds_check;
         ] );
+      ( "arena-flush-range",
+        [
+          tc "zero length" `Quick test_flush_range_zero_length;
+          tc "crosses line boundary" `Quick test_flush_range_crosses_line_boundary;
+          tc "short tail line" `Quick
+            test_flush_range_tail_line_shorter_than_cacheline;
+          tc "clean interior lines free" `Quick
+            test_flush_range_interior_clean_lines_free;
+        ] );
       ( "arena-crash-injection",
         [
           tc "counts events" `Quick test_crash_injection_counts_events;
           tc "crash on flush" `Quick test_crash_injection_on_flush;
           tc "disarm" `Quick test_disarm;
           tc "clean flush is free" `Quick test_clean_flush_is_not_an_event;
+          tc "rearm after disarm" `Quick test_rearm_after_disarm;
+          tc "usable after injected crash" `Quick
+            test_crash_event_not_double_counted;
         ] );
       ( "arena-costs",
         [
@@ -378,6 +578,22 @@ let () =
           tc "fence breaks combining" `Quick test_fence_breaks_combining;
           tc "distinct lines charged" `Quick test_distinct_lines_charged;
           tc "cached store cost" `Quick test_cached_store_cost;
+          tc "write_bytes per line" `Quick test_write_bytes_charges_per_line;
+          tc "read_bytes per line" `Quick test_read_bytes_charges_per_line;
+        ] );
+      ( "fault-model",
+        [
+          tc "deterministic rolls" `Quick test_fault_model_deterministic;
+          tc "partial crash survival" `Quick test_partial_crash_survival;
+          tc "zero survival = classic crash" `Quick
+            test_zero_survival_is_classic_crash;
+          tc "spontaneous eviction" `Quick test_spontaneous_eviction;
+          tc "pinned line never survives crash" `Quick
+            test_pinned_line_never_survives_crash;
+          tc "pinned line not evicted" `Quick test_pinned_line_not_evicted;
+          tc "flush clears pin" `Quick test_flush_clears_pin;
+          tc "media fault corrupts reads" `Quick test_media_fault_corrupts_reads;
+          tc "crc32 known vector" `Quick test_crc32_known_vector;
         ] );
       ( "roots",
         [
