@@ -11,15 +11,25 @@ open Rewind_benchlib
 
 (* -- shared ------------------------------------------------------------- *)
 
-let config_of_string = function
-  | "1l-nfp" -> Ok Rewind.config_1l_nfp
-  | "1l-fp" -> Ok Rewind.config_1l_fp
-  | "2l-nfp" -> Ok Rewind.config_2l_nfp
-  | "2l-fp" -> Ok Rewind.config_2l_fp
-  | "simple" -> Ok Rewind.config_simple
-  | "optimized" -> Ok Rewind.config_optimized
-  | "batch" -> Ok (Rewind.config_batch ())
-  | s -> Error (`Msg (Fmt.str "unknown configuration %S" s))
+let config_names =
+  [
+    ("1l-nfp", fun () -> Rewind.config_1l_nfp);
+    ("1l-fp", fun () -> Rewind.config_1l_fp);
+    ("2l-nfp", fun () -> Rewind.config_2l_nfp);
+    ("2l-fp", fun () -> Rewind.config_2l_fp);
+    ("simple", fun () -> Rewind.config_simple);
+    ("optimized", fun () -> Rewind.config_optimized);
+    ("batch", fun () -> Rewind.config_batch ());
+  ]
+
+let config_of_string s =
+  match List.assoc_opt s config_names with
+  | Some c -> Ok (c ())
+  | None ->
+      Error
+        (`Msg
+           (Fmt.str "unknown configuration %S (expected one of: %s)" s
+              (String.concat ", " (List.map fst config_names))))
 
 let config_conv =
   Arg.conv
@@ -184,7 +194,10 @@ let run_costs () =
       for i = 1 to 1000 do
         Rewind.Tm.write tm txn ~addr:cell ~value:(Int64.of_int i)
       done;
-      Fmt.pr "  %-22s %6d ns/update@." name (Clock.elapsed s / 1000))
+      let st = Arena.stats arena in
+      Fmt.pr "  %-22s %6d ns/update  (redundant flushes %d, fences %d)@." name
+        (Clock.elapsed s / 1000)
+        st.Stats.redundant_flushes st.Stats.redundant_fences)
     [
       ("1L-NFP (Optimized)", Rewind.config_1l_nfp);
       ("1L-FP (Optimized)", Rewind.config_1l_fp);
@@ -201,6 +214,126 @@ let costs_cmd =
   Cmd.v
     (Cmd.info "costs" ~doc:"Per-update cost of each REWIND configuration")
     Term.(const run_costs $ const ())
+
+(* -- check -------------------------------------------------------------- *)
+
+module San = Rewind_analysis.Sanitizer
+module Enum = Rewind_analysis.Enumerator
+
+(* A representative transactional workload: commits, a rollback, a partial
+   rollback to a savepoint, a checkpoint, then a crash mid-transaction and
+   recovery — all replayed against the sanitizer's shadow hardware model. *)
+let check_one_config name cfg =
+  let arena = Arena.create ~size_bytes:(16 lsl 20) () in
+  let alloc = Alloc.create arena in
+  San.with_sanitizer ~mode:San.Collect arena (fun san ->
+      let tm = Rewind.Tm.create ~cfg alloc ~root_slot:2 in
+      let cells = Array.init 8 (fun _ -> Alloc.alloc alloc 8) in
+      let txn = Rewind.Tm.begin_txn tm in
+      Array.iteri
+        (fun i c -> Rewind.Tm.write tm txn ~addr:c ~value:(Int64.of_int (i + 1)))
+        cells;
+      Rewind.Tm.commit tm txn;
+      let txn = Rewind.Tm.begin_txn tm in
+      Rewind.Tm.write tm txn ~addr:cells.(0) ~value:99L;
+      Rewind.Tm.rollback tm txn;
+      let txn = Rewind.Tm.begin_txn tm in
+      Rewind.Tm.write tm txn ~addr:cells.(1) ~value:41L;
+      let sp = Rewind.Tm.savepoint tm txn in
+      Rewind.Tm.write tm txn ~addr:cells.(2) ~value:42L;
+      Rewind.Tm.rollback_to tm txn sp;
+      Rewind.Tm.commit tm txn;
+      Rewind.Tm.checkpoint tm;
+      let txn = Rewind.Tm.begin_txn tm in
+      Arena.arm_crash arena ~after:5;
+      (try
+         for i = 0 to 999 do
+           Rewind.Tm.write tm txn
+             ~addr:cells.(i mod Array.length cells)
+             ~value:(Int64.of_int (100 + i))
+         done
+       with Arena.Crash -> ());
+      Arena.disarm_crash arena;
+      (if Arena.crashed arena then begin
+         let alloc = Alloc.recover arena in
+         let tm = Rewind.Tm.attach ~cfg alloc ~root_slot:2 in
+         let txn = Rewind.Tm.begin_txn tm in
+         Rewind.Tm.write tm txn ~addr:cells.(3) ~value:7L;
+         Rewind.Tm.commit tm txn
+       end);
+      let r = San.report san in
+      Fmt.pr "%-12s %a@." name San.pp_report r;
+      List.iter (fun v -> Fmt.pr "    %a@." San.pp_violation v) (San.violations san);
+      r.San.violation_count)
+
+(* Exhaustive crash-state enumeration of a small single-transaction trace
+   (Simple log, no force): every fence-boundary subset of dirty lines must
+   recover to all-or-nothing. *)
+let check_enumerate () =
+  let cfg =
+    { Rewind.config_simple with Rewind.Tm.policy = Rewind.Tm.No_force }
+  in
+  let arena = Arena.create ~size_bytes:(64 * 1024) () in
+  let alloc = Alloc.create arena in
+  let a = Alloc.alloc ~align:64 alloc 8 in
+  let b = Alloc.alloc ~align:64 alloc 8 in
+  let stats =
+    Enum.run arena
+      ~workload:(fun () ->
+        let tm = Rewind.Tm.create ~cfg alloc ~root_slot:2 in
+        let txn = Rewind.Tm.begin_txn tm in
+        Rewind.Tm.write tm txn ~addr:a ~value:7L;
+        Rewind.Tm.write tm txn ~addr:b ~value:9L;
+        Rewind.Tm.commit tm txn)
+      ~recover:(fun crashed ->
+        let alloc = Alloc.recover crashed in
+        let _tm = Rewind.Tm.attach ~cfg alloc ~root_slot:2 in
+        (Arena.read crashed a, Arena.read crashed b))
+      ~check:(fun (va, vb) ->
+        match (va, vb) with
+        | 0L, 0L | 7L, 9L -> None
+        | _ -> Some (Fmt.str "partial state a=%Ld b=%Ld" va vb))
+  in
+  Fmt.pr "enumerator: %a — all crash states recover legally@." Enum.pp_stats
+    stats
+
+let run_check config_filter enumerate =
+  let selected =
+    match config_filter with
+    | None -> config_names
+    | Some n -> List.filter (fun (name, _) -> name = n) config_names
+  in
+  Fmt.pr "persistency sanitizer — shadow hardware model over each configuration@.@.";
+  let total =
+    List.fold_left
+      (fun acc (name, cfg) -> acc + check_one_config name (cfg ()))
+      0 selected
+  in
+  (if enumerate then check_enumerate ());
+  if total > 0 then begin
+    Fmt.epr "@.%d persistency violation(s) detected@." total;
+    Stdlib.exit 1
+  end
+  else Fmt.pr "@.no persistency violations@."
+
+let check_cmd =
+  let cfg =
+    Arg.(
+      value
+      & opt (some (enum (List.map (fun (n, _) -> (n, n)) config_names))) None
+      & info [ "config" ] ~docv:"CONFIG"
+          ~doc:"Check a single configuration (default: all).")
+  in
+  let enumerate =
+    Arg.(
+      value & flag
+      & info [ "enumerate" ]
+          ~doc:"Also exhaustively enumerate crash states of a small trace.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Run the persistency sanitizer over each configuration")
+    Term.(const run_check $ cfg $ enumerate)
 
 (* -- autotune ------------------------------------------------------------ *)
 
@@ -263,4 +396,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "rewind" ~version:"1.0.0"
              ~doc:"REWIND: recovery write-ahead system for in-memory non-volatile data structures")
-          [ figure_cmd; crash_demo_cmd; tpcc_cmd; costs_cmd; autotune_cmd ]))
+          [ figure_cmd; crash_demo_cmd; tpcc_cmd; costs_cmd; check_cmd; autotune_cmd ]))

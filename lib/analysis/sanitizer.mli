@@ -1,0 +1,66 @@
+(** Online persistency sanitizer.
+
+    Attach one to an arena and every store/flush/fence — plus the WAL
+    annotations the core layers emit through {!Rewind_nvm.Pmcheck} — is
+    replayed against a shadow ordering model of real persistent-memory
+    hardware, where a write-back is unordered until the next fence.  The
+    sanitizer raises (or collects) a {!violation} at the first event that
+    breaks REWIND's discipline, and counts redundant flushes/fences as
+    performance diagnostics. *)
+
+type kind =
+  | Wal_order
+      (** A user store became durable while its undo record still sat in
+          an unpersisted batch group. *)
+  | Unpersisted_commit
+      (** A commit-point (or expected-persistent) word was still volatile
+          when the transaction settled. *)
+  | Unfenced
+      (** A commit-point (or expected-persistent) word was written back
+          but not fence-ordered — durable in the simulator, not on
+          hardware. *)
+  | Store_unlogged
+      (** A store to transactionally-managed data with no active undo
+          record (outside recovery). *)
+  | Store_freed  (** A store to a region returned to the allocator. *)
+
+type violation = { kind : kind; addr : int; event_no : int; detail : string }
+
+exception Violation of violation
+
+val pp_kind : kind Fmt.t
+val pp_violation : violation Fmt.t
+
+type mode =
+  | Raise  (** raise {!Violation} at the first offending event *)
+  | Collect  (** record violations; retrieve with {!violations} *)
+
+type t
+
+val attach : ?mode:mode -> Rewind_nvm.Arena.t -> t
+(** Install the sanitizer as the arena's tracer ([mode] defaults to
+    [Raise]). *)
+
+val detach : t -> unit
+
+val with_sanitizer : ?mode:mode -> Rewind_nvm.Arena.t -> (t -> 'a) -> 'a
+(** [with_sanitizer arena f] attaches, runs [f], and always detaches. *)
+
+val violations : t -> violation list
+(** Collected violations, oldest first ([Collect] mode). *)
+
+val events_seen : t -> int
+
+(** {1 Diagnostics} *)
+
+type report = {
+  events : int;
+  violation_count : int;
+  redundant_flush_sites : (int * int) list;
+      (** (line base, clean-flush count) *)
+  redundant_fence_sites : (string * int) list;
+      (** (preceding event, empty-fence count) *)
+}
+
+val report : t -> report
+val pp_report : report Fmt.t

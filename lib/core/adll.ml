@@ -87,6 +87,9 @@ let append t element =
   wr t (t.base + o_to_append) n;
   Arena.fence t.arena;
   finish_append t n ~last_tail:tl;
+  (* Algorithm 1's postcondition: node and recovery variables durable. *)
+  Pmcheck.expect_persisted t.arena ~addr:t.base ~len:header_bytes
+    ~what:"ADLL header after append";
   n
 
 let recover_append t =
@@ -120,6 +123,8 @@ let remove t n =
   wr t (t.base + o_to_remove) n;
   Arena.fence t.arena;
   finish_remove t n;
+  Pmcheck.expect_persisted t.arena ~addr:t.base ~len:header_bytes
+    ~what:"ADLL header after remove";
   (* De-allocation only after the operation is no longer pending. *)
   Alloc.free t.alloc n node_bytes
 

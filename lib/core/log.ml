@@ -53,6 +53,10 @@ type t = {
   occupancy : (int, int ref) Hashtbl.t;  (* bucket -> live records (volatile) *)
   mutable appended : int;  (* total records ever appended (stat) *)
   mutable torn : int;  (* bad-checksum records truncated by the last attach *)
+  mutable chaos_drop_group_fence : bool;
+      (* test-only fault: skip the group-persistence fence, leaving the
+         batch slots written back but unordered — the bug class the
+         persistency sanitizer exists to catch *)
 }
 
 let variant t = t.variant
@@ -96,10 +100,13 @@ let create variant ?(bucket_cap = 1000) alloc ~root_slot =
       occupancy = Hashtbl.create 64;
       appended = 0;
       torn = 0;
+      chaos_drop_group_fence = false;
     }
   in
   (match variant with Simple -> () | Optimized | Batch _ -> ignore (new_bucket t));
   t
+
+let set_chaos_drop_group_fence t b = t.chaos_drop_group_fence <- b
 
 (* -- persistence of pending batch slots -------------------------------- *)
 
@@ -111,8 +118,14 @@ let flush_group t =
       let first = slot_off t.cur_bucket (t.next_slot - t.pending) in
       let len = 8 * t.pending in
       Arena.flush_range t.arena first len;
-      Arena.fence t.arena;
+      if not t.chaos_drop_group_fence then Arena.fence t.arena;
+      (* The protocol's claim at this point (Section 3.3): every slot of
+         the group is durable and fence-ordered before the
+         last-persistent-index store makes them trusted. *)
+      Pmcheck.expect_persisted t.arena ~addr:first ~len
+        ~what:"batch group slots before last-persistent-index advance";
       wr_nt t (t.cur_bucket + b_idx) t.next_slot;
+      Pmcheck.group_persisted t.arena;
       t.pending <- 0
   | _ -> ()
 
@@ -148,15 +161,33 @@ type handle = Node of int | Slot of { node : int; bucket : int; slot : int }
 
 let append_h ?(is_end = false) t r =
   t.appended <- t.appended + 1;
-  match t.variant with
-  | Simple ->
-      (* The record was written back by [Record.make]; fence to order it
-         before the list insertion that makes it reachable. *)
-      Arena.fence t.arena;
-      Node (Adll.append t.chain r)
-  | Optimized | Batch _ ->
-      append_slot t r ~force_persist:is_end;
-      Slot { node = t.cur_node; bucket = t.cur_bucket; slot = t.next_slot - 1 }
+  let h =
+    match t.variant with
+    | Simple ->
+        (* The record was written back by [Record.make]; fence to order it
+           before the list insertion that makes it reachable. *)
+        Arena.fence t.arena;
+        Node (Adll.append t.chain r)
+    | Optimized | Batch _ ->
+        append_slot t r ~force_persist:is_end;
+        Slot { node = t.cur_node; bucket = t.cur_bucket; slot = t.next_slot - 1 }
+  in
+  (* An END append is the transaction's commit point: the record and the
+     word that makes it reachable must be durable when commit returns.
+     (Txn 0 is the AAVLT's internal logging — its records are cleared
+     within the enclosing atomic op, not at a transaction boundary.) *)
+  (if is_end && Arena.traced t.arena then
+     let txn = Record.txn t.arena r in
+     if txn <> 0 then begin
+       Pmcheck.commit_point t.arena ~txn ~addr:r ~len:Record.size_bytes
+         ~what:"END record";
+       match h with
+       | Node _ -> ()
+       | Slot { bucket; slot; _ } ->
+           Pmcheck.commit_point t.arena ~txn ~addr:(slot_off bucket slot) ~len:8
+             ~what:"END slot"
+     end);
+  h
 
 let append ?(is_end = false) t r = ignore (append_h ~is_end t r)
 
@@ -454,6 +485,7 @@ let attach variant ?(bucket_cap = 1000) alloc ~root_slot =
         occupancy = Hashtbl.create 64;
         appended = 0;
         torn = 0;
+        chaos_drop_group_fence = false;
       }
     in
     (match variant with

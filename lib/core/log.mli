@@ -100,3 +100,11 @@ val compact : ?threshold:float -> t -> unit
 
 val occupancy_stats : t -> int * int
 (** (live records, trusted slots). *)
+
+(** {1 Chaos (tests only)} *)
+
+val set_chaos_drop_group_fence : t -> bool -> unit
+(** When set, {!flush_group} skips its persistence fence: the batch
+    slots are written back but unordered with respect to the
+    last-persistent-index store.  Deliberately violates Section 3.3 so
+    the persistency sanitizer's detection can be unit-tested. *)

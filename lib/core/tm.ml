@@ -197,7 +197,12 @@ let append_user_record t txn_id r ~is_end =
       Avl_index.op idx (fun () ->
           let node = Avl_index.insert_in_op idx lsn in
           Avl_index.set_head_record idx node r);
-      e.Txn_table.last_record <- r
+      e.Txn_table.last_record <- r;
+      (* The record is durable here: [Record.make] wrote it back and the
+         AAVLT op's internal logging fenced at least once since. *)
+      if is_end && txn_id <> 0 then
+        Pmcheck.commit_point t.arena ~txn:txn_id ~addr:r ~len:Record.size_bytes
+          ~what:"END record (AAVLT-indexed)"
 
 (* Records are created "off-line" (Section 3.2) — outside the log latch —
    and only the atomic insertion is serialised, which is the fine-grained
@@ -208,7 +213,13 @@ let log_update t txn_id ~addr ~old_value ~new_value =
       ~addr ~old_value ~new_value ~undo_next:0 ~prev_same_txn:0
   in
   Sim_mutex.with_lock t.latch (fun () ->
-      append_user_record t txn_id r ~is_end:false)
+      append_user_record t txn_id r ~is_end:false;
+      (* WAL declaration: [addr] now has an undo record.  Under Batch the
+         record may still sit in an unpersisted group ([Log.pending] > 0),
+         in which case the covered store must not reach NVM before
+         {!Pmcheck.group_persisted}. *)
+      Pmcheck.region_logged t.arena ~txn:txn_id ~addr ~len:8
+        ~durable:(Log.pending t.log = 0))
 
 (* The paper's expanded-code pattern (Listing 2): log, then store. *)
 let write t txn_id ~addr ~value =
@@ -316,7 +327,8 @@ let commit ?(clear = true) t txn_id =
              then reach the (volatile) cache. *)
           append_end t txn_id;
           drain_deferred t;
-          Hashtbl.replace t.ended txn_id ()))
+          Hashtbl.replace t.ended txn_id ());
+      Pmcheck.txn_settled t.arena ~txn:txn_id)
 
 (* -- rollback -------------------------------------------------------------- *)
 
@@ -332,6 +344,8 @@ let undo_one t txn_id rec_ ~durably =
       ~undo_next:(Record.lsn t.arena rec_) ~prev_same_txn:0
   in
   append_user_record t txn_id clr ~is_end:durably;
+  Pmcheck.region_logged t.arena ~txn:txn_id ~addr ~len:8
+    ~durable:(Log.pending t.log = 0);
   (* Route the restore through the same WAL-ordered store path as forward
      writes: under Batch it must stay buffered behind the CLR's group (and
      behind any still-pending forward store to the same line). *)
@@ -442,12 +456,13 @@ let rollback t txn_id =
       append_end t txn_id;
       drain_deferred t;
       drop_deferred_deletes t txn_id;
-      match t.cfg.policy with
+      (match t.cfg.policy with
       | Force -> (
           match t.index with
           | None -> clear_txn_records t txn_id
           | Some idx -> clear_txn_index t idx txn_id)
-      | No_force -> Hashtbl.replace t.ended txn_id ())
+      | No_force -> Hashtbl.replace t.ended txn_id ());
+      Pmcheck.txn_settled t.arena ~txn:txn_id)
 
 (* -- checkpoint (Section 4.6) ---------------------------------------------- *)
 
@@ -466,6 +481,10 @@ let checkpoint t =
       Log.append ~is_end:true t.log cp;
       Arena.flush_all t.arena;
       Arena.fence t.arena;
+      (* Section 4.6: the CHECKPOINT record and every user update are now
+         durable; clearing may begin. *)
+      Pmcheck.expect_persisted t.arena ~addr:cp ~len:Record.size_bytes
+        ~what:"checkpoint record before log clearing";
       (* Clear settled transactions, END records last. *)
       let settled = Hashtbl.fold (fun id () acc -> id :: acc) t.ended [] in
       (match t.index with
@@ -721,6 +740,7 @@ let clear_after_recovery t =
   t.deferred <- []
 
 let recover t =
+  Pmcheck.recovery_begin t.arena;
   let report =
     match t.index with
     | None ->
@@ -740,6 +760,7 @@ let recover t =
         { r with torn_truncated = r.torn_truncated + Log.torn_truncated t.log }
   in
   clear_after_recovery t;
+  Pmcheck.recovery_end t.arena;
   t.last_recovery <- Some report
 
 (* Reattach after a crash: recover the log structure, the AAVLT, and then

@@ -127,14 +127,18 @@ let alloc ?(align = 8) t size =
   with_mu t (fun () ->
       t.allocations <- t.allocations + 1;
       t.live_bytes <- t.live_bytes + size;
-      match Hashtbl.find_opt t.free_lists (size, align) with
-      | Some ({ contents = off :: rest } as cell) ->
-          cell := rest;
-          off
-      | Some _ | None ->
-          if size <= slab_max_size && size land (align - 1) = 0 then
-            bump_small t ~align size
-          else bump t ~align size)
+      let off =
+        match Hashtbl.find_opt t.free_lists (size, align) with
+        | Some ({ contents = off :: rest } as cell) ->
+            cell := rest;
+            off
+        | Some _ | None ->
+            if size <= slab_max_size && size land (align - 1) = 0 then
+              bump_small t ~align size
+            else bump t ~align size
+      in
+      Pmcheck.allocated t.arena ~addr:off ~len:size;
+      off)
 
 (* Callers that rely on durably-zeroed cells (log buckets, where 0 means
    "empty slot" even after a crash) must bypass free-list reuse: the bump
@@ -147,7 +151,9 @@ let alloc_fresh ?(align = 8) t size =
   with_mu t (fun () ->
       t.allocations <- t.allocations + 1;
       t.live_bytes <- t.live_bytes + size;
-      bump t ~align size)
+      let off = bump t ~align size in
+      Pmcheck.allocated t.arena ~addr:off ~len:size;
+      off)
 
 let free ?(align = 8) t off size =
   if size <= 0 then invalid_arg "Alloc.free: non-positive size";
@@ -155,6 +161,7 @@ let free ?(align = 8) t off size =
   with_mu t (fun () ->
       t.frees <- t.frees + 1;
       t.live_bytes <- t.live_bytes - size;
+      Pmcheck.freed t.arena ~addr:off ~len:size;
       match Hashtbl.find_opt t.free_lists (size, align) with
       | Some cell -> cell := off :: !cell
       | None -> Hashtbl.replace t.free_lists (size, align) (ref [ off ]))

@@ -55,6 +55,13 @@ type t = {
   mutable fault : Fault_model.t option;
   recent : int array;      (* ring of recently-dirtied lines *)
   mutable recent_n : int;  (* total pushes into [recent] *)
+  mutable tracer : (Trace.event -> unit) option;
+      (* persistency event sink (sanitizer / enumerator); every event is
+         constructed inside a [Some] match arm so the disabled path costs
+         one pointer compare *)
+  mutable persisted_since_fence : bool;
+      (* has any persistence event happened since the last fence?  Feeds
+         the redundant-fence diagnostic counter. *)
 }
 
 let log2_exact n =
@@ -89,6 +96,8 @@ let create ?(config = Config.default ()) ~size_bytes () =
     fault = None;
     recent = Array.make recent_cap 0;
     recent_n = 0;
+    tracer = None;
+    persisted_since_fence = false;
   }
 
 let size t = t.size
@@ -97,6 +106,16 @@ let stats t = t.stats
 let line_of t off = off lsr t.line_shift
 let set_fault_model t fm = t.fault <- fm
 let fault_model t = t.fault
+
+(* -- persistency event tracing ---------------------------------------- *)
+
+let set_tracer t f = t.tracer <- f
+let tracer t = t.tracer
+let traced t = t.tracer <> None
+
+(* Forward an already-built event; annotation emitters ({!Pmcheck}) guard
+   with [traced] so the event is only allocated when a sink is attached. *)
+let emit t ev = match t.tracer with None -> () | Some f -> f ev
 
 let check_bounds t off len =
   if off < 0 || len < 0 || off + len > t.size then
@@ -134,7 +153,8 @@ let crash t =
   t.last_nvm_line <- -1;
   t.crash_countdown <- -1;
   t.crashed <- true;
-  t.stats.Stats.crashes <- t.stats.Stats.crashes + 1
+  t.stats.Stats.crashes <- t.stats.Stats.crashes + 1;
+  (match t.tracer with None -> () | Some f -> f Trace.Crash)
 
 let arm_crash t ~after =
   if after < 0 then invalid_arg "Arena.arm_crash";
@@ -174,7 +194,10 @@ let evict_line t line =
     let base, len = line_base_len t line in
     Bytes.blit t.volatile base t.durable base len;
     Bytes.unsafe_set t.dirty line '\000';
-    t.stats.Stats.evictions <- t.stats.Stats.evictions + 1
+    t.stats.Stats.evictions <- t.stats.Stats.evictions + 1;
+    match t.tracer with
+    | None -> ()
+    | Some f -> f (Trace.Evict { off = base })
   end
 
 (* Mark a line dirty and, under an armed fault model, remember it as an
@@ -220,7 +243,10 @@ let write t off v =
   t.stats.Stats.stores <- t.stats.Stats.stores + 1;
   Clock.advance t.config.Config.dram_write_ns;
   Bytes.set_int64_le t.volatile off v;
-  dirtied t (line_of t off)
+  dirtied t (line_of t off);
+  match t.tracer with
+  | None -> ()
+  | Some f -> f (Trace.Store { off; len = 8; durable = false })
 
 let read_byte t off =
   check_bounds t off 1;
@@ -234,7 +260,10 @@ let write_byte t off v =
   t.stats.Stats.stores <- t.stats.Stats.stores + 1;
   Clock.advance t.config.Config.dram_write_ns;
   Bytes.set t.volatile off (Char.chr (v land 0xff));
-  dirtied t (line_of t off)
+  dirtied t (line_of t off);
+  match t.tracer with
+  | None -> ()
+  | Some f -> f (Trace.Store { off; len = 1; durable = false })
 
 let read_bytes t off len =
   check_bounds t off len;
@@ -263,7 +292,10 @@ let write_bytes t off s =
   let first = line_of t off and last = line_of t (off + max 0 (len - 1)) in
   for l = first to last do
     dirtied t l
-  done
+  done;
+  match t.tracer with
+  | None -> ()
+  | Some f -> if len > 0 then f (Trace.Store { off; len; durable = false })
 
 (* -- durable stores ---------------------------------------------------- *)
 
@@ -276,7 +308,11 @@ let nt_write t off v =
   t.stats.Stats.nt_stores <- t.stats.Stats.nt_stores + 1;
   Bytes.set_int64_le t.volatile off v;
   Bytes.set_int64_le t.durable off v;
-  charge_line_write t (line_of t off)
+  charge_line_write t (line_of t off);
+  t.persisted_since_fence <- true;
+  match t.tracer with
+  | None -> ()
+  | Some f -> f (Trace.Store { off; len = 8; durable = true })
 
 let flush_line t off =
   check_bounds t off 1;
@@ -289,7 +325,19 @@ let flush_line t off =
     Bytes.blit t.volatile base t.durable base len;
     Bytes.unsafe_set t.dirty line '\000';
     Bytes.unsafe_set t.pinned line '\000';
-    charge_line_write t line
+    charge_line_write t line;
+    t.persisted_since_fence <- true;
+    match t.tracer with
+    | None -> ()
+    | Some f -> f (Trace.Flush { off = base; dirty = true })
+  end
+  else begin
+    (* The flush instruction was still issued; a clean line means it had
+       nothing to write back — pure overhead. *)
+    t.stats.Stats.redundant_flushes <- t.stats.Stats.redundant_flushes + 1;
+    match t.tracer with
+    | None -> ()
+    | Some f -> f (Trace.Flush { off; dirty = false })
   end
 
 let flush_range t off len =
@@ -308,8 +356,12 @@ let flush_all t =
 
 let fence t =
   t.stats.Stats.fences <- t.stats.Stats.fences + 1;
+  if not t.persisted_since_fence then
+    t.stats.Stats.redundant_fences <- t.stats.Stats.redundant_fences + 1;
+  t.persisted_since_fence <- false;
   t.last_nvm_line <- -1;
-  Clock.advance t.config.Config.fence_ns
+  Clock.advance t.config.Config.fence_ns;
+  match t.tracer with None -> () | Some f -> f Trace.Fence
 
 (* Persist barrier: flush the word's line and fence.  The common "make this
    update durable now" sequence. *)
@@ -350,11 +402,13 @@ let is_dirty t off = Bytes.unsafe_get t.dirty (line_of t off) = '\001'
 
 let pin_line t off =
   check_bounds t off 1;
-  Bytes.unsafe_set t.pinned (line_of t off) '\001'
+  Bytes.unsafe_set t.pinned (line_of t off) '\001';
+  match t.tracer with None -> () | Some f -> f (Trace.Pin { off })
 
 let unpin_line t off =
   check_bounds t off 1;
-  Bytes.unsafe_set t.pinned (line_of t off) '\000'
+  Bytes.unsafe_set t.pinned (line_of t off) '\000';
+  match t.tracer with None -> () | Some f -> f (Trace.Unpin { off })
 
 let is_pinned t off = Bytes.unsafe_get t.pinned (line_of t off) = '\001'
 
@@ -366,3 +420,57 @@ let corrupt t off len =
     Bytes.set t.durable i (Char.chr (Char.code (Bytes.get t.durable i) lxor 0xff));
     Bytes.set t.volatile i (Char.chr (Char.code (Bytes.get t.volatile i) lxor 0xff))
   done
+
+(* -- durable-image snapshots (crash-state enumerator) ------------------- *)
+
+(* A frozen copy of both memory images plus the dirty/pinned line maps.
+   The enumerator captures one at each fence boundary and later
+   materializes every crash state reachable from it: the durable image
+   plus any subset of the dirty, unpinned lines (each may or may not have
+   been written back by the hardware before power was lost); pinned lines
+   still sit in the store buffer, so no subset includes them. *)
+
+type image = {
+  i_size : int;
+  i_config : Config.t;
+  i_durable : Bytes.t;
+  i_volatile : Bytes.t;
+  i_dirty : Bytes.t;
+  i_pinned : Bytes.t;
+}
+
+let capture t =
+  {
+    i_size = t.size;
+    i_config = t.config;
+    i_durable = Bytes.copy t.durable;
+    i_volatile = Bytes.copy t.volatile;
+    i_dirty = Bytes.copy t.dirty;
+    i_pinned = Bytes.copy t.pinned;
+  }
+
+(* Line numbers that a crash may or may not preserve: dirty and unpinned. *)
+let image_dirty_lines img =
+  let acc = ref [] in
+  for l = Bytes.length img.i_dirty - 1 downto 0 do
+    if
+      Bytes.unsafe_get img.i_dirty l = '\001'
+      && Bytes.unsafe_get img.i_pinned l = '\000'
+    then acc := l :: !acc
+  done;
+  !acc
+
+(* Build a fresh post-crash arena from [img]: the durable image, with each
+   line in [survivors] overwritten by its volatile (written-back) copy. *)
+let materialize img ~survivors =
+  let t = create ~config:img.i_config ~size_bytes:img.i_size () in
+  Bytes.blit img.i_durable 0 t.durable 0 img.i_size;
+  List.iter
+    (fun l ->
+      let base = l lsl t.line_shift in
+      let len = min (1 lsl t.line_shift) (img.i_size - base) in
+      Bytes.blit img.i_volatile base t.durable base len)
+    survivors;
+  Bytes.blit t.durable 0 t.volatile 0 img.i_size;
+  t.crashed <- true;
+  t

@@ -77,6 +77,24 @@ val clear_crashed : t -> unit
 val set_fault_model : t -> Fault_model.t option -> unit
 val fault_model : t -> Fault_model.t option
 
+(** {1 Persistency event tracing}
+
+    An attached tracer receives every {!Trace.event} — stores, flushes,
+    fences, pin/unpin, evictions, crashes — in program order, interleaved
+    with the semantic annotations the upper layers emit through
+    {!Pmcheck}.  With no tracer attached the hot paths pay one pointer
+    compare and allocate nothing. *)
+
+val set_tracer : t -> (Trace.event -> unit) option -> unit
+val tracer : t -> (Trace.event -> unit) option
+
+val traced : t -> bool
+(** [traced t] is true when a tracer is attached; annotation emitters
+    guard on it so events are only built when someone listens. *)
+
+val emit : t -> Trace.event -> unit
+(** Forward an already-built event to the tracer, if any. *)
+
 (** {1 Store-buffer pinning}
 
     A pinned line models a store held back in the store buffer: every
@@ -110,3 +128,25 @@ val corrupt : t -> int -> int -> unit
 (** [corrupt t off len] flips the bits of [len] bytes in both the durable
     and volatile images, simulating in-place media corruption of
     already-durable data (tests only). *)
+
+(** {1 Durable-image snapshots}
+
+    Used by the crash-state enumerator: {!capture} freezes both memory
+    images at a fence boundary; {!materialize} then builds the post-crash
+    arena for any chosen subset of the dirty lines — the lines the
+    hardware happened to write back before power was lost.  Pinned lines
+    sit in the store buffer and never survive, so they are excluded from
+    {!image_dirty_lines}. *)
+
+type image
+
+val capture : t -> image
+(** Freeze the arena's durable/volatile images and dirty/pinned maps. *)
+
+val image_dirty_lines : image -> int list
+(** Line numbers whose survival a crash leaves open: dirty and unpinned. *)
+
+val materialize : image -> survivors:int list -> t
+(** [materialize img ~survivors] is a fresh crashed arena whose durable
+    state is [img]'s durable image with each line in [survivors]
+    overwritten by its volatile copy. *)

@@ -1,0 +1,43 @@
+(* Annotation API for the persistency sanitizer.
+
+   The WAL/transaction layers call these at the points where they *intend*
+   durability semantics — "this region now has an undo record", "this store
+   makes the commit durable", "this range must be persistent before I
+   return" — and the annotations flow into the arena's event trace,
+   interleaved with the raw stores/flushes/fences.  The sanitizer checks
+   the intent against the observed ordering; the enumerator uses the
+   annotations to know which recovered states are legal.
+
+   Every emitter is guarded by {!Arena.traced}, so with no tracer attached
+   (the default, including every benchmark) the cost is one pointer
+   compare and no allocation. *)
+
+let region_logged arena ~txn ~addr ~len ~durable =
+  if Arena.traced arena then
+    Arena.emit arena (Trace.Region_logged { txn; addr; len; durable })
+
+let group_persisted arena =
+  if Arena.traced arena then Arena.emit arena Trace.Group_persisted
+
+let commit_point arena ~txn ~addr ~len ~what =
+  if Arena.traced arena then
+    Arena.emit arena (Trace.Commit_point { txn; addr; len; what })
+
+let txn_settled arena ~txn =
+  if Arena.traced arena then Arena.emit arena (Trace.Txn_settled { txn })
+
+let expect_persisted arena ~addr ~len ~what =
+  if Arena.traced arena then
+    Arena.emit arena (Trace.Expect_persisted { addr; len; what })
+
+let recovery_begin arena =
+  if Arena.traced arena then Arena.emit arena (Trace.Recovery true)
+
+let recovery_end arena =
+  if Arena.traced arena then Arena.emit arena (Trace.Recovery false)
+
+let freed arena ~addr ~len =
+  if Arena.traced arena then Arena.emit arena (Trace.Freed { addr; len })
+
+let allocated arena ~addr ~len =
+  if Arena.traced arena then Arena.emit arena (Trace.Allocated { addr; len })

@@ -1,0 +1,44 @@
+(** Annotation API for the persistency sanitizer.
+
+    The WAL/transaction layers declare durability *intent* through these
+    calls — undo-record coverage, commit points, persistence expectations
+    — and the annotations join the arena's raw event trace for the
+    sanitizer (online ordering checks) and the crash-state enumerator
+    (legal-state classification) to consume.
+
+    All emitters are no-ops (one pointer compare, zero allocation) unless
+    a tracer is attached with {!Arena.set_tracer}. *)
+
+val region_logged :
+  Arena.t -> txn:int -> addr:int -> len:int -> durable:bool -> unit
+(** An undo record covering [addr, addr+len) exists for [txn].  [durable]
+    is false when the record sits in a not-yet-persistent batch group:
+    the covered user store must stay volatile until {!group_persisted}. *)
+
+val group_persisted : Arena.t -> unit
+(** The pending batch group is durably reachable; every pending
+    [region_logged] coverage upgrades to durable. *)
+
+val commit_point :
+  Arena.t -> txn:int -> addr:int -> len:int -> what:string -> unit
+(** [addr, addr+len) makes [txn]'s END record reachable; it must be
+    durable and fence-ordered by the matching {!txn_settled}. *)
+
+val txn_settled : Arena.t -> txn:int -> unit
+(** Commit/rollback of [txn] is returning to the caller: commit points
+    are due and undo-record coverage expires. *)
+
+val expect_persisted : Arena.t -> addr:int -> len:int -> what:string -> unit
+(** Caller-declared invariant: every byte of [addr, addr+len) is durable
+    and separated from its write-back by a fence. *)
+
+val recovery_begin : Arena.t -> unit
+(** WAL-ordering rules are suspended while recovery redoes history. *)
+
+val recovery_end : Arena.t -> unit
+
+val freed : Arena.t -> addr:int -> len:int -> unit
+(** Region returned to the allocator: further stores are use-after-free. *)
+
+val allocated : Arena.t -> addr:int -> len:int -> unit
+(** Region handed out by the allocator; clears any freed mark. *)

@@ -14,6 +14,8 @@ type t = {
   mutable crash_survivals : int; (** dirty lines persisted by a partial-eviction crash *)
   mutable media_faults : int;    (** corrupted reads served from media-faulty lines *)
   mutable torn_records : int;    (** bad-checksum log records truncated by recovery *)
+  mutable redundant_flushes : int; (** flushes issued on a clean line (no write-back) *)
+  mutable redundant_fences : int;  (** fences with no persistence event since the last *)
 }
 
 let create () =
@@ -29,6 +31,8 @@ let create () =
     crash_survivals = 0;
     media_faults = 0;
     torn_records = 0;
+    redundant_flushes = 0;
+    redundant_fences = 0;
   }
 
 let reset s =
@@ -42,7 +46,9 @@ let reset s =
   s.evictions <- 0;
   s.crash_survivals <- 0;
   s.media_faults <- 0;
-  s.torn_records <- 0
+  s.torn_records <- 0;
+  s.redundant_flushes <- 0;
+  s.redundant_fences <- 0
 
 let diff a b =
   {
@@ -57,6 +63,8 @@ let diff a b =
     crash_survivals = a.crash_survivals - b.crash_survivals;
     media_faults = a.media_faults - b.media_faults;
     torn_records = a.torn_records - b.torn_records;
+    redundant_flushes = a.redundant_flushes - b.redundant_flushes;
+    redundant_fences = a.redundant_fences - b.redundant_fences;
   }
 
 let snapshot s = { s with nvm_writes = s.nvm_writes }
@@ -66,4 +74,7 @@ let pp ppf s =
     s.nvm_writes s.nt_stores s.flushes s.fences s.loads s.stores;
   if s.evictions + s.crash_survivals + s.media_faults + s.torn_records > 0 then
     Fmt.pf ppf " evictions=%d survivals=%d media_faults=%d torn=%d" s.evictions
-      s.crash_survivals s.media_faults s.torn_records
+      s.crash_survivals s.media_faults s.torn_records;
+  if s.redundant_flushes + s.redundant_fences > 0 then
+    Fmt.pf ppf " redundant_flushes=%d redundant_fences=%d" s.redundant_flushes
+      s.redundant_fences

@@ -14,6 +14,8 @@ type t = {
   mutable crash_survivals : int; (** dirty lines persisted by a partial-eviction crash *)
   mutable media_faults : int;    (** corrupted reads served from media-faulty lines *)
   mutable torn_records : int;    (** bad-checksum log records truncated by recovery *)
+  mutable redundant_flushes : int; (** flushes issued on a clean line (no write-back) *)
+  mutable redundant_fences : int;  (** fences with no persistence event since the last *)
 }
 
 val create : unit -> t

@@ -1,0 +1,82 @@
+(* The persistency event stream.
+
+   Every memory event that matters for crash consistency — stores, line
+   write-backs, fences, store-buffer pinning, spontaneous evictions, and
+   crashes — is emitted by {!Arena} to an attached tracer, interleaved
+   with *semantic* annotations emitted by the layers above through
+   {!Pmcheck} (undo-record coverage, commit points, durability intent).
+
+   The two kinds share one event type so a consumer sees a single totally
+   ordered trace: the persistency sanitizer replays it against a shadow
+   ordering model, and the crash-state enumerator uses the fences as the
+   boundaries at which it forks durable states. *)
+
+type event =
+  (* raw memory events (emitted by Arena) *)
+  | Store of { off : int; len : int; durable : bool }
+      (** A CPU store.  [durable] is true for non-temporal stores, which
+          reach NVM on arrival; cached stores stay volatile until their
+          line is written back. *)
+  | Flush of { off : int; dirty : bool }
+      (** A cacheline write-back instruction for the line containing
+          [off].  [dirty] is false when the line had nothing to write
+          back — a redundant flush. *)
+  | Fence  (** A persistent memory fence. *)
+  | Pin of { off : int }  (** Line held back in the store buffer. *)
+  | Unpin of { off : int }  (** Line released to the cache hierarchy. *)
+  | Evict of { off : int }
+      (** Spontaneous hardware write-back of a dirty line (fault model):
+          durable immediately, but not program-ordered. *)
+  | Crash  (** Power failure: every volatile line is gone. *)
+  (* semantic annotations (emitted via Pmcheck) *)
+  | Region_logged of { txn : int; addr : int; len : int; durable : bool }
+      (** An undo record covering [addr, addr+len) exists for transaction
+          [txn].  [durable] is true when the record is already durably
+          reachable (Simple/Optimized logging); false when it sits in a
+          not-yet-persistent batch group — the covered user store must not
+          become durable until {!Group_persisted}. *)
+  | Group_persisted
+      (** The pending batch group is durably reachable: every
+          [Region_logged ~durable:false] coverage is upgraded. *)
+  | Commit_point of { txn : int; addr : int; len : int; what : string }
+      (** [addr, addr+len) makes transaction [txn]'s END record reachable
+          and must be durable (and fence-ordered) by the time the commit
+          or rollback call returns ({!Txn_settled}). *)
+  | Txn_settled of { txn : int }
+      (** Commit/rollback of [txn] is returning to the caller: its commit
+          points are checked and its undo-record coverage expires. *)
+  | Expect_persisted of { addr : int; len : int; what : string }
+      (** Caller-declared invariant: every byte of [addr, addr+len) is
+          durable *and* separated from its write-back by a fence. *)
+  | Recovery of bool
+      (** Recovery begin/end.  While recovery runs, WAL-ordering rules are
+          suspended — repeat-history redo legitimately stores to user data
+          without fresh undo records. *)
+  | Freed of { addr : int; len : int }
+      (** Region returned to the allocator: stores to it are use-after-free
+          until re-allocation. *)
+  | Allocated of { addr : int; len : int }
+      (** Region handed out by the allocator (clears any freed mark). *)
+
+let pp ppf = function
+  | Store { off; len; durable } ->
+      Fmt.pf ppf "store %s[%d,+%d)" (if durable then "nt " else "") off len
+  | Flush { off; dirty } ->
+      Fmt.pf ppf "flush @%d%s" off (if dirty then "" else " (clean)")
+  | Fence -> Fmt.string ppf "fence"
+  | Pin { off } -> Fmt.pf ppf "pin @%d" off
+  | Unpin { off } -> Fmt.pf ppf "unpin @%d" off
+  | Evict { off } -> Fmt.pf ppf "evict @%d" off
+  | Crash -> Fmt.string ppf "crash"
+  | Region_logged { txn; addr; len; durable } ->
+      Fmt.pf ppf "region-logged txn=%d [%d,+%d) %s" txn addr len
+        (if durable then "durable" else "pending")
+  | Group_persisted -> Fmt.string ppf "group-persisted"
+  | Commit_point { txn; addr; len; what } ->
+      Fmt.pf ppf "commit-point txn=%d [%d,+%d) %s" txn addr len what
+  | Txn_settled { txn } -> Fmt.pf ppf "txn-settled %d" txn
+  | Expect_persisted { addr; len; what } ->
+      Fmt.pf ppf "expect-persisted [%d,+%d) %s" addr len what
+  | Recovery b -> Fmt.pf ppf "recovery-%s" (if b then "begin" else "end")
+  | Freed { addr; len } -> Fmt.pf ppf "freed [%d,+%d)" addr len
+  | Allocated { addr; len } -> Fmt.pf ppf "allocated [%d,+%d)" addr len

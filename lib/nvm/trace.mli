@@ -1,0 +1,31 @@
+(** The persistency event stream: raw memory events emitted by {!Arena}
+    interleaved with semantic annotations emitted through {!Pmcheck}, in
+    one totally ordered trace.  Consumed by the persistency sanitizer
+    (online ordering checks) and the crash-state enumerator (fences as
+    crash boundaries). *)
+
+type event =
+  | Store of { off : int; len : int; durable : bool }
+      (** A CPU store; [durable] marks non-temporal stores. *)
+  | Flush of { off : int; dirty : bool }
+      (** Write-back of the line containing [off]; [dirty] is false for a
+          redundant (clean-line) flush. *)
+  | Fence
+  | Pin of { off : int }
+  | Unpin of { off : int }
+  | Evict of { off : int }
+      (** Spontaneous hardware write-back: durable but not
+          program-ordered. *)
+  | Crash
+  | Region_logged of { txn : int; addr : int; len : int; durable : bool }
+      (** Undo record for [txn] covers the region; [durable] false means
+          the record waits in an unpersisted batch group. *)
+  | Group_persisted
+  | Commit_point of { txn : int; addr : int; len : int; what : string }
+  | Txn_settled of { txn : int }
+  | Expect_persisted of { addr : int; len : int; what : string }
+  | Recovery of bool
+  | Freed of { addr : int; len : int }
+  | Allocated of { addr : int; len : int }
+
+val pp : event Fmt.t

@@ -198,6 +198,56 @@ let test_savepoint_crash_after_partial cfg () =
     incr k
   done
 
+let crash_crossing_configs =
+  [ ("1L-NFP", Rewind.config_1l_nfp); ("1L-FP", Rewind.config_1l_fp);
+    ("2L-NFP", Rewind.config_2l_nfp); ("2L-FP", Rewind.config_2l_fp);
+    ("simple", Rewind.config_simple); ("batch", Rewind.config_batch ()) ]
+
+let test_rollback_to_crosses_crash cfg () =
+  (* crash at every persistence event *during* a partial rollback:
+     recovery must settle at the transaction start (crashed while open)
+     or, if the rollback completed and the transaction committed, at the
+     savepoint state — never at an intermediate post-savepoint state *)
+  let k = ref 0 in
+  let completed = ref false in
+  while not !completed do
+    let arena, alloc, tm = fresh ~cfg () in
+    let a = Alloc.alloc alloc 8 and b = Alloc.alloc alloc 8
+    and c = Alloc.alloc alloc 8 in
+    Tm.atomically tm (fun txn ->
+        Tm.write tm txn ~addr:a ~value:1L;
+        Tm.write tm txn ~addr:b ~value:2L);
+    let txn = Tm.begin_txn tm in
+    Tm.write tm txn ~addr:a ~value:10L;
+    let sp = Tm.savepoint tm txn in
+    Tm.write tm txn ~addr:a ~value:20L;
+    Tm.write tm txn ~addr:b ~value:21L;
+    Tm.write tm txn ~addr:c ~value:22L;
+    Arena.arm_crash arena ~after:!k;
+    (try
+       Tm.rollback_to tm txn sp;
+       Arena.disarm_crash arena;
+       completed := true
+     with Arena.Crash -> ());
+    if Arena.crashed arena then begin
+      let alloc2 = Alloc.recover arena in
+      let _tm2 = Tm.attach ~cfg alloc2 ~root_slot in
+      check_i64 (Fmt.str "crash %d: a at txn start" !k) 1L (Arena.read arena a);
+      check_i64 (Fmt.str "crash %d: b at txn start" !k) 2L (Arena.read arena b);
+      check_i64 (Fmt.str "crash %d: c at txn start" !k) 0L (Arena.read arena c)
+    end
+    else begin
+      Tm.commit tm txn;
+      Arena.crash arena;
+      let alloc2 = Alloc.recover arena in
+      let _tm2 = Tm.attach ~cfg alloc2 ~root_slot in
+      check_i64 "a keeps the pre-savepoint write" 10L (Arena.read arena a);
+      check_i64 "b back at the savepoint state" 2L (Arena.read arena b);
+      check_i64 "c back at the savepoint state" 0L (Arena.read arena c)
+    end;
+    incr k
+  done
+
 let test_savepoint_drops_deletes () =
   let _, alloc, tm = fresh ~cfg:Rewind.config_1l_fp () in
   let region = Alloc.alloc alloc 48 in
@@ -323,7 +373,14 @@ let () =
             tc "crash after partial [1L-FP]" `Slow
               (test_savepoint_crash_after_partial Rewind.config_1l_fp);
             tc "drops post-savepoint deletes" `Quick test_savepoint_drops_deletes;
-          ] );
+          ]
+        @ List.map
+            (fun (cn, cfg) ->
+              tc
+                ("rollback_to crosses crash [" ^ cn ^ "]")
+                `Slow
+                (test_rollback_to_crosses_crash cfg))
+            crash_crossing_configs );
       ( "autotune",
         [
           tc "low interleave -> 1L" `Quick test_autotune_low_interleave;

@@ -1,0 +1,358 @@
+(* Persistency-sanitizer tests.
+
+   Three claims are established here:
+   1. the existing implementation is *clean* under the checker — a full
+      transactional workload (commits, rollbacks, savepoints, checkpoint,
+      crash + recovery) in every configuration runs with the sanitizer
+      attached in Raise mode and triggers nothing;
+   2. the checker *detects* deliberately introduced protocol violations —
+      a user store written back before its undo record's batch group
+      persisted (WAL-order), and a dropped group fence in the Batch log
+      (unfenced commit) — each asserted as its specific diagnostic;
+   3. the crash-state enumerator exhaustively passes on a Simple-log
+      single-transaction trace and on an ADLL append/remove trace. *)
+
+open Rewind_nvm
+open Rewind
+module Sanitizer = Rewind_analysis.Sanitizer
+module Enumerator = Rewind_analysis.Enumerator
+
+let all_configs =
+  [
+    ("1L-NFP", Rewind.config_1l_nfp);
+    ("1L-FP", Rewind.config_1l_fp);
+    ("2L-NFP", Rewind.config_2l_nfp);
+    ("2L-FP", Rewind.config_2l_fp);
+    ("1L-NFP-simple", { Rewind.config_1l_nfp with variant = Log.Simple });
+    ("1L-NFP-batch", { Rewind.config_1l_nfp with variant = Log.Batch 8 });
+    ("1L-FP-batch", { Rewind.config_1l_fp with variant = Log.Batch 8 });
+  ]
+
+let root_slot = 2
+
+let fresh ?(size_bytes = 1 lsl 20) cfg =
+  let arena = Arena.create ~size_bytes () in
+  let alloc = Alloc.create arena in
+  let tm = Tm.create ~cfg alloc ~root_slot in
+  (arena, alloc, tm)
+
+let reattach cfg arena =
+  let alloc = Alloc.recover arena in
+  Tm.attach ~cfg alloc ~root_slot
+
+let check_int = Alcotest.(check int)
+let check_i64 = Alcotest.(check int64)
+let check_bool = Alcotest.(check bool)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* 1. Clean bill: the implementation passes its own checker            *)
+(* ------------------------------------------------------------------ *)
+
+(* A workload touching every protocol path: commit, rollback, partial
+   rollback to a savepoint, checkpoint, then a mid-transaction crash
+   recovered with the sanitizer still attached. *)
+let test_clean_workload cfg () =
+  let arena, alloc, tm = fresh cfg in
+  let c = Array.init 10 (fun _ -> Alloc.alloc alloc 8) in
+  Sanitizer.with_sanitizer arena (fun s ->
+      let t1 = Tm.begin_txn tm in
+      Tm.write tm t1 ~addr:c.(0) ~value:11L;
+      Tm.write tm t1 ~addr:c.(1) ~value:22L;
+      Tm.commit tm t1;
+      let t2 = Tm.begin_txn tm in
+      Tm.write tm t2 ~addr:c.(0) ~value:99L;
+      Tm.write tm t2 ~addr:c.(2) ~value:88L;
+      Tm.rollback tm t2;
+      let t3 = Tm.begin_txn tm in
+      Tm.write tm t3 ~addr:c.(3) ~value:7L;
+      let sp = Tm.savepoint tm t3 in
+      Tm.write tm t3 ~addr:c.(4) ~value:8L;
+      Tm.write tm t3 ~addr:c.(3) ~value:9L;
+      Tm.rollback_to tm t3 sp;
+      Tm.commit tm t3;
+      Tm.checkpoint tm;
+      (* mid-transaction crash, recovery under the sanitizer *)
+      let t4 = Tm.begin_txn tm in
+      Tm.write tm t4 ~addr:c.(0) ~value:55L;
+      Arena.crash arena;
+      let tm' = reattach cfg arena in
+      check_i64 "losing txn undone" 11L (Arena.read arena c.(0));
+      (* the model stays sound for post-recovery transactions *)
+      let t5 = Tm.begin_txn tm' in
+      Tm.write tm' t5 ~addr:c.(5) ~value:66L;
+      Tm.commit tm' t5;
+      check_i64 "post-recovery commit" 66L (Arena.read arena c.(5));
+      check_bool "events were traced" true (Sanitizer.events_seen s > 0))
+
+(* The full suite runs with Raise mode: any violation aborts the test.
+   Run once more in Collect mode and assert the list is empty, so a
+   refactor that swallows exceptions cannot mask a regression. *)
+let test_clean_collect cfg () =
+  let arena, alloc, tm = fresh cfg in
+  let c = Array.init 4 (fun _ -> Alloc.alloc alloc 8) in
+  Sanitizer.with_sanitizer ~mode:Sanitizer.Collect arena (fun s ->
+      let t1 = Tm.begin_txn tm in
+      Tm.write tm t1 ~addr:c.(0) ~value:1L;
+      Tm.write tm t1 ~addr:c.(1) ~value:2L;
+      Tm.commit tm t1;
+      Tm.checkpoint tm;
+      check_int "no violations"
+        0
+        (List.length (Sanitizer.violations s)))
+
+(* ------------------------------------------------------------------ *)
+(* 2. Detection of deliberate violations                               *)
+(* ------------------------------------------------------------------ *)
+
+let batch_cfg = { Rewind.config_1l_nfp with variant = Log.Batch 8 }
+
+(* WAL-order: under Batch, a user store's line is pinned until its undo
+   record's group persists.  Writing the line back anyway (the classic
+   "flush the data early" bug) must be flagged at the flush, not at some
+   later recovery. *)
+let test_wal_order_violation () =
+  let arena, alloc, tm = fresh batch_cfg in
+  let addr = Alloc.alloc ~align:64 alloc 8 in
+  Sanitizer.with_sanitizer ~mode:Sanitizer.Collect arena (fun s ->
+      let t = Tm.begin_txn tm in
+      Tm.write tm t ~addr ~value:7L;
+      (* The undo record sits in an unpersisted group of 8; this flush
+         writes the user store back ahead of it. *)
+      Arena.flush_line arena addr;
+      let vs = Sanitizer.violations s in
+      check_bool "at least one violation" true (vs <> []);
+      let v = List.hd vs in
+      check_bool "kind is wal-order" true (v.Sanitizer.kind = Sanitizer.Wal_order);
+      check_int "flagged the flushed word" addr v.Sanitizer.addr)
+
+(* Dropped group fence: [flush_group] writes the slots back and advances
+   the last-persistent-index, but skips the fence between them.  The
+   protocol's own expectation annotation catches it immediately. *)
+let test_dropped_group_fence () =
+  let arena, alloc, tm = fresh batch_cfg in
+  let addr = Alloc.alloc ~align:64 alloc 8 in
+  Log.set_chaos_drop_group_fence (Tm.log tm) true;
+  Sanitizer.with_sanitizer ~mode:Sanitizer.Collect arena (fun s ->
+      let t = Tm.begin_txn tm in
+      Tm.write tm t ~addr ~value:7L;
+      Tm.commit tm t;
+      let vs = Sanitizer.violations s in
+      check_bool "at least one violation" true (vs <> []);
+      List.iter
+        (fun v ->
+          check_bool "every violation is unfenced" true
+            (v.Sanitizer.kind = Sanitizer.Unfenced))
+        vs;
+      check_bool "the group-slot expectation fired" true
+        (List.exists
+           (fun v ->
+             contains v.Sanitizer.detail "batch group slots")
+           vs))
+
+(* With the chaos knob off the same workload is clean — the knob, not the
+   workload, is what the sanitizer objects to. *)
+let test_chaos_knob_off_is_clean () =
+  let arena, alloc, tm = fresh batch_cfg in
+  let addr = Alloc.alloc ~align:64 alloc 8 in
+  Sanitizer.with_sanitizer arena (fun _ ->
+      let t = Tm.begin_txn tm in
+      Tm.write tm t ~addr ~value:7L;
+      Tm.commit tm t)
+
+(* A store to memory already returned to the allocator. *)
+let test_store_freed () =
+  let arena, alloc, _tm = fresh batch_cfg in
+  let addr = Alloc.alloc ~align:64 alloc 64 in
+  Sanitizer.with_sanitizer ~mode:Sanitizer.Collect arena (fun s ->
+      Alloc.free ~align:64 alloc addr 64;
+      Arena.write arena addr 1L;
+      let vs = Sanitizer.violations s in
+      check_bool "store-freed flagged" true
+        (List.exists (fun v -> v.Sanitizer.kind = Sanitizer.Store_freed) vs))
+
+(* A direct store to transactionally-managed data, bypassing the WAL. *)
+let test_store_unlogged () =
+  let arena, alloc, tm = fresh Rewind.config_1l_nfp in
+  let addr = Alloc.alloc ~align:64 alloc 8 in
+  Sanitizer.with_sanitizer ~mode:Sanitizer.Collect arena (fun s ->
+      let t = Tm.begin_txn tm in
+      Tm.write tm t ~addr ~value:1L;
+      Tm.commit tm t;
+      (* coverage expired at commit; this raw store has no undo record *)
+      Arena.write arena addr 2L;
+      let vs = Sanitizer.violations s in
+      check_bool "store-unlogged flagged" true
+        (List.exists (fun v -> v.Sanitizer.kind = Sanitizer.Store_unlogged) vs))
+
+(* ------------------------------------------------------------------ *)
+(* 3. Redundancy diagnostics                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_redundant_diagnostics () =
+  let arena = Arena.create ~size_bytes:(1 lsl 16) () in
+  let stats = Arena.stats arena in
+  Sanitizer.with_sanitizer ~mode:Sanitizer.Collect arena (fun s ->
+      Arena.write arena 1024 1L;
+      Arena.flush_line arena 1024;
+      Arena.flush_line arena 1024 (* clean: redundant *);
+      Arena.fence arena (* orders the write-back: useful *);
+      Arena.fence arena (* nothing since: redundant *);
+      check_int "stats counted the clean flush" 1 stats.Stats.redundant_flushes;
+      check_int "stats counted the empty fence" 1 stats.Stats.redundant_fences;
+      let r = Sanitizer.report s in
+      check_int "no violations" 0 r.Sanitizer.violation_count;
+      check_int "one redundant-flush site" 1
+        (List.length r.Sanitizer.redundant_flush_sites);
+      check_bool "flush site is the line base" true
+        (List.mem_assoc 1024 r.Sanitizer.redundant_flush_sites);
+      check_int "one redundant-fence site" 1
+        (List.length r.Sanitizer.redundant_fence_sites))
+
+(* ------------------------------------------------------------------ *)
+(* 4. Crash-state enumerator                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Simple-log, single transaction, no-force: the two user cells stay
+   cached and dirty, so every fence boundary opens 2^2 crash states.
+   Recovery must land on exactly (0,0) — transaction undone — or (7,9) —
+   committed and redone — never a mixture. *)
+let test_enumerate_simple_txn () =
+  let cfg = { Rewind.config_1l_nfp with variant = Log.Simple } in
+  let arena = Arena.create ~size_bytes:(1 lsl 16) () in
+  let alloc = Alloc.create arena in
+  let tm = Tm.create ~cfg alloc ~root_slot in
+  let a = Alloc.alloc ~align:64 alloc 8 in
+  let b = Alloc.alloc ~align:64 alloc 8 in
+  let stats =
+    Enumerator.run arena
+      ~workload:(fun () ->
+        let t = Tm.begin_txn tm in
+        Tm.write tm t ~addr:a ~value:7L;
+        Tm.write tm t ~addr:b ~value:9L;
+        Tm.commit tm t)
+      ~recover:(fun crashed ->
+        ignore (reattach cfg crashed);
+        (Arena.read crashed a, Arena.read crashed b))
+      ~check:(fun (va, vb) ->
+        if (va, vb) = (0L, 0L) || (va, vb) = (7L, 9L) then None
+        else Some (Fmt.str "recovered to (%Ld, %Ld)" va vb))
+  in
+  check_bool "several capture points" true (stats.Enumerator.capture_points > 3);
+  check_bool "enumerated more states than captures" true
+    (stats.Enumerator.crash_states >= stats.Enumerator.capture_points)
+
+(* ADLL append/remove trace.  The list itself is all non-temporal stores,
+   so a scratch cell is dirtied alongside every operation to open real
+   subsets at each fence; recovery must find a well-formed list holding
+   one of the five legal element sequences. *)
+let test_enumerate_adll () =
+  let arena = Arena.create ~size_bytes:(1 lsl 16) () in
+  let alloc = Alloc.create arena in
+  let scratch = Alloc.alloc ~align:64 alloc 8 in
+  let adll = Adll.create alloc in
+  let base = Adll.base adll in
+  let middle = ref 0 in
+  let legal =
+    [ []; [ 100 ]; [ 100; 200 ]; [ 100; 200; 300 ]; [ 100; 300 ] ]
+  in
+  let stats =
+    Enumerator.run arena
+      ~workload:(fun () ->
+        Arena.write arena scratch 1L;
+        ignore (Adll.append adll 100);
+        Arena.write arena scratch 2L;
+        middle := Adll.append adll 200;
+        Arena.write arena scratch 3L;
+        ignore (Adll.append adll 300);
+        Arena.write arena scratch 4L;
+        Adll.remove adll !middle)
+      ~recover:(fun crashed ->
+        let alloc' = Alloc.recover crashed in
+        let l = Adll.attach alloc' ~base in
+        Adll.recover l;
+        l)
+      ~check:(fun l ->
+        if not (Adll.well_formed l) then Some "recovered list malformed"
+        else
+          let es = Adll.elements l in
+          if List.mem es legal then None
+          else
+            Some
+              (Fmt.str "illegal element sequence [%a]"
+                 Fmt.(list ~sep:semi int)
+                 es))
+  in
+  check_bool "several capture points" true (stats.Enumerator.capture_points > 3);
+  check_bool "subsets opened by the scratch line" true
+    (stats.Enumerator.max_open_lines >= 1)
+
+(* The enumerator must also catch a real bug: a structure whose "commit"
+   is two separate cached stores with no ordering has crash states where
+   only the second store survived. *)
+let test_enumerate_catches_torn_pair () =
+  let arena = Arena.create ~size_bytes:(1 lsl 16) () in
+  let alloc = Alloc.create arena in
+  let a = Alloc.alloc ~align:64 alloc 8 in
+  let b = Alloc.alloc ~align:64 alloc 8 in
+  let caught =
+    try
+      ignore
+        (Enumerator.run arena
+           ~workload:(fun () ->
+             (* both-or-neither intent, cached stores, one fence after *)
+             Arena.write arena a 1L;
+             Arena.write arena b 1L;
+             Arena.fence arena)
+           ~recover:(fun crashed -> (Arena.read crashed a, Arena.read crashed b))
+           ~check:(fun (va, vb) ->
+             if va = vb then None
+             else Some (Fmt.str "torn pair (%Ld, %Ld)" va vb)));
+      false
+    with Enumerator.Illegal _ -> true
+  in
+  check_bool "torn pair detected" true caught
+
+(* ------------------------------------------------------------------ *)
+
+let per_config name f =
+  List.map
+    (fun (cname, cfg) ->
+      Alcotest.test_case (Fmt.str "%s [%s]" name cname) `Quick (f cfg))
+    all_configs
+
+let () =
+  Alcotest.run "sanitizer"
+    [
+      ("clean-bill", per_config "full workload clean" test_clean_workload);
+      ("clean-collect", per_config "collect mode empty" test_clean_collect);
+      ( "detection",
+        [
+          Alcotest.test_case "wal-order: store flushed before group" `Quick
+            test_wal_order_violation;
+          Alcotest.test_case "dropped group fence" `Quick
+            test_dropped_group_fence;
+          Alcotest.test_case "chaos knob off is clean" `Quick
+            test_chaos_knob_off_is_clean;
+          Alcotest.test_case "store to freed region" `Quick test_store_freed;
+          Alcotest.test_case "store bypassing the WAL" `Quick
+            test_store_unlogged;
+        ] );
+      ( "diagnostics",
+        [
+          Alcotest.test_case "redundant flush/fence counters" `Quick
+            test_redundant_diagnostics;
+        ] );
+      ( "enumerator",
+        [
+          Alcotest.test_case "simple-log single transaction" `Quick
+            test_enumerate_simple_txn;
+          Alcotest.test_case "adll append/remove" `Quick test_enumerate_adll;
+          Alcotest.test_case "catches a torn cached pair" `Quick
+            test_enumerate_catches_torn_pair;
+        ] );
+    ]
