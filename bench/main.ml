@@ -67,6 +67,16 @@ let figures quick =
     ("ablation-group", fun () -> emit (Figures.ablation_group ()));
     ("ablation-policy", fun () -> emit (Figures.ablation_policy ~n_txns:(s 2_000 500) ()));
     ("ablation-lockfree", fun () -> emit (Figures.ablation_lockfree ()));
+    ( "append",
+      fun () ->
+        let results = Append_bench.run ~n_ops:(s 20_000 4_000) () in
+        Fmt.pr "@.== append: inline vs full-record log appends ==@.";
+        List.iter (fun r -> Fmt.pr "%a@." Append_bench.pp_result r) results;
+        let path = "BENCH_append.json" in
+        let oc = open_out path in
+        output_string oc (Append_bench.to_json results);
+        close_out oc;
+        Fmt.pr "# json: %s@." path );
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -83,8 +93,9 @@ let micro () =
     let tm = Rewind.Tm.create ~cfg alloc ~root_slot:2 in
     (alloc, tm)
   in
-  let tm_write variant =
+  let tm_write ?(inline = true) variant =
     let alloc, tm = mk_env variant in
+    Rewind.Log.set_inline (Rewind.Tm.log tm) inline;
     let cell = Rewind_nvm.Alloc.alloc alloc 8 in
     let txn = ref (Rewind.Tm.begin_txn tm) in
     let n = ref 0 in
@@ -97,6 +108,22 @@ let micro () =
           Rewind.Tm.checkpoint tm;
           txn := Rewind.Tm.begin_txn tm
         end)
+  in
+  (* a whole short transaction per run: begin, 8 word writes, commit *)
+  let tm_commit ?(inline = true) variant =
+    let alloc, tm = mk_env variant in
+    Rewind.Log.set_inline (Rewind.Tm.log tm) inline;
+    let cells = Array.init 8 (fun _ -> Rewind_nvm.Alloc.alloc alloc 8) in
+    let n = ref 0 in
+    Staged.stage (fun () ->
+        let txn = Rewind.Tm.begin_txn tm in
+        Array.iter
+          (fun c ->
+            incr n;
+            Rewind.Tm.write tm txn ~addr:c ~value:(Int64.of_int (!n land 0xFFF)))
+          cells;
+        Rewind.Tm.commit tm txn;
+        if !n mod 8192 = 0 then Rewind.Tm.checkpoint tm)
   in
   let adll_append =
     let arena = Rewind_nvm.Arena.create ~size_bytes:(512 lsl 20) () in
@@ -118,7 +145,14 @@ let micro () =
       [
         Test.make ~name:"tm-write-simple" (tm_write Rewind.Log.Simple);
         Test.make ~name:"tm-write-optimized" (tm_write Rewind.Log.Optimized);
+        Test.make ~name:"tm-write-optimized-full"
+          (tm_write ~inline:false Rewind.Log.Optimized);
         Test.make ~name:"tm-write-batch8" (tm_write (Rewind.Log.Batch 8));
+        Test.make ~name:"tm-write-batch8-full"
+          (tm_write ~inline:false (Rewind.Log.Batch 8));
+        Test.make ~name:"tm-commit8-optimized" (tm_commit Rewind.Log.Optimized);
+        Test.make ~name:"tm-commit8-optimized-full"
+          (tm_commit ~inline:false Rewind.Log.Optimized);
         Test.make ~name:"adll-append" adll_append;
         Test.make ~name:"btree-insert-dram" btree_insert;
       ]

@@ -195,9 +195,17 @@ let run_costs () =
         Rewind.Tm.write tm txn ~addr:cell ~value:(Int64.of_int i)
       done;
       let st = Arena.stats arena in
-      Fmt.pr "  %-22s %6d ns/update  (redundant flushes %d, fences %d)@." name
+      let logged = st.Stats.inline_records + st.Stats.full_records in
+      let inline_pct =
+        if logged = 0 then 0.
+        else 100. *. float_of_int st.Stats.inline_records /. float_of_int logged
+      in
+      Fmt.pr
+        "  %-22s %6d ns/update  (redundant flushes %d, fences %d, inline hit \
+         %.0f%%)@."
+        name
         (Clock.elapsed s / 1000)
-        st.Stats.redundant_flushes st.Stats.redundant_fences)
+        st.Stats.redundant_flushes st.Stats.redundant_fences inline_pct)
     [
       ("1L-NFP (Optimized)", Rewind.config_1l_nfp);
       ("1L-FP (Optimized)", Rewind.config_1l_fp);
@@ -266,17 +274,19 @@ let check_one_config name cfg =
       List.iter (fun v -> Fmt.pr "    %a@." San.pp_violation v) (San.violations san);
       r.San.violation_count)
 
-(* Exhaustive crash-state enumeration of a small single-transaction trace
-   (Simple log, no force): every fence-boundary subset of dirty lines must
-   recover to all-or-nothing. *)
-let check_enumerate () =
-  let cfg =
-    { Rewind.config_simple with Rewind.Tm.policy = Rewind.Tm.No_force }
-  in
+(* Exhaustive crash-state enumeration of small single-transaction traces:
+   every fence-boundary subset of dirty lines must recover to
+   all-or-nothing.  Two traces: the Simple log (record per list node),
+   and the Optimized log's inline fast path, where the three word updates
+   plus the END all encode as slot pairs and the last pair straddles a
+   cacheline — so the enumeration includes torn-pair states that recovery
+   must truncate rather than replay. *)
+let enumerate_one name cfg =
   let arena = Arena.create ~size_bytes:(64 * 1024) () in
   let alloc = Alloc.create arena in
   let a = Alloc.alloc ~align:64 alloc 8 in
   let b = Alloc.alloc ~align:64 alloc 8 in
+  let c = Alloc.alloc ~align:64 alloc 8 in
   let stats =
     Enum.run arena
       ~workload:(fun () ->
@@ -284,18 +294,24 @@ let check_enumerate () =
         let txn = Rewind.Tm.begin_txn tm in
         Rewind.Tm.write tm txn ~addr:a ~value:7L;
         Rewind.Tm.write tm txn ~addr:b ~value:9L;
+        Rewind.Tm.write tm txn ~addr:c ~value:11L;
         Rewind.Tm.commit tm txn)
       ~recover:(fun crashed ->
         let alloc = Alloc.recover crashed in
         let _tm = Rewind.Tm.attach ~cfg alloc ~root_slot:2 in
-        (Arena.read crashed a, Arena.read crashed b))
-      ~check:(fun (va, vb) ->
-        match (va, vb) with
-        | 0L, 0L | 7L, 9L -> None
-        | _ -> Some (Fmt.str "partial state a=%Ld b=%Ld" va vb))
+        (Arena.read crashed a, Arena.read crashed b, Arena.read crashed c))
+      ~check:(fun (va, vb, vc) ->
+        match (va, vb, vc) with
+        | 0L, 0L, 0L | 7L, 9L, 11L -> None
+        | _ -> Some (Fmt.str "partial state a=%Ld b=%Ld c=%Ld" va vb vc))
   in
-  Fmt.pr "enumerator: %a — all crash states recover legally@." Enum.pp_stats
-    stats
+  Fmt.pr "enumerator[%s]: %a — all crash states recover legally@." name
+    Enum.pp_stats stats
+
+let check_enumerate () =
+  enumerate_one "simple"
+    { Rewind.config_simple with Rewind.Tm.policy = Rewind.Tm.No_force };
+  enumerate_one "optimized-inline" Rewind.config_1l_nfp
 
 let run_check config_filter enumerate =
   let selected =
@@ -339,7 +355,7 @@ let check_cmd =
 
 (* Run a synthetic workload at the requested interleaving/rollback profile
    and print what the advisor would configure. *)
-let run_autotune interleave rollback_pct updates =
+let run_autotune interleave rollback_pct updates small_pct =
   let tuner = Rewind.Autotune.create () in
   let group = max 1 (interleave + 1) in
   let n_txns = max group 200 in
@@ -354,7 +370,9 @@ let run_autotune interleave rollback_pct updates =
     Array.iteri
       (fun slot txn ->
         if !settled < n_txns then begin
-          Rewind.Autotune.on_write tuner txn;
+          (* deterministic small-write mix at the requested percentage *)
+          let word_sized = done_updates.(txn) * small_pct mod 100 < small_pct in
+          Rewind.Autotune.on_write ~word_sized tuner txn;
           done_updates.(txn) <- done_updates.(txn) + 1;
           if done_updates.(txn) >= updates then begin
             (if txn * 100 mod (n_txns * 100) < rollback_pct * n_txns then
@@ -384,10 +402,15 @@ let autotune_cmd =
     Arg.(value & opt int 20
          & info [ "updates" ] ~docv:"N" ~doc:"Updates per transaction.")
   in
+  let small =
+    Arg.(value & opt int 0
+         & info [ "small-writes" ] ~docv:"PCT"
+             ~doc:"Percentage of updates that are word-sized (inline-eligible).")
+  in
   Cmd.v
     (Cmd.info "autotune"
        ~doc:"Simulate a workload profile and print the advisor's recommendation")
-    Term.(const run_autotune $ interleave $ rollback $ updates)
+    Term.(const run_autotune $ interleave $ rollback $ updates $ small)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

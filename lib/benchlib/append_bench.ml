@@ -1,0 +1,107 @@
+(* Append-path cost comparison: the inline compact-record fast path
+   against the full-record path, on the same bucketed log variants.
+
+   The workload mirrors fig3-left's logging-overhead shape — word-sized
+   updates in short transactions, all inline-eligible — so the per-append
+   NVM traffic difference is exactly what the inline format claims to
+   save: the Optimized full-record path pays a record-line write-back
+   plus the ordered slot store per append; the inline path pays a single
+   slot-line write-back.  Recovery is measured by crashing with one
+   transaction in flight and timing [Tm.attach] over the populated log.
+
+   Results also land in BENCH_append.json (via {!to_json}) so CI can
+   archive machine-readable numbers. *)
+
+open Rewind_nvm
+
+type result = {
+  name : string;  (** variant plus [inline] or [full] *)
+  ops : int;  (** logged updates *)
+  sim_ns_per_op : float;  (** simulated time per update *)
+  line_writes_per_op : float;  (** NVM line write-backs per update *)
+  fences_per_op : float;  (** persistence fences per update *)
+  inline_hit : float;  (** fraction of appends encoded inline *)
+  recovery_sim_ns : int;  (** simulated [Tm.attach] time post-crash *)
+}
+
+let scenarios =
+  [
+    ("optimized-inline", Rewind.Log.Optimized, true);
+    ("optimized-full", Rewind.Log.Optimized, false);
+    ("batch8-inline", Rewind.Log.Batch 8, true);
+    ("batch8-full", Rewind.Log.Batch 8, false);
+  ]
+
+let run_one ~n_ops (name, variant, inline) =
+  let arena = Arena.create ~size_bytes:(64 lsl 20) () in
+  let alloc = Alloc.create arena in
+  let cfg = { Rewind.Tm.default_config with variant } in
+  let tm = Rewind.Tm.create ~cfg alloc ~root_slot:2 in
+  Rewind.Log.set_inline (Rewind.Tm.log tm) inline;
+  let cells = Array.init 64 (fun _ -> Alloc.alloc alloc 8) in
+  let txn_len = 8 in
+  let before = Stats.snapshot (Arena.stats arena) in
+  let span = Clock.start () in
+  let txn = ref (Rewind.Tm.begin_txn tm) in
+  for i = 1 to n_ops do
+    Rewind.Tm.write tm !txn
+      ~addr:cells.(i mod Array.length cells)
+      ~value:(Int64.of_int (i land 0xFFF));
+    if i mod txn_len = 0 then begin
+      Rewind.Tm.commit tm !txn;
+      txn := Rewind.Tm.begin_txn tm
+    end
+  done;
+  let elapsed = Clock.elapsed span in
+  let d = Stats.diff (Arena.stats arena) before in
+  let logged = d.Stats.inline_records + d.Stats.full_records in
+  let per x = float_of_int x /. float_of_int n_ops in
+  (* populate the log with one in-flight transaction, then crash *)
+  let open_txn = Rewind.Tm.begin_txn tm in
+  for i = 1 to txn_len do
+    Rewind.Tm.write tm open_txn
+      ~addr:cells.(i mod Array.length cells)
+      ~value:(Int64.of_int i)
+  done;
+  Arena.crash arena;
+  let alloc2 = Alloc.recover arena in
+  let rspan = Clock.start () in
+  let _tm2 = Rewind.Tm.attach ~cfg alloc2 ~root_slot:2 in
+  let recovery_sim_ns = Clock.elapsed rspan in
+  {
+    name;
+    ops = n_ops;
+    sim_ns_per_op = per elapsed;
+    line_writes_per_op = per d.Stats.nvm_writes;
+    fences_per_op = per d.Stats.fences;
+    inline_hit =
+      (if logged = 0 then 0.
+       else float_of_int d.Stats.inline_records /. float_of_int logged);
+    recovery_sim_ns;
+  }
+
+let run ?(n_ops = 20_000) () = List.map (run_one ~n_ops) scenarios
+
+let pp_result ppf r =
+  Fmt.pf ppf
+    "%-18s %8.0f sim-ns/op  %5.2f line-writes/op  %5.2f fences/op  inline \
+     %3.0f%%  recovery %a"
+    r.name r.sim_ns_per_op r.line_writes_per_op r.fences_per_op
+    (100. *. r.inline_hit) Clock.pp_ns r.recovery_sim_ns
+
+let to_json results =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "[\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Printf.sprintf
+           "  {\"name\": %S, \"ops\": %d, \"sim_ns_per_op\": %.2f, \
+            \"nvm_line_writes_per_op\": %.4f, \"fences_per_op\": %.4f, \
+            \"inline_hit\": %.4f, \"recovery_sim_ns\": %d}"
+           r.name r.ops r.sim_ns_per_op r.line_writes_per_op r.fences_per_op
+           r.inline_hit r.recovery_sim_ns))
+    results;
+  Buffer.add_string b "\n]\n";
+  Buffer.contents b

@@ -29,6 +29,7 @@ type stats = {
   mutable interleave_samples : int;
   mutable interleave_total : int;
   mutable updates_per_txn_total : int;
+  mutable small_updates : int;
 }
 
 type t = {
@@ -50,6 +51,7 @@ let create () =
         interleave_samples = 0;
         interleave_total = 0;
         updates_per_txn_total = 0;
+        small_updates = 0;
       };
     seq = 0;
     last_seq = Hashtbl.create 64;
@@ -61,9 +63,10 @@ let create () =
 
 let on_begin t _txn = t.stats.txns_started <- t.stats.txns_started + 1
 
-let on_write t txn =
+let on_write ?(word_sized = false) t txn =
   t.seq <- t.seq + 1;
   t.stats.records_logged <- t.stats.records_logged + 1;
+  if word_sized then t.stats.small_updates <- t.stats.small_updates + 1;
   (match Hashtbl.find_opt t.last_seq txn with
   | Some prev ->
       (* records by other transactions since this one's last record *)
@@ -103,6 +106,15 @@ let rollback_rate t =
   if settled = 0 then 0.
   else float_of_int t.stats.txns_rolled_back /. float_of_int settled
 
+(* Fraction of logged updates that are word-sized — i.e. candidates for
+   the log's inline record fast path, which wants the Optimized variant
+   (a pair append is one line write-back and one fence; Batch gains
+   little on top and delays durability). *)
+let small_write_fraction t =
+  if t.stats.records_logged = 0 then 0.
+  else
+    float_of_int t.stats.small_updates /. float_of_int t.stats.records_logged
+
 let avg_txn_updates t =
   let settled = t.stats.txns_committed + t.stats.txns_rolled_back in
   if settled = 0 then 0.
@@ -123,6 +135,13 @@ let two_layer_rollback_threshold = 0.02
    the slightly slower logging (the paper's Section 2 trade-off). *)
 let force_txn_length_threshold = 8.
 
+(* When most updates fit the inline format, Optimized's per-append cost
+   already collapses to one line write + one fence, so batching buys
+   little durability-lag for no gain; below that, long update-heavy
+   transactions amortise slot persistence best under Batch. *)
+let inline_small_write_threshold = 0.75
+let batch_group_size = 8
+
 let recommend t =
   let layers =
     if
@@ -136,15 +155,24 @@ let recommend t =
     then Tm.Force
     else Tm.No_force
   in
-  { Tm.default_config with Tm.layers; policy }
+  let variant =
+    if small_write_fraction t >= inline_small_write_threshold then
+      Log.Optimized
+    else if avg_txn_updates t > force_txn_length_threshold then
+      Log.Batch batch_group_size
+    else Tm.default_config.Tm.variant
+  in
+  { Tm.default_config with Tm.layers; policy; variant }
 
 let pp ppf t =
   Fmt.pf ppf
     "@[<v>txns: %d started, %d committed, %d rolled back@,\
      records: %d; avg interleave: %.1f; rollback rate: %.1f%%; avg \
-     updates/txn: %.1f@,\
+     updates/txn: %.1f; small writes: %.0f%%@,\
      recommendation: %a@]"
     t.stats.txns_started t.stats.txns_committed t.stats.txns_rolled_back
     t.stats.records_logged (avg_interleave t)
     (100. *. rollback_rate t)
-    (avg_txn_updates t) Tm.pp_config (recommend t)
+    (avg_txn_updates t)
+    (100. *. small_write_fraction t)
+    Tm.pp_config (recommend t)

@@ -19,6 +19,7 @@ type stats = {
   mutable interleave_samples : int;
   mutable interleave_total : int;
   mutable updates_per_txn_total : int;
+  mutable small_updates : int;
 }
 
 val create : unit -> t
@@ -26,7 +27,10 @@ val create : unit -> t
 (** {1 Event feed} *)
 
 val on_begin : t -> Tm.txn -> unit
-val on_write : t -> Tm.txn -> unit
+val on_write : ?word_sized:bool -> t -> Tm.txn -> unit
+(** [word_sized] marks an update whose before/after images are
+    word-sized — a candidate for the log's inline record fast path. *)
+
 val on_commit : t -> Tm.txn -> unit
 val on_rollback : t -> Tm.txn -> unit
 
@@ -38,6 +42,10 @@ val avg_interleave : t -> float
 
 val rollback_rate : t -> float
 val avg_txn_updates : t -> float
+
+val small_write_fraction : t -> float
+(** Fraction of logged updates flagged [word_sized]. *)
+
 val stats : t -> stats
 
 (** {1 Recommendation} *)
@@ -50,3 +58,13 @@ val pp : t Fmt.t
 val two_layer_interleave_threshold : float
 val two_layer_rollback_threshold : float
 val force_txn_length_threshold : float
+
+val inline_small_write_threshold : float
+(** Small-write fraction above which the advisor pins the Optimized
+    variant: the inline fast path already gives it the cheapest append
+    (one line write-back + one fence), so batching buys nothing but
+    durability lag. *)
+
+val batch_group_size : int
+(** Group size the advisor recommends when long update-heavy
+    transactions favour [Batch]. *)

@@ -72,15 +72,19 @@ let charge_visit t = Clock.advance (Arena.config t.arena).Config.read_miss_ns
 
 (* -- the write-ahead discipline for tree updates ----------------------- *)
 
+(* Internal records (txn 0, lsn 0, no chains) are prime inline-encoding
+   candidates: node fields — heights, statuses, small pointers — usually
+   fit the compact format, so most tree maintenance costs no record
+   allocation.  [Log.append_record] falls back to a full record when an
+   image exceeds the 36-bit internal payload. *)
 let logged_write t addr v =
   let old_v = Arena.read t.arena addr in
   if old_v <> Int64.of_int v then begin
-    let r =
-      Record.make t.alloc ~lsn:0 ~txn:internal_txn ~typ:Record.Update ~addr
-        ~old_value:old_v ~new_value:(Int64.of_int v) ~undo_next:0
-        ~prev_same_txn:0
+    let h =
+      Log.append_record t.ilog ~lsn:0 ~txn:internal_txn ~typ:Record.Update
+        ~addr ~old_value:old_v ~new_value:(Int64.of_int v) ~undo_next:0
     in
-    t.op_handles <- Log.append_h t.ilog r :: t.op_handles;
+    t.op_handles <- h :: t.op_handles;
     Arena.nt_write t.arena addr (Int64.of_int v)
   end
 
@@ -106,11 +110,10 @@ let op t f =
   t.deferred_free <- [];
   t.op_handles <- [];
   let result = f () in
-  let e =
-    Record.make t.alloc ~lsn:0 ~txn:internal_txn ~typ:Record.End ~addr:0
-      ~old_value:0L ~new_value:0L ~undo_next:0 ~prev_same_txn:0
+  let end_handle =
+    Log.append_record ~is_end:true t.ilog ~lsn:0 ~txn:internal_txn
+      ~typ:Record.End ~addr:0 ~old_value:0L ~new_value:0L ~undo_next:0
   in
-  let end_handle = Log.append_h ~is_end:true t.ilog e in
   clear_internal_handles t ~end_handle;
   List.iter (fun n -> Alloc.free ~align:64 t.alloc n node_bytes) t.deferred_free;
   t.deferred_free <- [];

@@ -18,8 +18,20 @@
    occupancy and the insert cursor are volatile and reconstructed during
    the analysis phase after a crash, exactly as in the paper.
 
-   Slot values: 0 = never used, 1 = tombstone (cleared record), otherwise
-   the NVM address of a log record. *)
+   Slot values: 0 = never used, 1 = tombstone (cleared record), low three
+   bits 6/7 = the first/second word of an inline record pair (see
+   {!Record.inline_encode}), otherwise the NVM address of a log record.
+
+   Inline pairs are the bucketed variants' small-write fast path: a
+   word-sized record is encoded into two adjacent slots of the bucket
+   itself, so an Optimized append costs one line write-back plus one
+   fence (the pair almost always shares a cacheline) instead of a record
+   line write-back, a fence, a slot store and its ordering.  A pair never
+   straddles a bucket boundary, and under Batch the last-persistent-index
+   store happens only in [flush_group], after both words — so the trust
+   rule can never expose half a pair.  A reachable pair whose second word
+   is untrusted or fails its CRC is a torn record: [attach] truncates it
+   exactly like a bad-checksum full record. *)
 
 open Rewind_nvm
 
@@ -51,6 +63,11 @@ type t = {
   mutable next_slot : int;   (* next free slot index in cur_bucket *)
   mutable pending : int;     (* slots appended since the last persist point *)
   occupancy : (int, int ref) Hashtbl.t;  (* bucket -> live records (volatile) *)
+  mutable cur_occ : int ref;
+      (* the current bucket's occupancy cell, cached so the append/clear
+         hot path skips the [occupancy] hash lookup *)
+  mutable inline_ok : bool;  (* inline-pair encoding enabled (default) *)
+  mutable inline_appended : int;  (* appends that took the inline path *)
   mutable appended : int;  (* total records ever appended (stat) *)
   mutable torn : int;  (* bad-checksum records truncated by the last attach *)
   mutable chaos_drop_group_fence : bool;
@@ -75,7 +92,9 @@ let new_bucket t =
   (* Fresh allocation: durably zero, so 0-slots are trustworthy. *)
   let b = Alloc.alloc_fresh ~align:64 t.alloc (bucket_bytes t.bucket_cap) in
   let node = Adll.append t.chain b in
-  Hashtbl.replace t.occupancy b (ref 0);
+  let occ = ref 0 in
+  Hashtbl.replace t.occupancy b occ;
+  t.cur_occ <- occ;
   t.cur_bucket <- b;
   t.cur_node <- node;
   t.next_slot <- 0;
@@ -98,6 +117,9 @@ let create variant ?(bucket_cap = 1000) alloc ~root_slot =
       next_slot = 0;
       pending = 0;
       occupancy = Hashtbl.create 64;
+      cur_occ = ref 0;
+      inline_ok = true;
+      inline_appended = 0;
       appended = 0;
       torn = 0;
       chaos_drop_group_fence = false;
@@ -139,7 +161,7 @@ let append_slot t r ~force_persist =
   let b = t.cur_bucket in
   let i = t.next_slot in
   t.next_slot <- i + 1;
-  incr (Hashtbl.find t.occupancy b);
+  incr t.cur_occ;
   (match t.variant with
   | Simple -> assert false
   | Optimized ->
@@ -154,13 +176,64 @@ let append_slot t r ~force_persist =
       t.pending <- t.pending + 1;
       if force_persist || t.pending >= group then flush_group t)
 
+(* Store an inline pair into the next two slots (raw words, no counters —
+   shared by [append_pair] and compaction's re-append).  A pair never
+   straddles a bucket boundary: with one slot left we roll to a fresh
+   bucket and the orphan slot stays durably zero, which every scan skips
+   and the Batch trust rule never covers. *)
+let put_pair_slots t w0 w1 ~force_persist =
+  if t.next_slot + 2 > t.bucket_cap then begin
+    flush_group t;
+    ignore (new_bucket t)
+  end;
+  let b = t.cur_bucket in
+  let i = t.next_slot in
+  t.next_slot <- i + 2;
+  incr t.cur_occ;
+  let off = slot_off b i in
+  (match t.variant with
+  | Simple -> assert false
+  | Optimized ->
+      (* The pair *is* the record: two cached stores, one write-back (two
+         when the pair straddles a line — slot parity is not fixed), one
+         fence.  No off-line record line, no separate slot ordering. *)
+      Arena.write t.arena off (Int64.of_int w0);
+      Arena.write t.arena (off + 8) (Int64.of_int w1);
+      Arena.flush_line t.arena off;
+      if (off + 8) lsr 6 <> off lsr 6 then Arena.flush_line t.arena (off + 8);
+      Arena.fence t.arena;
+      Pmcheck.expect_persisted t.arena ~addr:off ~len:16
+        ~what:"inline record pair"
+  | Batch group ->
+      (* Both words stay cached; [flush_group] persists them and only then
+         advances the last-persistent-index, so trusted slots never cut a
+         pair in half.  A pair counts two slots toward the group. *)
+      Arena.write t.arena off (Int64.of_int w0);
+      Arena.write t.arena (off + 8) (Int64.of_int w1);
+      t.pending <- t.pending + 2;
+      if force_persist || t.pending >= group then flush_group t);
+  (b, i)
+
 (* A handle names the exact location of an appended record, letting its
    owner remove it later in O(1) (the AAVLT clears its own records this
    way after every tree operation). *)
 type handle = Node of int | Slot of { node : int; bucket : int; slot : int }
 
+let append_pair ?(is_end = false) t ~txn w0 w1 =
+  t.appended <- t.appended + 1;
+  t.inline_appended <- t.inline_appended + 1;
+  let s = Arena.stats t.arena in
+  s.Stats.inline_records <- s.Stats.inline_records + 1;
+  let b, i = put_pair_slots t w0 w1 ~force_persist:is_end in
+  if is_end && txn <> 0 && Arena.traced t.arena then
+    Pmcheck.commit_point t.arena ~txn ~addr:(slot_off b i) ~len:16
+      ~what:"END inline pair";
+  Slot { node = t.cur_node; bucket = b; slot = i }
+
 let append_h ?(is_end = false) t r =
   t.appended <- t.appended + 1;
+  (let s = Arena.stats t.arena in
+   s.Stats.full_records <- s.Stats.full_records + 1);
   let h =
     match t.variant with
     | Simple ->
@@ -191,6 +264,36 @@ let append_h ?(is_end = false) t r =
 
 let append ?(is_end = false) t r = ignore (append_h ~is_end t r)
 
+(* Inline eligibility is per-log: bucketed variants only, and a bucket
+   must fit at least one pair. *)
+let inline_eligible t =
+  t.inline_ok && t.bucket_cap >= 2
+  && (match t.variant with Optimized | Batch _ -> true | Simple -> false)
+
+let set_inline t b = t.inline_ok <- b
+let inline_enabled t = t.inline_ok
+let inline_appended t = t.inline_appended
+
+(* Append by fields: encode inline when the record fits the compact
+   format, fall back to an off-line 64-byte record otherwise.  The choice
+   is invisible to readers — both come back as record refs that the
+   {!Record} accessors decode. *)
+let append_record ?(is_end = false) t ~lsn ~txn ~typ ~addr ~old_value
+    ~new_value ~undo_next =
+  match
+    if inline_eligible t then
+      Record.inline_encode ~lsn ~txn ~typ ~addr ~old_value ~new_value
+        ~undo_next
+    else None
+  with
+  | Some (w0, w1) -> append_pair ~is_end t ~txn w0 w1
+  | None ->
+      let r =
+        Record.make t.alloc ~lsn ~txn ~typ ~addr ~old_value ~new_value
+          ~undo_next ~prev_same_txn:0
+      in
+      append_h ~is_end t r
+
 let appended t = t.appended
 let torn_truncated t = t.torn
 
@@ -199,12 +302,36 @@ let pending t = t.pending
 
 (* -- traversal --------------------------------------------------------- *)
 
-(* Number of slots of [b] that iteration may trust. *)
+(* Is [v] even addressable as a record?  A slot or list element should
+   only ever hold 0, the tombstone, an inline tag word, or a
+   cacheline-aligned in-bounds record address — anything else is
+   corruption caught before a scan dereferences it.  A media-faulty slot
+   line serves garbage on {e every} read (truncation cannot stick), so
+   scans must classify defensively, not just [attach]. *)
+let plausible_record t v =
+  v >= 0
+  && v land (Record.size_bytes - 1) = 0
+  && v + Record.size_bytes <= Arena.size t.arena
+
+(* Trust the inline first word [v] at slot [i] (NVM offset [off]) only if
+   its partner word is inside [bound] and the pair CRC matches. *)
+let trusted_pair t ~off ~i ~bound v =
+  Record.is_inline_first_word v
+  && i + 1 < bound
+  && Record.inline_pair_valid ~w0:v ~w1:(rd t (off + 8))
+
+(* A full-record slot word a scan may dereference. *)
+let live_record t v =
+  v > tombstone && (not (Record.is_inline_word v)) && plausible_record t v
+
+(* Number of slots of [b] that iteration may trust.  The Batch
+   last-persistent-index word shares a line with the first slots, so a
+   corrupted read of it must not send a scan past the bucket. *)
 let bucket_bound t b =
   if b = t.cur_bucket && t.cur_bucket <> 0 then t.next_slot
   else
     match t.variant with
-    | Batch _ -> rd t (b + b_idx)
+    | Batch _ -> max 0 (min (rd t (b + b_idx)) t.bucket_cap)
     | Optimized | Simple -> t.bucket_cap
 
 let iter t f =
@@ -217,13 +344,23 @@ let iter t f =
       Adll.iter t.chain (fun n ->
           let b = Adll.element t.chain n in
           let bound = bucket_bound t b in
-          for i = 0 to bound - 1 do
+          let i = ref 0 in
+          while !i < bound do
             charge_seq t;
-            let v = rd t (slot_off b i) in
-            if v > tombstone then begin
-              (* examining a record touches its own cacheline *)
-              charge_miss t;
-              f v
+            let off = slot_off b !i in
+            let v = rd t off in
+            if trusted_pair t ~off ~i:!i ~bound v then begin
+              (* an inline pair decodes from the slot line already read *)
+              f (Record.inline_ref off);
+              i := !i + 2
+            end
+            else begin
+              if live_record t v then begin
+                (* examining a full record touches its own cacheline *)
+                charge_miss t;
+                f v
+              end;
+              incr i
             end
           done)
 
@@ -237,12 +374,25 @@ let iter_back t f =
       Adll.iter_back t.chain (fun n ->
           let b = Adll.element t.chain n in
           let bound = bucket_bound t b in
-          for i = bound - 1 downto 0 do
+          let i = ref (bound - 1) in
+          while !i >= 0 do
             charge_seq t;
-            let v = rd t (slot_off b i) in
-            if v > tombstone then begin
-              charge_miss t;
-              f v
+            let v = rd t (slot_off b !i) in
+            let off1 = slot_off b (!i - 1) in
+            if
+              Record.is_inline_second_word v
+              && !i > 0
+              && trusted_pair t ~off:off1 ~i:(!i - 1) ~bound (rd t off1)
+            then begin
+              f (Record.inline_ref off1);
+              i := !i - 2
+            end
+            else begin
+              if live_record t v then begin
+                charge_miss t;
+                f v
+              end;
+              decr i
             end
           done)
 
@@ -306,13 +456,28 @@ let remove_where t pred =
                 Hashtbl.replace t.occupancy b c;
                 c
           in
-          for i = 0 to bound - 1 do
+          let i = ref 0 in
+          while !i < bound do
             charge_seq t;
-            let v = rd t (slot_off b i) in
-            if v > tombstone && pred v then begin
-              wr_nt t (slot_off b i) tombstone;
-              decr occ;
-              Record.free t.alloc v
+            let off = slot_off b !i in
+            let v = rd t off in
+            if trusted_pair t ~off ~i:!i ~bound v then begin
+              (if pred (Record.inline_ref off) then begin
+                 (* first word first: a crash in between leaves a stray
+                    second word, which [attach] tombstones *)
+                 wr_nt t off tombstone;
+                 wr_nt t (off + 8) tombstone;
+                 decr occ
+               end);
+              i := !i + 2
+            end
+            else begin
+              (if live_record t v && pred v then begin
+                 wr_nt t off tombstone;
+                 decr occ;
+                 Record.free t.alloc v
+               end);
+              incr i
             end
           done;
           if !occ = 0 && b <> t.cur_bucket then empty := (b, node) :: !empty);
@@ -327,16 +492,27 @@ let remove_handle t h =
       Adll.remove t.chain n;
       Record.free t.alloc r
   | Slot { node; bucket; slot } ->
-      let v = rd t (slot_off bucket slot) in
-      if v > tombstone then begin
-        wr_nt t (slot_off bucket slot) tombstone;
-        Record.free t.alloc v;
+      let off = slot_off bucket slot in
+      let v = rd t off in
+      let removed =
+        if Record.is_inline_first_word v then begin
+          wr_nt t off tombstone;
+          wr_nt t (off + 8) tombstone;
+          true
+        end
+        else if live_record t v then begin
+          wr_nt t off tombstone;
+          Record.free t.alloc v;
+          true
+        end
+        else false
+      in
+      if removed then
         match Hashtbl.find_opt t.occupancy bucket with
         | Some occ ->
             decr occ;
             if !occ = 0 && bucket <> t.cur_bucket then free_bucket t bucket node
         | None -> ()
-      end
 
 (* Clear the whole log in the paper's three steps: remember the old chain,
    install a new one, then de-allocate the old (Section 4.5). *)
@@ -364,12 +540,13 @@ let clear_all t =
              the current bucket's cursor was captured before the swap. *)
           let bound =
             match t.variant with
-            | Batch _ -> rd t (b + b_idx)
+            | Batch _ -> max 0 (min (rd t (b + b_idx)) t.bucket_cap)
             | Optimized | Simple -> t.bucket_cap
           in
           for i = 0 to bound - 1 do
             let v = rd t (slot_off b i) in
-            if v > tombstone then Record.free t.alloc v
+            (* inline pairs live in the bucket itself: nothing to free *)
+            if live_record t v then Record.free t.alloc v
           done;
           Alloc.free ~align:64 t.alloc b (bucket_bytes t.bucket_cap)));
   Adll.free_structure old_chain
@@ -388,8 +565,19 @@ let occupancy_stats t =
           let b = Adll.element t.chain node in
           let bound = bucket_bound t b in
           slots := !slots + bound;
-          for i = 0 to bound - 1 do
-            if rd t (slot_off b i) > tombstone then incr live
+          let i = ref 0 in
+          while !i < bound do
+            let off = slot_off b !i in
+            let v = rd t off in
+            if trusted_pair t ~off ~i:!i ~bound v then begin
+              (* a live pair occupies two slots *)
+              live := !live + 2;
+              i := !i + 2
+            end
+            else begin
+              if live_record t v then incr live;
+              incr i
+            end
           done);
       (!live, !slots)
 
@@ -407,8 +595,26 @@ let compact ?(threshold = 0.5) t =
     | Optimized | Batch _ ->
         let old_chain = t.chain in
         let old_cap = t.bucket_cap in
+        (* Collect survivors preserving their representation: a full
+           record moves by address, an inline pair by its two raw words
+           (its CRC is position-independent). *)
         let survivors = ref [] in
-        iter t (fun r -> survivors := r :: !survivors);
+        Adll.iter t.chain (fun node ->
+            let b = Adll.element t.chain node in
+            let bound = bucket_bound t b in
+            let i = ref 0 in
+            while !i < bound do
+              let off = slot_off b !i in
+              let v = rd t off in
+              if trusted_pair t ~off ~i:!i ~bound v then begin
+                survivors := `Pair (v, rd t (off + 8)) :: !survivors;
+                i := !i + 2
+              end
+              else begin
+                if live_record t v then survivors := `Full v :: !survivors;
+                incr i
+              end
+            done);
         (* build the new log off-line *)
         let new_chain = Adll.create t.alloc in
         t.chain <- new_chain;
@@ -419,7 +625,10 @@ let compact ?(threshold = 0.5) t =
         t.pending <- 0;
         ignore (new_bucket t);
         List.iter
-          (fun r -> append_slot t r ~force_persist:false)
+          (function
+            | `Full r -> append_slot t r ~force_persist:false
+            | `Pair (w0, w1) ->
+                ignore (put_pair_slots t w0 w1 ~force_persist:false))
           (List.rev !survivors);
         flush_group t;
         (* the atomic switch *)
@@ -434,15 +643,6 @@ let compact ?(threshold = 0.5) t =
   end
 
 (* -- post-crash attachment --------------------------------------------- *)
-
-(* Is [v] even addressable as a record?  A slot or list element should
-   only ever hold 0, the tombstone, or a cacheline-aligned in-bounds
-   record address — anything else is corruption caught before
-   [Record.verify] dereferences it. *)
-let plausible_record t v =
-  v >= 0
-  && v land (Record.size_bytes - 1) = 0
-  && v + Record.size_bytes <= Arena.size t.arena
 
 (* Checksum-verify a reachable record during analysis; count and report a
    failure as a torn write. *)
@@ -483,6 +683,9 @@ let attach variant ?(bucket_cap = 1000) alloc ~root_slot =
         next_slot = 0;
         pending = 0;
         occupancy = Hashtbl.create 64;
+        cur_occ = ref 0;
+        inline_ok = true;
+        inline_appended = 0;
         appended = 0;
         torn = 0;
         chaos_drop_group_fence = false;
@@ -503,23 +706,72 @@ let attach variant ?(bucket_cap = 1000) alloc ~root_slot =
             let b = Adll.element chain node in
             let bound =
               match variant with
-              | Batch _ -> rd t (b + b_idx)
+              | Batch _ -> max 0 (min (rd t (b + b_idx)) bucket_cap)
               | Optimized | Simple -> bucket_cap
             in
             let occ = ref 0 in
             let last_used = ref (-1) in
-            for i = 0 to bound - 1 do
-              let v = rd t (slot_off b i) in
-              if v > tombstone then begin
-                if record_intact t v then incr occ
-                else
-                  (* torn write: truncate the record out of the log *)
-                  wr_nt t (slot_off b i) tombstone;
-                last_used := i
+            (* Truncate an inline word that cannot be trusted as half of a
+               valid pair — the pair analogue of a bad-CRC record. *)
+            let truncate_inline i =
+              wr_nt t (slot_off b i) tombstone;
+              t.torn <- t.torn + 1;
+              let s = Arena.stats t.arena in
+              s.Stats.torn_records <- s.Stats.torn_records + 1
+            in
+            let i = ref 0 in
+            while !i < bound do
+              let off = slot_off b !i in
+              let v = rd t off in
+              if Record.is_inline_first_word v then begin
+                if
+                  !i + 1 < bound
+                  && Record.inline_pair_valid ~w0:v ~w1:(rd t (off + 8))
+                then begin
+                  incr occ;
+                  last_used := !i + 1;
+                  i := !i + 2
+                end
+                else begin
+                  (* torn pair: the second word is beyond the trusted
+                     bound, lost to the crash, or CRC-mismatched *)
+                  truncate_inline !i;
+                  last_used := !i;
+                  incr i;
+                  (* consume a leftover second word as part of the same
+                     tear, not a second one *)
+                  if
+                    !i < bound
+                    && Record.is_inline_second_word (rd t (slot_off b !i))
+                  then begin
+                    wr_nt t (slot_off b !i) tombstone;
+                    last_used := !i;
+                    incr i
+                  end
+                end
               end
-              else if v = tombstone then last_used := i
+              else if Record.is_inline_second_word v then begin
+                (* stray second word — its first was lost to a torn
+                   append or already tombstoned by an interrupted
+                   removal *)
+                truncate_inline !i;
+                last_used := !i;
+                incr i
+              end
+              else begin
+                (if v > tombstone then begin
+                   if record_intact t v then incr occ
+                   else
+                     (* torn write: truncate the record out of the log *)
+                     wr_nt t off tombstone;
+                   last_used := !i
+                 end
+                 else if v = tombstone then last_used := !i);
+                incr i
+              end
             done;
             Hashtbl.replace t.occupancy b occ;
+            t.cur_occ <- occ;
             t.cur_bucket <- b;
             t.cur_node <- node;
             t.next_slot <-

@@ -55,6 +55,49 @@ type handle = Node of int | Slot of { node : int; bucket : int; slot : int }
 val append_h : ?is_end:bool -> t -> int -> handle
 val remove_handle : t -> handle -> unit
 
+(** {2 Inline fast path}
+
+    Bucketed variants encode a small record directly into a tagged pair
+    of adjacent slots ({!Record.inline_encode}): an Optimized append then
+    costs one line write-back plus one fence instead of a record
+    write-back, a fence and an ordered slot store; Batch appends stay
+    entirely cached until the group flush.  Readers receive inline refs
+    that the {!Record} accessors decode transparently. *)
+
+val append_record :
+  ?is_end:bool ->
+  t ->
+  lsn:int ->
+  txn:int ->
+  typ:Record.typ ->
+  addr:int ->
+  old_value:int64 ->
+  new_value:int64 ->
+  undo_next:int ->
+  handle
+(** Append by fields: inline pair when eligible and the fields fit the
+    compact format, otherwise an off-line full record. *)
+
+val append_pair : ?is_end:bool -> t -> txn:int -> int -> int -> handle
+(** Append a pre-encoded inline pair (the two words from
+    {!Record.inline_encode}).  The caller is responsible for only passing
+    words produced by the encoder; [txn] drives the END commit-point
+    annotation.  Bucketed variants only. *)
+
+val inline_eligible : t -> bool
+(** Inline encoding enabled, and this log's variant/bucket size support
+    pairs. *)
+
+val set_inline : t -> bool -> unit
+(** Enable/disable the inline fast path (benchmarks use this to measure
+    the full-record path on the same variant). *)
+
+val inline_enabled : t -> bool
+
+val inline_appended : t -> int
+(** Appends that took the inline path (see also
+    {!Rewind_nvm.Stats.t.inline_records}). *)
+
 val flush_group : t -> unit
 (** Persist any pending batch slots now (one write-back + fence + index
     update).  No-op for Simple/Optimized. *)

@@ -63,33 +63,217 @@ let o_new = 40
 let o_undo_next = 48
 let o_prev_same_txn = 56
 
-let lsn a r = Int64.to_int (Arena.read a (r + o_lsn))
-let txn a r = Int64.to_int (Arena.read a (r + o_txn))
-
-let typ a r =
-  typ_of_int (Int64.to_int (Int64.logand (Arena.read a (r + o_typ)) 0xFFFFFFFFL))
-
-let addr a r = Int64.to_int (Arena.read a (r + o_addr))
-let old_value a r = Arena.read a (r + o_old)
-let new_value a r = Arena.read a (r + o_new)
-let undo_next a r = Int64.to_int (Arena.read a (r + o_undo_next))
-let prev_same_txn a r = Int64.to_int (Arena.read a (r + o_prev_same_txn))
-
 (* CRC-32 of the record image with the checksum half of the type word held
-   at zero.  Computed from raw words so creation and verification agree
-   bit-for-bit. *)
+   at zero.  Fed word-by-word through {!Crc32.update_int64} — bit-for-bit
+   the digest of the 64-byte little-endian image, with no [Bytes]
+   allocation on the append path. *)
 let image_crc ~lsn ~txn ~typw ~addr ~old_value ~new_value ~undo_next
     ~prev_same_txn =
-  let b = Bytes.create size_bytes in
-  Bytes.set_int64_le b o_lsn lsn;
-  Bytes.set_int64_le b o_txn txn;
-  Bytes.set_int64_le b o_typ (Int64.logand typw 0xFFFFFFFFL);
-  Bytes.set_int64_le b o_addr addr;
-  Bytes.set_int64_le b o_old old_value;
-  Bytes.set_int64_le b o_new new_value;
-  Bytes.set_int64_le b o_undo_next undo_next;
-  Bytes.set_int64_le b o_prev_same_txn prev_same_txn;
-  Crc32.digest_bytes b
+  let c = Crc32.init in
+  let c = Crc32.update_int64 c lsn in
+  let c = Crc32.update_int64 c txn in
+  let c = Crc32.update_int64 c (Int64.logand typw 0xFFFFFFFFL) in
+  let c = Crc32.update_int64 c addr in
+  let c = Crc32.update_int64 c old_value in
+  let c = Crc32.update_int64 c new_value in
+  let c = Crc32.update_int64 c undo_next in
+  let c = Crc32.update_int64 c prev_same_txn in
+  Crc32.finish c
+
+(* -- inline compact records --------------------------------------------- *)
+
+(* A small record — word-sized before/after images, which covers one-layer
+   UPDATE/CLR/END records and every AAVLT-internal record — can be encoded
+   directly into a tagged *pair of adjacent bucket slots* instead of a
+   heap-allocated 64-byte line.  Slot values are otherwise 0 (never used),
+   1 (tombstone) or a 64-byte-aligned record address, so the low three
+   bits of a slot word are free: tag 6 (0b110) marks the first word of a
+   pair, tag 7 (0b111) the second.  Both words keep bits 62-63 zero, so
+   they survive the arena's [Int64.to_int] round-trip as non-negative
+   OCaml ints and never compare as record addresses.
+
+   word 0:  [2:0]=6  [3]=fmt  [5:4]=typ  [21:6]=crc16  [61:22]=payload
+   word 1:  [2:0]=7  [29:3]=addr/8  [45:30]=a16  [61:46]=b16
+
+   fmt 0 ("user"):     payload = txn(14 bits) | lsn(26 bits) << 14;
+                       UPDATE/END: a16 = old value, b16 = new value;
+                       CLR: a16 = undo-next LSN, b16 = new (restored)
+                       value — a CLR's old value is write-only throughout
+                       the system, so it is not stored and decodes as 0.
+   fmt 1 ("internal"): an AAVLT record (txn 0, lsn 0); payload =
+                       old[35:16](20 bits) | new[35:16](20 bits) << 20,
+                       a16/b16 = the low halves — 36-bit images cover
+                       node pointers, keys and heights.
+
+   crc16 is the folded CRC-32 of the pair with the crc field zeroed; a
+   pair whose second word is missing, untrusted or mismatched is a torn
+   record, truncated by recovery exactly like a bad-CRC full record.
+
+   An inline record is addressed by an *inline ref*: the NVM address of
+   its first slot word with the low bit set.  Slot offsets are 8-aligned
+   and real record addresses 64-aligned, so refs are odd and unambiguous;
+   every accessor below branches on the tag bit, which keeps the
+   recovery/rollback algorithms in [Tm] format-agnostic. *)
+
+module Inline = struct
+  let tag_first = 6
+  let tag_second = 7
+
+  (* Slot-word classification (on values read back as OCaml ints).
+     Garbage with bit 62 of the NVM word set reads back negative and is
+     rejected here before any field is interpreted. *)
+  let is_first_word w = w >= 0 && w land 7 = tag_first
+  let is_second_word w = w >= 0 && w land 7 = tag_second
+  let is_inline_word w = w >= 0 && w land 7 >= tag_first
+
+  let typ2_of_typ = function
+    | Update -> Some 0
+    | Clr -> Some 1
+    | End -> Some 2
+    | Checkpoint | Delete | Rollback -> None
+
+  let typ_of_typ2 = function
+    | 0 -> Update
+    | 1 -> Clr
+    | 2 -> End
+    | n -> Fmt.invalid_arg "Record.Inline.typ_of_typ2: %d" n
+
+  let crc16 ~w0 ~w1 =
+    let w0z = w0 land lnot (0xFFFF lsl 6) in
+    let c =
+      Crc32.finish
+        (Crc32.update_int64
+           (Crc32.update_int64 Crc32.init (Int64.of_int w0z))
+           (Int64.of_int w1))
+    in
+    (c lxor (c lsr 16)) land 0xFFFF
+
+  (* field extraction *)
+  let fmt w0 = (w0 lsr 3) land 1
+  let typ2 w0 = (w0 lsr 4) land 3
+  let stored_crc w0 = (w0 lsr 6) land 0xFFFF
+  let payload w0 = w0 lsr 22
+  let addr_of w1 = ((w1 lsr 3) land 0x7FFFFFF) lsl 3
+  let a16 w1 = (w1 lsr 30) land 0xFFFF
+  let b16 w1 = (w1 lsr 46) land 0xFFFF
+
+  let valid ~w0 ~w1 =
+    is_first_word w0 && is_second_word w1 && crc16 ~w0 ~w1 = stored_crc w0
+
+  let fits n bits = n >= 0 && n lsr bits = 0
+  let fits64 v bits =
+    Int64.compare v 0L >= 0
+    && Int64.compare v (Int64.shift_left 1L bits) < 0
+
+  (* Encode, or [None] when any field exceeds the compact format — the
+     caller falls back to a full record, so eligibility is pure policy. *)
+  let encode ~lsn ~txn ~typ ~addr ~old_value ~new_value ~undo_next =
+    match typ2_of_typ typ with
+    | None -> None
+    | Some t2 ->
+        if not (addr >= 0 && addr land 7 = 0 && fits (addr lsr 3) 27) then None
+        else
+          let pack ~fmt ~payload ~a16 ~b16 =
+            let w0 = tag_first lor (fmt lsl 3) lor (t2 lsl 4) lor (payload lsl 22) in
+            let w1 =
+              tag_second lor ((addr lsr 3) lsl 3) lor (a16 lsl 30) lor (b16 lsl 46)
+            in
+            Some (w0 lor (crc16 ~w0 ~w1 lsl 6), w1)
+          in
+          let internal =
+            txn = 0 && lsn = 0 && undo_next = 0
+            && (typ = Update || typ = End)
+            && fits64 old_value 36 && fits64 new_value 36
+          in
+          if internal then
+            let ov = Int64.to_int old_value and nv = Int64.to_int new_value in
+            pack ~fmt:1
+              ~payload:((ov lsr 16) lor ((nv lsr 16) lsl 20))
+              ~a16:(ov land 0xFFFF) ~b16:(nv land 0xFFFF)
+          else if not (fits txn 14 && fits lsn 26) then None
+          else
+            let payload = txn lor (lsn lsl 14) in
+            match typ with
+            | Clr ->
+                (* the old value is write-only: dropped, decodes as 0 *)
+                if fits undo_next 16 && fits64 new_value 16 then
+                  pack ~fmt:0 ~payload ~a16:undo_next
+                    ~b16:(Int64.to_int new_value)
+                else None
+            | Update | End ->
+                if undo_next = 0 && fits64 old_value 16 && fits64 new_value 16
+                then
+                  pack ~fmt:0 ~payload ~a16:(Int64.to_int old_value)
+                    ~b16:(Int64.to_int new_value)
+                else None
+            | Checkpoint | Delete | Rollback -> None
+end
+
+(* An inline ref is the pair's first-slot address with the low bit set. *)
+let is_inline r = r land 1 = 1
+let inline_ref pair_addr = pair_addr lor 1
+let inline_pair r = r land lnot 1
+
+let iw0 a r = Int64.to_int (Arena.read a (inline_pair r))
+let iw1 a r = Int64.to_int (Arena.read a (inline_pair r + 8))
+
+let lsn a r =
+  if is_inline r then
+    let w0 = iw0 a r in
+    if Inline.fmt w0 = 1 then 0 else (Inline.payload w0 lsr 14) land 0x3FFFFFF
+  else Int64.to_int (Arena.read a (r + o_lsn))
+
+let txn a r =
+  if is_inline r then
+    let w0 = iw0 a r in
+    if Inline.fmt w0 = 1 then 0 else Inline.payload w0 land 0x3FFF
+  else Int64.to_int (Arena.read a (r + o_txn))
+
+let typ a r =
+  if is_inline r then Inline.typ_of_typ2 (Inline.typ2 (iw0 a r))
+  else
+    typ_of_int (Int64.to_int (Int64.logand (Arena.read a (r + o_typ)) 0xFFFFFFFFL))
+
+let addr a r =
+  if is_inline r then Inline.addr_of (iw1 a r)
+  else Int64.to_int (Arena.read a (r + o_addr))
+
+let old_value a r =
+  if is_inline r then
+    let w0 = iw0 a r in
+    if Inline.fmt w0 = 1 then
+      Int64.of_int (((Inline.payload w0 land 0xFFFFF) lsl 16) lor Inline.a16 (iw1 a r))
+    else
+      match Inline.typ2 w0 with
+      | 1 (* Clr: old value not stored *) -> 0L
+      | _ -> Int64.of_int (Inline.a16 (iw1 a r))
+  else Arena.read a (r + o_old)
+
+let new_value a r =
+  if is_inline r then
+    let w0 = iw0 a r in
+    if Inline.fmt w0 = 1 then
+      Int64.of_int
+        ((((Inline.payload w0 lsr 20) land 0xFFFFF) lsl 16) lor Inline.b16 (iw1 a r))
+    else Int64.of_int (Inline.b16 (iw1 a r))
+  else Arena.read a (r + o_new)
+
+let undo_next a r =
+  if is_inline r then
+    let w0 = iw0 a r in
+    if Inline.fmt w0 = 0 && Inline.typ2 w0 = 1 then Inline.a16 (iw1 a r) else 0
+  else Int64.to_int (Arena.read a (r + o_undo_next))
+
+let prev_same_txn a r =
+  if is_inline r then 0
+  else Int64.to_int (Arena.read a (r + o_prev_same_txn))
+
+(* Re-exported word predicates, used by the log's pair-aware scans. *)
+let is_inline_first_word = Inline.is_first_word
+let is_inline_second_word = Inline.is_second_word
+let is_inline_word = Inline.is_inline_word
+let inline_pair_valid ~w0 ~w1 = Inline.valid ~w0 ~w1
+let inline_encode = Inline.encode
 
 let pack_typ_word ~typw ~crc =
   Int64.logor
@@ -97,18 +281,21 @@ let pack_typ_word ~typw ~crc =
     (Int64.shift_left (Int64.of_int crc) 32)
 
 let checksum a r =
-  Int64.to_int (Int64.shift_right_logical (Arena.read a (r + o_typ)) 32)
+  if is_inline r then Inline.stored_crc (iw0 a r)
+  else Int64.to_int (Int64.shift_right_logical (Arena.read a (r + o_typ)) 32)
 
 (* Recompute the CRC from the record as currently readable and compare it
    with the stored one.  Interprets no field, so it is safe on garbage. *)
 let verify a r =
-  let w o = Arena.read a (r + o) in
-  let typw = w o_typ in
-  let stored = Int64.to_int (Int64.shift_right_logical typw 32) in
-  stored
-  = image_crc ~lsn:(w o_lsn) ~txn:(w o_txn) ~typw ~addr:(w o_addr)
-      ~old_value:(w o_old) ~new_value:(w o_new) ~undo_next:(w o_undo_next)
-      ~prev_same_txn:(w o_prev_same_txn)
+  if is_inline r then Inline.valid ~w0:(iw0 a r) ~w1:(iw1 a r)
+  else
+    let w o = Arena.read a (r + o) in
+    let typw = w o_typ in
+    let stored = Int64.to_int (Int64.shift_right_logical typw 32) in
+    stored
+    = image_crc ~lsn:(w o_lsn) ~txn:(w o_txn) ~typw ~addr:(w o_addr)
+        ~old_value:(w o_old) ~new_value:(w o_new) ~undo_next:(w o_undo_next)
+        ~prev_same_txn:(w o_prev_same_txn)
 
 (* Create a record with cached stores and one write-back.  No fence is
    issued here: the caller decides when the record must be ordered before
@@ -140,6 +327,8 @@ let make alloc ~lsn:l ~txn:x ~typ:t ~addr:ad ~old_value:ov ~new_value:nv
    checksum covers the chain pointer, so it is rewritten too — same
    cacheline, so the NVM charge write-combines with the pointer store. *)
 let set_prev_same_txn a r v =
+  if is_inline r then
+    invalid_arg "Record.set_prev_same_txn: inline records carry no chain";
   Arena.nt_write a (r + o_prev_same_txn) (Int64.of_int v);
   let w o = Arena.read a (r + o) in
   let typw = w o_typ in
@@ -150,7 +339,9 @@ let set_prev_same_txn a r v =
   in
   Arena.nt_write a (r + o_typ) (pack_typ_word ~typw ~crc)
 
-let free alloc r = Alloc.free ~align:size_bytes alloc r size_bytes
+(* Inline records live in their bucket's slots: nothing to free. *)
+let free alloc r =
+  if not (is_inline r) then Alloc.free ~align:size_bytes alloc r size_bytes
 
 let pp arena ppf r =
   Fmt.pf ppf "@[<h>#%d %a txn=%d addr=%d old=%Ld new=%Ld undo_next=%d@]"

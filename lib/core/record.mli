@@ -63,4 +63,52 @@ val verify : Rewind_nvm.Arena.t -> int -> bool
     safe to call on a suspect (torn or corrupted) record. *)
 
 val free : Rewind_nvm.Alloc.t -> int -> unit
+(** Return a full record's line to the allocator; no-op on inline refs
+    (their storage is the bucket's own slots). *)
+
 val pp : Rewind_nvm.Arena.t -> int Fmt.t
+
+(** {1 Inline compact records}
+
+    A small record — word-sized before/after images — can be encoded into
+    a tagged pair of adjacent bucket slots instead of a 64-byte line: tag
+    6 (low three bits) marks the pair's first word, tag 7 the second, and
+    a folded 16-bit CRC covers both.  The pair is addressed by an {e
+    inline ref} (the first slot's NVM address with the low bit set, odd
+    and therefore disjoint from 64-aligned record addresses); every field
+    accessor above transparently decodes inline refs, so recovery and
+    rollback code is format-agnostic.  See [record.ml] for the exact bit
+    layout and eligibility rules. *)
+
+val inline_encode :
+  lsn:int ->
+  txn:int ->
+  typ:typ ->
+  addr:int ->
+  old_value:int64 ->
+  new_value:int64 ->
+  undo_next:int ->
+  (int * int) option
+(** The pair's two slot words, or [None] when a field exceeds the compact
+    format (the caller then falls back to {!make}).  A CLR's old value is
+    write-only system-wide and is not stored: it decodes as 0. *)
+
+val is_inline : int -> bool
+(** Is this record address an inline ref? *)
+
+val inline_ref : int -> int
+(** The inline ref addressing the pair whose first word sits at the given
+    (8-aligned) slot address. *)
+
+val inline_pair : int -> int
+(** Inverse of {!inline_ref}: the pair's first-slot address. *)
+
+(** Slot-word classification, used by the log's pair-aware scans. *)
+
+val is_inline_first_word : int -> bool
+val is_inline_second_word : int -> bool
+val is_inline_word : int -> bool
+
+val inline_pair_valid : w0:int -> w1:int -> bool
+(** Tags present and the stored CRC-16 matches — the integrity gate
+    recovery applies before trusting a pair; a failure is a torn write. *)

@@ -206,14 +206,33 @@ let append_user_record t txn_id r ~is_end =
 
 (* Records are created "off-line" (Section 3.2) — outside the log latch —
    and only the atomic insertion is serialised, which is the fine-grained
-   concurrency Section 4.7 claims. *)
+   concurrency Section 4.7 claims.  One-layer word-sized updates take the
+   inline fast path: the record is two tagged slot words, encoded outside
+   the latch and stored by the append itself — no allocation, no separate
+   record line.  (Two-layer user records stay full: the AAVLT indexes
+   them by address and threads their back-chains.) *)
 let log_update t txn_id ~addr ~old_value ~new_value =
+  let lsn = fresh_lsn t in
+  let inline =
+    match t.index with
+    | Some _ -> None
+    | None ->
+        if Log.inline_eligible t.log then
+          Record.inline_encode ~lsn ~txn:txn_id ~typ:Record.Update ~addr
+            ~old_value ~new_value ~undo_next:0
+        else None
+  in
   let r =
-    Record.make t.alloc ~lsn:(fresh_lsn t) ~txn:txn_id ~typ:Record.Update
-      ~addr ~old_value ~new_value ~undo_next:0 ~prev_same_txn:0
+    match inline with
+    | Some _ -> 0
+    | None ->
+        Record.make t.alloc ~lsn ~txn:txn_id ~typ:Record.Update ~addr
+          ~old_value ~new_value ~undo_next:0 ~prev_same_txn:0
   in
   Sim_mutex.with_lock t.latch (fun () ->
-      append_user_record t txn_id r ~is_end:false;
+      (match inline with
+      | Some (w0, w1) -> ignore (Log.append_pair t.log ~txn:txn_id w0 w1)
+      | None -> append_user_record t txn_id r ~is_end:false);
       (* WAL declaration: [addr] now has an undo record.  Under Batch the
          record may still sit in an unpersisted group ([Log.pending] > 0),
          in which case the covered store must not reach NVM before
@@ -296,11 +315,18 @@ let clear_txn_index t idx txn_id =
 (* -- commit --------------------------------------------------------------- *)
 
 let append_end t txn_id =
-  let r =
-    Record.make t.alloc ~lsn:(fresh_lsn t) ~txn:txn_id ~typ:Record.End ~addr:0
-      ~old_value:0L ~new_value:0L ~undo_next:0 ~prev_same_txn:0
-  in
-  append_user_record t txn_id r ~is_end:true
+  match t.index with
+  | None ->
+      (* One-layer END records carry no payload and always fit inline. *)
+      ignore
+        (Log.append_record ~is_end:true t.log ~lsn:(fresh_lsn t) ~txn:txn_id
+           ~typ:Record.End ~addr:0 ~old_value:0L ~new_value:0L ~undo_next:0)
+  | Some _ ->
+      let r =
+        Record.make t.alloc ~lsn:(fresh_lsn t) ~txn:txn_id ~typ:Record.End
+          ~addr:0 ~old_value:0L ~new_value:0L ~undo_next:0 ~prev_same_txn:0
+      in
+      append_user_record t txn_id r ~is_end:true
 
 (* [clear] exists for experiments that model a crash landing between the
    END record and commit-time clearing (Sections 5.1's recovery scenarios);
@@ -338,12 +364,23 @@ let commit ?(clear = true) t txn_id =
 let undo_one t txn_id rec_ ~durably =
   let addr = Record.addr t.arena rec_ in
   let restored = Record.old_value t.arena rec_ in
-  let clr =
-    Record.make t.alloc ~lsn:(fresh_lsn t) ~txn:txn_id ~typ:Record.Clr ~addr
-      ~old_value:(Record.new_value t.arena rec_) ~new_value:restored
-      ~undo_next:(Record.lsn t.arena rec_) ~prev_same_txn:0
-  in
-  append_user_record t txn_id clr ~is_end:durably;
+  (match t.index with
+  | None ->
+      (* A CLR's old value is write-only (never read by redo or undo), so
+         the compact format drops it; small restores go inline. *)
+      ignore
+        (Log.append_record ~is_end:durably t.log ~lsn:(fresh_lsn t)
+           ~txn:txn_id ~typ:Record.Clr ~addr
+           ~old_value:(Record.new_value t.arena rec_) ~new_value:restored
+           ~undo_next:(Record.lsn t.arena rec_))
+  | Some _ ->
+      let clr =
+        Record.make t.alloc ~lsn:(fresh_lsn t) ~txn:txn_id ~typ:Record.Clr
+          ~addr
+          ~old_value:(Record.new_value t.arena rec_) ~new_value:restored
+          ~undo_next:(Record.lsn t.arena rec_) ~prev_same_txn:0
+      in
+      append_user_record t txn_id clr ~is_end:durably);
   Pmcheck.region_logged t.arena ~txn:txn_id ~addr ~len:8
     ~durable:(Log.pending t.log = 0);
   (* Route the restore through the same WAL-ordered store path as forward

@@ -4,3 +4,11 @@
 val digest : string -> int
 val digest_sub : string -> int -> int -> int
 val digest_bytes : Bytes.t -> int
+
+(** Streaming word interface — [finish (update_int64 ... (update_int64
+    init w0) ...)] equals the digest of the words' little-endian byte
+    images, with no heap allocation. *)
+
+val init : int
+val update_int64 : int -> int64 -> int
+val finish : int -> int

@@ -16,6 +16,8 @@ type t = {
   mutable torn_records : int;    (** bad-checksum log records truncated by recovery *)
   mutable redundant_flushes : int; (** flushes issued on a clean line (no write-back) *)
   mutable redundant_fences : int;  (** fences with no persistence event since the last *)
+  mutable inline_records : int; (** log appends encoded as inline slot pairs *)
+  mutable full_records : int;   (** log appends of heap-allocated 64-byte records *)
 }
 
 let create () =
@@ -33,6 +35,8 @@ let create () =
     torn_records = 0;
     redundant_flushes = 0;
     redundant_fences = 0;
+    inline_records = 0;
+    full_records = 0;
   }
 
 let reset s =
@@ -48,7 +52,9 @@ let reset s =
   s.media_faults <- 0;
   s.torn_records <- 0;
   s.redundant_flushes <- 0;
-  s.redundant_fences <- 0
+  s.redundant_fences <- 0;
+  s.inline_records <- 0;
+  s.full_records <- 0
 
 let diff a b =
   {
@@ -65,6 +71,8 @@ let diff a b =
     torn_records = a.torn_records - b.torn_records;
     redundant_flushes = a.redundant_flushes - b.redundant_flushes;
     redundant_fences = a.redundant_fences - b.redundant_fences;
+    inline_records = a.inline_records - b.inline_records;
+    full_records = a.full_records - b.full_records;
   }
 
 let snapshot s = { s with nvm_writes = s.nvm_writes }
@@ -77,4 +85,7 @@ let pp ppf s =
       s.crash_survivals s.media_faults s.torn_records;
   if s.redundant_flushes + s.redundant_fences > 0 then
     Fmt.pf ppf " redundant_flushes=%d redundant_fences=%d" s.redundant_flushes
-      s.redundant_fences
+      s.redundant_fences;
+  if s.inline_records + s.full_records > 0 then
+    Fmt.pf ppf " inline_records=%d full_records=%d" s.inline_records
+      s.full_records

@@ -16,6 +16,8 @@ type t = {
   mutable torn_records : int;    (** bad-checksum log records truncated by recovery *)
   mutable redundant_flushes : int; (** flushes issued on a clean line (no write-back) *)
   mutable redundant_fences : int;  (** fences with no persistence event since the last *)
+  mutable inline_records : int; (** log appends encoded as inline slot pairs *)
+  mutable full_records : int;   (** log appends of heap-allocated 64-byte records *)
 }
 
 val create : unit -> t

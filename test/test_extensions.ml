@@ -311,6 +311,38 @@ let test_autotune_empty () =
   check_bool "defaults on no data" true
     (cfg.Rewind.layers = Tm.One_layer && cfg.Rewind.policy = Tm.No_force)
 
+(* Regression: a small-write-dominated feed must pin the Optimized
+   variant (the inline fast path's home), even at transaction lengths
+   that would otherwise tip the advisor to Batch. *)
+let test_autotune_small_writes_pin_optimized () =
+  let a = Autotune.create () in
+  for t = 1 to 50 do
+    Autotune.on_begin a t;
+    for i = 1 to 20 do
+      Autotune.on_write ~word_sized:(i mod 10 <> 0) a t
+    done;
+    Autotune.on_commit a t
+  done;
+  check_bool "small fraction measured" true
+    (Autotune.small_write_fraction a >= Autotune.inline_small_write_threshold);
+  let cfg = Autotune.recommend a in
+  check_bool "optimized pinned for small writes" true
+    (cfg.Rewind.variant = Log.Optimized)
+
+let test_autotune_bulk_writes_batch () =
+  let a = Autotune.create () in
+  (* same lengths, but nothing word-sized: long txns amortise under Batch *)
+  for t = 1 to 50 do
+    Autotune.on_begin a t;
+    for _ = 1 to 20 do
+      Autotune.on_write a t
+    done;
+    Autotune.on_commit a t
+  done;
+  let cfg = Autotune.recommend a in
+  check_bool "batch for bulk update-heavy work" true
+    (cfg.Rewind.variant = Log.Batch Autotune.batch_group_size)
+
 (* ------------------------------------------------------------------ *)
 (* Lock-free latch                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -388,6 +420,9 @@ let () =
             test_autotune_high_interleave_with_rollbacks;
           tc "short txns -> force" `Quick test_autotune_short_txns_force;
           tc "empty -> defaults" `Quick test_autotune_empty;
+          tc "small writes -> optimized (inline)" `Quick
+            test_autotune_small_writes_pin_optimized;
+          tc "bulk writes -> batch" `Quick test_autotune_bulk_writes_batch;
         ] );
       ( "lockfree",
         [

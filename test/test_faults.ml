@@ -164,9 +164,11 @@ let test_corrupt_record_truncated (name, cfg) () =
   let recs = Log.records (Tm.log tm) in
   check_bool (name ^ ": records present pre-crash") true (recs <> []);
   Arena.crash arena;
-  (* corrupt the newest record in place: garbage address and values *)
+  (* corrupt the newest record in place: garbage address and values (for
+     an inline pair, tear its second word) *)
   let r = List.hd (List.rev recs) in
-  Arena.corrupt arena (r + 24) 16;
+  if Record.is_inline r then Arena.corrupt arena (Record.inline_pair r + 8) 8
+  else Arena.corrupt arena (r + 24) 16;
   let tm2 = attach_ok ~ctx:(name ^ " corrupt") cfg arena in
   check_bool
     (name ^ ": torn record counted in stats")

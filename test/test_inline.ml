@@ -1,0 +1,360 @@
+(* Inline compact log records: the allocation-free small-write fast path.
+
+   Covers the encoding itself (roundtrips, eligibility edges), the append
+   path on both bucketed variants, crash sweeps over every configuration
+   with inline-eligible workloads, a deliberately torn inline pair that
+   recovery must truncate (mirroring test_faults.ml's full-record torn
+   tests), and exhaustive crash-state enumeration over inline appends. *)
+
+open Rewind_nvm
+open Rewind
+module Enum = Rewind_analysis.Enumerator
+
+let root_slot = 2
+
+let configs =
+  [
+    ("1L-NFP", Rewind.config_1l_nfp);
+    ("1L-FP", Rewind.config_1l_fp);
+    ("2L-NFP", Rewind.config_2l_nfp);
+    ("2L-FP", Rewind.config_2l_fp);
+    ("simple", Rewind.config_simple);
+    ("batch8", Rewind.config_batch ());
+  ]
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_i64 = Alcotest.(check int64)
+
+let fresh_log variant =
+  let arena = Arena.create ~size_bytes:(4 lsl 20) () in
+  let alloc = Alloc.create arena in
+  (arena, alloc, Log.create variant alloc ~root_slot)
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_roundtrip_update () =
+  let arena, _alloc, log = fresh_log Log.Optimized in
+  ignore
+    (Log.append_record log ~lsn:12345 ~txn:77 ~typ:Record.Update ~addr:4096
+       ~old_value:5L ~new_value:60000L ~undo_next:0);
+  match Log.records log with
+  | [ r ] ->
+      check_bool "encoded inline" true (Record.is_inline r);
+      check_int "lsn" 12345 (Record.lsn arena r);
+      check_int "txn" 77 (Record.txn arena r);
+      check_bool "typ" true (Record.typ arena r = Record.Update);
+      check_int "addr" 4096 (Record.addr arena r);
+      check_i64 "old" 5L (Record.old_value arena r);
+      check_i64 "new" 60000L (Record.new_value arena r);
+      check_int "undo_next" 0 (Record.undo_next arena r);
+      check_int "prev_same_txn" 0 (Record.prev_same_txn arena r);
+      check_bool "verify" true (Record.verify arena r)
+  | l -> Alcotest.failf "expected 1 record, got %d" (List.length l)
+
+let test_roundtrip_clr () =
+  let arena, _alloc, log = fresh_log Log.Optimized in
+  ignore
+    (Log.append_record log ~lsn:99 ~txn:3 ~typ:Record.Clr ~addr:128
+       ~old_value:7L ~new_value:42L ~undo_next:88);
+  match Log.records log with
+  | [ r ] ->
+      check_bool "encoded inline" true (Record.is_inline r);
+      check_bool "typ" true (Record.typ arena r = Record.Clr);
+      (* a CLR's old value is write-only system-wide: dropped, decodes 0 *)
+      check_i64 "old dropped" 0L (Record.old_value arena r);
+      check_i64 "new" 42L (Record.new_value arena r);
+      check_int "undo_next" 88 (Record.undo_next arena r)
+  | l -> Alcotest.failf "expected 1 record, got %d" (List.length l)
+
+let test_roundtrip_internal () =
+  let arena, _alloc, log = fresh_log Log.Optimized in
+  (* internal records (txn 0, lsn 0) carry 36-bit images *)
+  let big = Int64.of_int ((1 lsl 36) - 1) in
+  ignore
+    (Log.append_record log ~lsn:0 ~txn:0 ~typ:Record.Update ~addr:512
+       ~old_value:big ~new_value:(Int64.of_int 0xABCDE1234) ~undo_next:0);
+  match Log.records log with
+  | [ r ] ->
+      check_bool "encoded inline" true (Record.is_inline r);
+      check_int "lsn" 0 (Record.lsn arena r);
+      check_int "txn" 0 (Record.txn arena r);
+      check_i64 "old" big (Record.old_value arena r);
+      check_i64 "new" 0xABCDE1234L (Record.new_value arena r)
+  | l -> Alcotest.failf "expected 1 record, got %d" (List.length l)
+
+let test_ineligible_fields () =
+  let none ~ctx v =
+    check_bool ctx true (v = None)
+  in
+  let enc ?(lsn = 1) ?(txn = 1) ?(typ = Record.Update) ?(addr = 64)
+      ?(old_value = 1L) ?(new_value = 2L) ?(undo_next = 0) () =
+    Record.inline_encode ~lsn ~txn ~typ ~addr ~old_value ~new_value ~undo_next
+  in
+  check_bool "baseline eligible" true (enc () <> None);
+  none ~ctx:"txn too wide" (enc ~txn:(1 lsl 14) ());
+  none ~ctx:"lsn too wide" (enc ~lsn:(1 lsl 26) ());
+  none ~ctx:"user image too wide" (enc ~old_value:(Int64.of_int (1 lsl 16)) ());
+  none ~ctx:"negative image" (enc ~new_value:(-1L) ());
+  none ~ctx:"unaligned addr" (enc ~addr:65 ());
+  none ~ctx:"addr out of range" (enc ~addr:(1 lsl 31) ());
+  none ~ctx:"checkpoint not compact" (enc ~typ:Record.Checkpoint ());
+  none ~ctx:"update with undo_next" (enc ~undo_next:5 ());
+  (* internal eligibility is wider on images, narrower on provenance *)
+  check_bool "internal wide image ok" true
+    (enc ~lsn:0 ~txn:0 ~old_value:(Int64.of_int ((1 lsl 36) - 1)) () <> None);
+  none ~ctx:"internal image too wide"
+    (enc ~lsn:0 ~txn:0 ~old_value:(Int64.of_int (1 lsl 36)) ())
+
+let test_fallback_to_full () =
+  let arena, _alloc, log = fresh_log Log.Optimized in
+  ignore
+    (Log.append_record log ~lsn:1 ~txn:5 ~typ:Record.Update ~addr:64
+       ~old_value:0L ~new_value:0x1_0000L ~undo_next:0);
+  match Log.records log with
+  | [ r ] ->
+      check_bool "fell back to a full record" false (Record.is_inline r);
+      check_i64 "new" 0x1_0000L (Record.new_value arena r);
+      check_int "inline_appended" 0 (Log.inline_appended log)
+  | l -> Alcotest.failf "expected 1 record, got %d" (List.length l)
+
+(* ------------------------------------------------------------------ *)
+(* Append path on the bucketed variants                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_append_readback variant () =
+  let arena, _alloc, log = fresh_log variant in
+  let n = 100 in
+  for i = 1 to n do
+    ignore
+      (Log.append_record log ~lsn:i ~txn:1 ~typ:Record.Update ~addr:(8 * i)
+         ~old_value:(Int64.of_int (i - 1))
+         ~new_value:(Int64.of_int i) ~undo_next:0)
+  done;
+  Log.flush_group log;
+  check_int "all inline" n (Log.inline_appended log);
+  check_int "length counts pairs once" n (Log.length log);
+  let lsns = List.map (fun r -> Record.lsn arena r) (Log.records log) in
+  check_bool "append order preserved" true
+    (lsns = List.init n (fun i -> i + 1));
+  let back = ref [] in
+  Log.iter_back log (fun r -> back := Record.lsn arena r :: !back);
+  check_bool "backward scan agrees" true (!back = lsns);
+  (* a clean crash + attach keeps every persisted pair *)
+  Arena.crash arena;
+  let alloc2 = Alloc.recover arena in
+  let log2 = Log.attach variant alloc2 ~root_slot in
+  check_int "pairs survive reattach" n (Log.length log2);
+  check_int "nothing torn" 0 (Log.torn_truncated log2)
+
+let test_remove_inline variant () =
+  let arena, _alloc, log = fresh_log variant in
+  for i = 1 to 10 do
+    ignore
+      (Log.append_record log ~lsn:i ~txn:(i mod 2) ~typ:Record.Update
+         ~addr:(8 * i) ~old_value:0L ~new_value:(Int64.of_int i) ~undo_next:0)
+  done;
+  Log.flush_group log;
+  Log.remove_where log (fun r -> Record.txn arena r = 0);
+  check_int "odd-txn records remain" 5 (Log.length log);
+  Log.iter log (fun r -> check_int "survivor txn" 1 (Record.txn arena r))
+
+(* ------------------------------------------------------------------ *)
+(* Crash sweep: small-write workload over every configuration          *)
+(* ------------------------------------------------------------------ *)
+
+(* Same shape as test_faults.ml's script: inline-eligible values encode
+   their writer so recovery invariants are checkable. *)
+let script tm cells =
+  for tno = 1 to 6 do
+    let txn = Tm.begin_txn tm in
+    for i = 0 to 1 do
+      Tm.write tm txn
+        ~addr:cells.((tno + i) mod 8)
+        ~value:(Int64.of_int ((tno * 100) + i + 1))
+    done;
+    if tno mod 3 <> 0 then Tm.commit tm txn else Tm.rollback tm txn;
+    if tno = 4 then Tm.checkpoint tm
+  done
+
+let fresh_setup cfg =
+  let arena = Arena.create ~size_bytes:(4 lsl 20) () in
+  let alloc = Alloc.create arena in
+  let tm = Tm.create ~cfg alloc ~root_slot in
+  let cells = Array.init 8 (fun _ -> Alloc.alloc alloc 8) in
+  (arena, tm, cells)
+
+let check_recovered ~ctx cfg arena cells =
+  let alloc2 = Alloc.recover arena in
+  let tm2 =
+    try Tm.attach ~cfg alloc2 ~root_slot
+    with e -> Alcotest.failf "%s: recovery raised %s" ctx (Printexc.to_string e)
+  in
+  if Log.length (Tm.log tm2) <> 0 then
+    Alcotest.failf "%s: log not cleared after recovery" ctx;
+  Array.iteri
+    (fun idx c ->
+      let v = Int64.to_int (Arena.read arena c) in
+      if v <> 0 && v / 100 mod 3 = 0 then
+        Alcotest.failf "%s: cell %d holds %d from rolled-back txn %d" ctx idx v
+          (v / 100))
+    cells
+
+let test_crash_sweep (name, cfg) () =
+  let events =
+    let arena, tm, cells = fresh_setup cfg in
+    let s0 =
+      (Arena.stats arena).Stats.nt_stores + (Arena.stats arena).Stats.flushes
+    in
+    script tm cells;
+    (Arena.stats arena).Stats.nt_stores
+    + (Arena.stats arena).Stats.flushes - s0
+  in
+  for k = 0 to events + 2 do
+    let arena, tm, cells = fresh_setup cfg in
+    Arena.arm_crash arena ~after:k;
+    (try
+       script tm cells;
+       Arena.disarm_crash arena
+     with Arena.Crash -> ());
+    if Arena.crashed arena then
+      check_recovered ~ctx:(Fmt.str "%s crash %d" name k) cfg arena cells
+  done
+
+(* With the fast path live, the one-layer bucketed configurations must
+   actually take it for this small-write workload. *)
+let test_sweep_uses_inline () =
+  List.iter
+    (fun (name, cfg) ->
+      let arena, tm, cells = fresh_setup cfg in
+      script tm cells;
+      ignore arena;
+      check_bool (name ^ ": inline path exercised") true
+        (Log.inline_appended (Tm.log tm) > 0))
+    [
+      ("1L-NFP", Rewind.config_1l_nfp);
+      ("1L-FP", Rewind.config_1l_fp);
+      ("batch8", Rewind.config_batch ());
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Torn inline pair                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Mirror of test_faults.ml's corrupt-record test, pinned to the inline
+   representation: tear the pair's second word after the crash and
+   require recovery to truncate it via the pair CRC. *)
+let test_torn_pair_truncated (name, cfg) () =
+  let arena, tm, cells = fresh_setup cfg in
+  let txn = Tm.begin_txn tm in
+  Tm.write tm txn ~addr:cells.(0) ~value:42L;
+  Tm.commit tm txn;
+  let txn2 = Tm.begin_txn tm in
+  Tm.write tm txn2 ~addr:cells.(1) ~value:43L;
+  Tm.write tm txn2 ~addr:cells.(2) ~value:44L;
+  Log.flush_group (Tm.log tm);
+  let recs = Log.records (Tm.log tm) in
+  check_bool (name ^ ": records present pre-crash") true (recs <> []);
+  let r = List.hd (List.rev recs) in
+  check_bool (name ^ ": newest record is inline") true (Record.is_inline r);
+  Arena.crash arena;
+  Arena.corrupt arena (Record.inline_pair r + 8) 8;
+  let alloc2 = Alloc.recover arena in
+  let tm2 =
+    try Tm.attach ~cfg alloc2 ~root_slot
+    with e ->
+      Alcotest.failf "%s: recovery raised %s" name (Printexc.to_string e)
+  in
+  check_bool
+    (name ^ ": torn pair counted in stats")
+    true
+    ((Arena.stats arena).Stats.torn_records >= 1);
+  (match Tm.last_recovery tm2 with
+  | None -> Alcotest.fail (name ^ ": no recovery report")
+  | Some rep ->
+      check_bool (name ^ ": report shows truncation") true
+        (rep.Tm.torn_truncated >= 1));
+  check_int (name ^ ": log cleared") 0 (Log.length (Tm.log tm2))
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive crash-state enumeration over inline appends              *)
+(* ------------------------------------------------------------------ *)
+
+let test_enumerate (name, cfg) () =
+  let arena = Arena.create ~size_bytes:(64 * 1024) () in
+  let alloc = Alloc.create arena in
+  let a = Alloc.alloc ~align:64 alloc 8 in
+  let b = Alloc.alloc ~align:64 alloc 8 in
+  let c = Alloc.alloc ~align:64 alloc 8 in
+  let used_inline = ref false in
+  let stats =
+    Enum.run arena
+      ~workload:(fun () ->
+        let tm = Tm.create ~cfg alloc ~root_slot in
+        let txn = Tm.begin_txn tm in
+        Tm.write tm txn ~addr:a ~value:7L;
+        Tm.write tm txn ~addr:b ~value:9L;
+        (* third pair makes the END pair straddle a cacheline: the
+           enumeration then includes torn-pair crash states *)
+        Tm.write tm txn ~addr:c ~value:11L;
+        Tm.commit tm txn;
+        if Log.inline_appended (Tm.log tm) > 0 then used_inline := true)
+      ~recover:(fun crashed ->
+        let alloc2 = Alloc.recover crashed in
+        let _tm = Tm.attach ~cfg alloc2 ~root_slot in
+        (Arena.read crashed a, Arena.read crashed b, Arena.read crashed c))
+      ~check:(fun (va, vb, vc) ->
+        match (va, vb, vc) with
+        | 0L, 0L, 0L | 7L, 9L, 11L -> None
+        | _ -> Some (Fmt.str "partial state a=%Ld b=%Ld c=%Ld" va vb vc))
+  in
+  check_bool (name ^ ": inline path exercised") true !used_inline;
+  check_bool (name ^ ": crash states explored") true (stats.Enum.crash_states > 0)
+
+let () =
+  let tc = Alcotest.test_case in
+  let per_config name speed f =
+    List.map (fun (cn, cfg) -> tc (name ^ " [" ^ cn ^ "]") speed (f (cn, cfg))) configs
+  in
+  let bucketed (_, cfg) = cfg.Tm.variant <> Log.Simple in
+  let one_layer_bucketed c =
+    bucketed c && (snd c).Tm.layers = Tm.One_layer
+  in
+  Alcotest.run "inline"
+    [
+      ( "encoding",
+        [
+          tc "update roundtrip" `Quick test_roundtrip_update;
+          tc "clr roundtrip" `Quick test_roundtrip_clr;
+          tc "internal roundtrip" `Quick test_roundtrip_internal;
+          tc "ineligible fields" `Quick test_ineligible_fields;
+          tc "fallback to full record" `Quick test_fallback_to_full;
+        ] );
+      ( "append",
+        [
+          tc "readback [optimized]" `Quick (test_append_readback Log.Optimized);
+          tc "readback [batch8]" `Quick (test_append_readback (Log.Batch 8));
+          tc "remove_where [optimized]" `Quick (test_remove_inline Log.Optimized);
+          tc "remove_where [batch8]" `Quick (test_remove_inline (Log.Batch 8));
+          tc "small-write workload goes inline" `Quick test_sweep_uses_inline;
+        ] );
+      ("crash-sweep", per_config "crash everywhere" `Slow test_crash_sweep);
+      ( "torn-pair",
+        List.filter_map
+          (fun ((cn, cfg) as c) ->
+            if one_layer_bucketed c then
+              Some (tc ("torn pair [" ^ cn ^ "]") `Quick
+                      (test_torn_pair_truncated (cn, cfg)))
+            else None)
+          configs );
+      ( "enumerate",
+        List.filter_map
+          (fun ((cn, cfg) as c) ->
+            if one_layer_bucketed c then
+              Some (tc ("all crash states [" ^ cn ^ "]") `Slow
+                      (test_enumerate (cn, cfg)))
+            else None)
+          configs );
+    ]
