@@ -351,6 +351,72 @@ let check_cmd =
        ~doc:"Run the persistency sanitizer over each configuration")
     Term.(const run_check $ cfg $ enumerate)
 
+(* -- profile ------------------------------------------------------------- *)
+
+module Rbench = Rewind_benchlib.Recovery_bench
+
+(* Crash-and-reattach profiling across all six configurations: per-phase
+   recovery timings with NVM attribution, plus a sanitizer pass over each
+   recovery.  Emits a human table and, on request, BENCH_recovery.json and
+   a Prometheus-style text file.  Exits nonzero if any recovery raised
+   persistency violations — CI runs this on every push. *)
+let run_profile ops json_path prom_path =
+  let sizes = [ ops / 4; ops ] in
+  let intervals = [ 0; 50 ] in
+  Fmt.pr
+    "recovery profile — per-phase simulated time and NVM attribution@.@.";
+  let results = Rbench.run ~sizes ~intervals () in
+  List.iter (fun r -> Fmt.pr "%a@." Rbench.pp_result r) results;
+  (match json_path with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Rbench.to_json results);
+      close_out oc;
+      Fmt.pr "wrote %s@." path);
+  (match prom_path with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Rbench.to_prometheus results);
+      close_out oc;
+      Fmt.pr "wrote %s@." path);
+  let violations =
+    List.fold_left (fun acc r -> acc + r.Rbench.sanitizer_violations) 0 results
+  in
+  if violations > 0 then begin
+    Fmt.epr "@.%d persistency violation(s) during recovery@." violations;
+    Stdlib.exit 1
+  end
+  else Fmt.pr "@.no persistency violations during recovery@."
+
+let profile_cmd =
+  let ops =
+    Arg.(
+      value & opt int 8_000
+      & info [ "ops" ] ~docv:"N"
+          ~doc:"Logged updates before the crash (a quarter-size point is \
+                also run).")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:"Write machine-readable results (BENCH_recovery.json).")
+  in
+  let prom =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prom" ] ~docv:"PATH"
+          ~doc:"Write Prometheus text-exposition metrics.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Profile crash recovery per phase across all configurations")
+    Term.(const run_profile $ ops $ json $ prom)
+
 (* -- autotune ------------------------------------------------------------ *)
 
 (* Run a synthetic workload at the requested interleaving/rollback profile
@@ -419,4 +485,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "rewind" ~version:"1.0.0"
              ~doc:"REWIND: recovery write-ahead system for in-memory non-volatile data structures")
-          [ figure_cmd; crash_demo_cmd; tpcc_cmd; costs_cmd; check_cmd; autotune_cmd ]))
+          [ figure_cmd; crash_demo_cmd; tpcc_cmd; costs_cmd; check_cmd; profile_cmd; autotune_cmd ]))

@@ -448,14 +448,12 @@ let remove_where t pred =
       Adll.iter t.chain (fun node ->
           let b = Adll.element t.chain node in
           let bound = bucket_bound t b in
-          let occ =
-            match Hashtbl.find_opt t.occupancy b with
-            | Some c -> c
-            | None ->
-                let c = ref 0 in
-                Hashtbl.replace t.occupancy b c;
-                c
-          in
+          (* The scan classifies every slot anyway, so re-derive the
+             bucket's occupancy absolutely instead of decrementing a
+             cached cell: the volatile cache is re-synced even if it had
+             drifted.  The cell object is kept (not replaced) so the
+             [cur_occ] alias for the current bucket stays live. *)
+          let survivors = ref 0 in
           let i = ref 0 in
           while !i < bound do
             charge_seq t;
@@ -466,21 +464,29 @@ let remove_where t pred =
                  (* first word first: a crash in between leaves a stray
                     second word, which [attach] tombstones *)
                  wr_nt t off tombstone;
-                 wr_nt t (off + 8) tombstone;
-                 decr occ
-               end);
+                 wr_nt t (off + 8) tombstone
+               end
+               else incr survivors);
               i := !i + 2
             end
             else begin
-              (if live_record t v && pred v then begin
-                 wr_nt t off tombstone;
-                 decr occ;
-                 Record.free t.alloc v
-               end);
+              (if live_record t v then
+                 if pred v then begin
+                   wr_nt t off tombstone;
+                   Record.free t.alloc v
+                 end
+                 else incr survivors);
               incr i
             end
           done;
-          if !occ = 0 && b <> t.cur_bucket then empty := (b, node) :: !empty);
+          (match Hashtbl.find_opt t.occupancy b with
+          | Some c -> c := !survivors
+          | None ->
+              let c = ref !survivors in
+              Hashtbl.replace t.occupancy b c;
+              if b = t.cur_bucket then t.cur_occ <- c);
+          if !survivors = 0 && b <> t.cur_bucket then
+            empty := (b, node) :: !empty);
       List.iter (fun (b, node) -> free_bucket t b node) !empty
 
 (* O(1) removal through a handle returned by [append_h].  The tombstone is
@@ -518,6 +524,12 @@ let remove_handle t h =
    install a new one, then de-allocate the old (Section 4.5). *)
 let clear_all t =
   let old_chain = t.chain in
+  (* Capture the volatile cursor *before* the swap: the old current
+     bucket of a Batch log can hold appended-but-unflushed slots past its
+     durable last-persistent-index, and their records must be freed too.
+     (Reading the durable index word here instead used to leak every
+     pending record on each wholesale clear.) *)
+  let old_cur_bucket = t.cur_bucket and old_next_slot = t.next_slot in
   let new_chain = Adll.create t.alloc in
   t.chain <- new_chain;
   Hashtbl.reset t.occupancy;
@@ -535,18 +547,25 @@ let clear_all t =
   | Optimized | Batch _ ->
       Adll.iter old_chain (fun node ->
           let b = Adll.element old_chain node in
-          (* [bucket_bound] still refers to the *old* cursor state via
-             occupancy reset above, so compute the safe bound directly:
-             the current bucket's cursor was captured before the swap. *)
+          (* [bucket_bound] now reflects the *new* cursor, so compute the
+             old bound from the captured cursor state. *)
           let bound =
-            match t.variant with
-            | Batch _ -> max 0 (min (rd t (b + b_idx)) t.bucket_cap)
-            | Optimized | Simple -> t.bucket_cap
+            if b = old_cur_bucket then old_next_slot
+            else
+              match t.variant with
+              | Batch _ -> max 0 (min (rd t (b + b_idx)) t.bucket_cap)
+              | Optimized | Simple -> t.bucket_cap
           in
-          for i = 0 to bound - 1 do
-            let v = rd t (slot_off b i) in
+          let i = ref 0 in
+          while !i < bound do
+            let off = slot_off b !i in
+            let v = rd t off in
             (* inline pairs live in the bucket itself: nothing to free *)
-            if live_record t v then Record.free t.alloc v
+            if trusted_pair t ~off ~i:!i ~bound v then i := !i + 2
+            else begin
+              if live_record t v then Record.free t.alloc v;
+              incr i
+            end
           done;
           Alloc.free ~align:64 t.alloc b (bucket_bytes t.bucket_cap)));
   Adll.free_structure old_chain
@@ -641,6 +660,45 @@ let compact ?(threshold = 0.5) t =
               (bucket_bytes old_cap));
         Adll.free_structure old_chain
   end
+
+(* -- volatile-cache invariant check (tests) ----------------------------- *)
+
+(* Recount every bucket's live records from the durable layout and compare
+   with the volatile occupancy cells and the cached [cur_occ] ref.  Returns
+   the mismatches; the regression tests assert it is empty after any
+   interleaving of appends, clears, checkpoints and compactions. *)
+let check_occupancy t =
+  match t.variant with
+  | Simple -> []
+  | Optimized | Batch _ ->
+      let bad = ref [] in
+      Adll.iter t.chain (fun node ->
+          let b = Adll.element t.chain node in
+          let bound = bucket_bound t b in
+          let actual = ref 0 in
+          let i = ref 0 in
+          while !i < bound do
+            let off = slot_off b !i in
+            let v = rd t off in
+            if trusted_pair t ~off ~i:!i ~bound v then begin
+              incr actual;
+              i := !i + 2
+            end
+            else begin
+              if live_record t v then incr actual;
+              incr i
+            end
+          done;
+          let cached =
+            match Hashtbl.find_opt t.occupancy b with
+            | Some c -> !c
+            | None -> min_int
+          in
+          if cached <> !actual then
+            bad := (b, cached, !actual) :: !bad;
+          if b = t.cur_bucket && cached <> !(t.cur_occ) then
+            bad := (b, !(t.cur_occ), !actual) :: !bad);
+      !bad
 
 (* -- post-crash attachment --------------------------------------------- *)
 

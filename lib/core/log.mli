@@ -144,6 +144,12 @@ val compact : ?threshold:float -> t -> unit
 val occupancy_stats : t -> int * int
 (** (live records, trusted slots). *)
 
+val check_occupancy : t -> (int * int * int) list
+(** Cross-check the volatile per-bucket occupancy cells (and the cached
+    current-bucket ref) against a recount from the durable layout.
+    Returns [(bucket, cached, actual)] mismatches — empty when the cache
+    is coherent.  Test helper; O(log size). *)
+
 (** {1 Chaos (tests only)} *)
 
 val set_chaos_drop_group_fence : t -> bool -> unit

@@ -86,6 +86,9 @@ type t = {
   mutable commits : int;
   mutable rollbacks : int;
   mutable last_recovery : recovery_report option;
+  mutable last_recovery_profile : Probe.t option;
+  mutable probe : Probe.t option;
+      (* when set, the commit/checkpoint hot paths charge spans to it *)
 }
 
 (* Reserved txn id 0 belongs to the AAVLT's internal logging. *)
@@ -111,6 +114,8 @@ let make_t cfg alloc log index =
     commits = 0;
     rollbacks = 0;
     last_recovery = None;
+    last_recovery_profile = None;
+    probe = None;
   }
 
 let create ?(cfg = default_config) alloc ~root_slot =
@@ -130,6 +135,14 @@ let config t = t.cfg
 let log t = t.log
 let commits t = t.commits
 let rollbacks t = t.rollbacks
+let set_probe t p = t.probe <- p
+let last_recovery_profile t = t.last_recovery_profile
+
+(* Charge [f] to phase [name] of the attached hot-path probe, if any. *)
+let hot_span t name f =
+  match t.probe with
+  | None -> f ()
+  | Some p -> Probe.span p (Arena.stats t.arena) name f
 let active_transactions t = Txn_table.size t.table
 let last_recovery t = t.last_recovery
 
@@ -332,6 +345,7 @@ let append_end t txn_id =
    END record and commit-time clearing (Sections 5.1's recovery scenarios);
    production callers leave it true. *)
 let commit ?(clear = true) t txn_id =
+  hot_span t "commit" @@ fun () ->
   Sim_mutex.with_lock t.latch (fun () ->
       t.commits <- t.commits + 1;
       (match t.cfg.policy with
@@ -504,24 +518,28 @@ let rollback t txn_id =
 (* -- checkpoint (Section 4.6) ---------------------------------------------- *)
 
 let checkpoint t =
+  hot_span t "checkpoint" @@ fun () ->
   Sim_mutex.with_lock t.latch (fun () ->
-      (* Persist the batch cursor first: otherwise flushed user data could
-         refer to untrusted log slots after a crash. *)
-      Log.flush_group t.log;
-      drain_deferred t;
-      (* CHECKPOINT record marks the durable point, inserted before the
-         cache flush. *)
-      let cp =
-        Record.make t.alloc ~lsn:(fresh_lsn t) ~txn:0 ~typ:Record.Checkpoint
-          ~addr:0 ~old_value:0L ~new_value:0L ~undo_next:0 ~prev_same_txn:0
-      in
-      Log.append ~is_end:true t.log cp;
-      Arena.flush_all t.arena;
-      Arena.fence t.arena;
-      (* Section 4.6: the CHECKPOINT record and every user update are now
-         durable; clearing may begin. *)
-      Pmcheck.expect_persisted t.arena ~addr:cp ~len:Record.size_bytes
-        ~what:"checkpoint record before log clearing";
+      hot_span t "cp-persist" (fun () ->
+          (* Persist the batch cursor first: otherwise flushed user data
+             could refer to untrusted log slots after a crash. *)
+          Log.flush_group t.log;
+          drain_deferred t;
+          (* CHECKPOINT record marks the durable point, inserted before
+             the cache flush. *)
+          let cp =
+            Record.make t.alloc ~lsn:(fresh_lsn t) ~txn:0
+              ~typ:Record.Checkpoint ~addr:0 ~old_value:0L ~new_value:0L
+              ~undo_next:0 ~prev_same_txn:0
+          in
+          Log.append ~is_end:true t.log cp;
+          Arena.flush_all t.arena;
+          Arena.fence t.arena;
+          (* Section 4.6: the CHECKPOINT record and every user update are
+             now durable; clearing may begin. *)
+          Pmcheck.expect_persisted t.arena ~addr:cp ~len:Record.size_bytes
+            ~what:"checkpoint record before log clearing");
+      hot_span t "cp-clear" (fun () ->
       (* Clear settled transactions, END records last. *)
       let settled = Hashtbl.fold (fun id () acc -> id :: acc) t.ended [] in
       (match t.index with
@@ -531,14 +549,48 @@ let checkpoint t =
               is_settled r && record_typ t r <> Record.End);
           Log.remove_where t.log (fun r ->
               is_settled r && record_typ t r = Record.End)
-      | Some idx -> List.iter (fun id -> clear_txn_index t idx id) settled);
+      | Some idx ->
+          (* Remove the settled transactions' records in *global* LSN
+             order, END records last — the order the one-layer path gets
+             for free from its forward scans.  Clearing transaction by
+             transaction (in whatever order the [ended] table yields)
+             breaks repeat history: a crash mid-clearing can leave
+             transaction A's old update in the log after transaction B's
+             newer committed update to the same word was already removed,
+             and the redo pass then resurrects the stale value. *)
+          let records = ref [] in
+          List.iter
+            (fun id ->
+              match Txn_table.find t.table id with
+              | None -> ()
+              | Some e ->
+                  let rec collect r =
+                    if r <> 0 then begin
+                      records := (Record.lsn t.arena r, r) :: !records;
+                      collect (Record.prev_same_txn t.arena r)
+                    end
+                  in
+                  collect e.Txn_table.last_record)
+            settled;
+          let oldest_first = List.sort compare !records in
+          let remove (lsn, r) =
+            ignore (Avl_index.remove idx lsn);
+            Record.free t.alloc r
+          in
+          let ends, others =
+            List.partition (fun (_, r) -> record_typ t r = Record.End)
+              oldest_first
+          in
+          List.iter remove others;
+          List.iter remove ends;
+          List.iter (fun id -> Txn_table.remove t.table id) settled);
       List.iter (fun id -> free_deferred_deletes t id) settled;
       Hashtbl.reset t.ended;
       (* The checkpoint record has served its purpose. *)
-      Log.remove_where t.log (fun r -> record_typ t r = Record.Checkpoint);
+      Log.remove_where t.log (fun r -> record_typ t r = Record.Checkpoint));
       (* Compact if clearing left the buckets mostly gaps (long-running
          transactions spanning otherwise-empty buckets, Section 3.3). *)
-      Log.compact ~threshold:0.25 t.log)
+      hot_span t "cp-compact" (fun () -> Log.compact ~threshold:0.25 t.log))
 
 (* -- recovery (Section 4.5) -------------------------------------------------- *)
 
@@ -652,7 +704,8 @@ let record_intact t r =
    each unfinished transaction's chain with the Algorithm-2 CLR bound.
    Records failing their checksum are torn writes: they are dropped from
    analysis/redo, and a chain walk stops at the first torn link. *)
-let recover_two_layer t idx =
+let recover_two_layer t idx prof =
+  let pstats = Arena.stats t.arena in
   Txn_table.clear t.table;
   let torn = ref 0 in
   let count_torn () =
@@ -661,47 +714,56 @@ let recover_two_layer t idx =
     s.Stats.torn_records <- s.Stats.torn_records + 1
   in
   (* analysis: in-order traversal gives records in ascending LSN *)
-  let descending = ref [] in
-  Avl_index.iter idx (fun n ->
-      let r = Avl_index.head_record idx n in
-      if record_intact t r then descending := r :: !descending
-      else count_torn ());
-  let ascending = List.rev !descending in
-  let max_lsn = ref 0 and max_txn = ref 0 in
-  List.iter
-    (fun r ->
-      let l = Record.lsn t.arena r in
-      if l > !max_lsn then max_lsn := l;
-      let x = record_txn t r in
-      if x > !max_txn then max_txn := x;
-      if x <> 0 then begin
-        let e = Txn_table.find_or_add t.table x in
-        e.Txn_table.last_record <- r;
-        match record_typ t r with
-        | Record.End -> e.Txn_table.status <- Txn_table.Finished
-        | Record.Rollback -> e.Txn_table.status <- Txn_table.Aborted
-        | Record.Update | Record.Clr | Record.Delete | Record.Checkpoint -> ()
-      end)
-    ascending;
-  Atomic.set t.next_lsn (!max_lsn + 1);
-  t.next_txn <- max !max_txn t.next_txn + 1;
-  let finished = ref 0 in
-  Txn_table.iter t.table (fun e ->
-      if e.Txn_table.status = Txn_table.Finished then incr finished);
+  let ascending, finished =
+    Probe.span prof pstats "analysis" @@ fun () ->
+    let descending = ref [] in
+    Avl_index.iter idx (fun n ->
+        let r = Avl_index.head_record idx n in
+        if record_intact t r then descending := r :: !descending
+        else count_torn ());
+    let ascending = List.rev !descending in
+    let max_lsn = ref 0 and max_txn = ref 0 in
+    List.iter
+      (fun r ->
+        let l = Record.lsn t.arena r in
+        if l > !max_lsn then max_lsn := l;
+        let x = record_txn t r in
+        if x > !max_txn then max_txn := x;
+        if x <> 0 then begin
+          let e = Txn_table.find_or_add t.table x in
+          e.Txn_table.last_record <- r;
+          match record_typ t r with
+          | Record.End -> e.Txn_table.status <- Txn_table.Finished
+          | Record.Rollback -> e.Txn_table.status <- Txn_table.Aborted
+          | Record.Update | Record.Clr | Record.Delete | Record.Checkpoint ->
+              ()
+        end)
+      ascending;
+    Atomic.set t.next_lsn (!max_lsn + 1);
+    t.next_txn <- max !max_txn t.next_txn + 1;
+    let finished = ref 0 in
+    Txn_table.iter t.table (fun e ->
+        if e.Txn_table.status = Txn_table.Finished then incr finished);
+    (ascending, !finished)
+  in
   (* redo (no-force only): repeat history *)
   let redo = ref 0 in
   if t.cfg.policy = No_force then
-    List.iter
-      (fun r ->
-        match record_typ t r with
-        | Record.Update | Record.Clr ->
-            incr redo;
-            Arena.write t.arena (Record.addr t.arena r)
-              (Record.new_value t.arena r)
-        | Record.End | Record.Checkpoint | Record.Delete | Record.Rollback ->
-            ())
-      ascending;
+    Probe.span prof pstats "redo" (fun () ->
+        List.iter
+          (fun r ->
+            match record_typ t r with
+            | Record.Update | Record.Clr ->
+                incr redo;
+                Arena.write t.arena (Record.addr t.arena r)
+                  (Record.new_value t.arena r)
+            | Record.End | Record.Checkpoint | Record.Delete
+            | Record.Rollback ->
+                ())
+          ascending);
   (* undo unfinished transactions via their back-chains *)
+  let n_losers =
+    Probe.span prof pstats "undo" @@ fun () ->
   let durably = t.cfg.policy = Force in
   let losers = Txn_table.unfinished t.table in
   let n_losers = List.length losers in
@@ -739,26 +801,29 @@ let recover_two_layer t idx =
       append_end t x;
       e.Txn_table.status <- Txn_table.Finished)
     losers;
-  (* Make the redo/undo results durable *before* dropping records: a crash
-     here must still find the log able to repeat history. *)
-  Log.flush_group t.log;
-  drain_deferred t;
-  Arena.flush_all t.arena;
-  Arena.fence t.arena;
-  (* every transaction is settled: free the records, then drop the whole
-     tree with one atomic root swing.  Torn records leak, like every
-     volatile free list across a crash. *)
-  let records = ref [] in
-  Avl_index.iter idx (fun n ->
-      let r = Avl_index.head_record idx n in
-      if record_intact t r then records := r :: !records);
-  Avl_index.clear idx;
-  List.iter (fun r -> Record.free t.alloc r) !records;
+    n_losers
+  in
+  Probe.span prof pstats "clearing" (fun () ->
+      (* Make the redo/undo results durable *before* dropping records: a
+         crash here must still find the log able to repeat history. *)
+      Log.flush_group t.log;
+      drain_deferred t;
+      Arena.flush_all t.arena;
+      Arena.fence t.arena;
+      (* every transaction is settled: free the records, then drop the
+         whole tree with one atomic root swing.  Torn records leak, like
+         every volatile free list across a crash. *)
+      let records = ref [] in
+      Avl_index.iter idx (fun n ->
+          let r = Avl_index.head_record idx n in
+          if record_intact t r then records := r :: !records);
+      Avl_index.clear idx;
+      List.iter (fun r -> Record.free t.alloc r) !records);
   {
     records_scanned = List.length ascending;
     torn_truncated = !torn;
     redo_applied = !redo;
-    txns_finished = !finished;
+    txns_finished = finished;
     txns_undone = n_losers;
   }
 
@@ -776,14 +841,27 @@ let clear_after_recovery t =
   t.deferred_deletes <- [];
   t.deferred <- []
 
-let recover t =
+(* Recovery proper, charging each phase to [prof].  The profile gives
+   every recovery its own counter scope: the arena's {!Stats} totals are
+   cumulative across attach cycles, so per-phase deltas are the only way
+   to report one recovery's NVM work without double-counting. *)
+let recover_with t prof =
+  let pstats = Arena.stats t.arena in
   Pmcheck.recovery_begin t.arena;
   let report =
     match t.index with
     | None ->
-        let scanned, finished = analysis_one_layer t in
-        let redo = if t.cfg.policy = No_force then redo_one_layer t else 0 in
-        let undone = undo_one_layer t in
+        let scanned, finished =
+          Probe.span prof pstats "analysis" (fun () -> analysis_one_layer t)
+        in
+        let redo =
+          if t.cfg.policy = No_force then
+            Probe.span prof pstats "redo" (fun () -> redo_one_layer t)
+          else 0
+        in
+        let undone =
+          Probe.span prof pstats "undo" (fun () -> undo_one_layer t)
+        in
         {
           records_scanned = scanned;
           torn_truncated = Log.torn_truncated t.log;
@@ -792,30 +870,40 @@ let recover t =
           txns_undone = undone;
         }
     | Some idx ->
-        let r = recover_two_layer t idx in
+        let r = recover_two_layer t idx prof in
         (* the AAVLT's internal log may have truncated torn records too *)
         { r with torn_truncated = r.torn_truncated + Log.torn_truncated t.log }
   in
-  clear_after_recovery t;
+  Probe.span prof pstats "clearing" (fun () -> clear_after_recovery t);
   Pmcheck.recovery_end t.arena;
-  t.last_recovery <- Some report
+  t.last_recovery <- Some report;
+  t.last_recovery_profile <- Some prof
+
+let recover t = recover_with t (Probe.create ())
 
 (* Reattach after a crash: recover the log structure, the AAVLT, and then
-   run transaction recovery. *)
+   run transaction recovery.  Every phase — including the structural
+   log/index reattachment — is profiled; see {!last_recovery_profile}. *)
 let attach ?(cfg = default_config) alloc ~root_slot =
   let arena = Alloc.arena alloc in
-  let log = Log.attach cfg.variant ~bucket_cap:cfg.bucket_cap alloc ~root_slot in
+  let prof = Probe.create () in
+  let pstats = Arena.stats arena in
+  let log =
+    Probe.span prof pstats "log-attach" (fun () ->
+        Log.attach cfg.variant ~bucket_cap:cfg.bucket_cap alloc ~root_slot)
+  in
   let index =
     match cfg.layers with
     | One_layer -> None
     | Two_layer ->
-        let root_ptr = Int64.to_int (Arena.root_get arena (root_slot + 1)) in
-        let idx = Avl_index.attach alloc ~ilog:log ~root_ptr in
-        Avl_index.recover idx;
-        Some idx
+        Probe.span prof pstats "index-rebuild" (fun () ->
+            let root_ptr = Int64.to_int (Arena.root_get arena (root_slot + 1)) in
+            let idx = Avl_index.attach alloc ~ilog:log ~root_ptr in
+            Avl_index.recover idx;
+            Some idx)
   in
   let t = make_t cfg alloc log index in
-  recover t;
+  recover_with t prof;
   t
 
 (* -- convenience --------------------------------------------------------- *)

@@ -100,7 +100,18 @@ val rollback_to : t -> txn -> savepoint -> unit
 val checkpoint : t -> unit
 (** The "cache-consistent" checkpoint of Section 4.6: persist pending log
     state, flush the cache, then clear settled transactions' records —
-    END records last — and process their deferred de-allocations. *)
+    END records last — and process their deferred de-allocations.
+
+    Checkpointing with transactions in flight is fully supported — this
+    is the point of Section 4.6's design, and what distinguishes REWIND
+    from redo-only baselines (e.g. {!Rewind_baselines.Paged_kv}, whose
+    checkpoint must refuse active transactions because it has no undo
+    information).  Live transactions' back-chains survive clearing
+    untouched; only settled (committed or rolled-back) transactions are
+    removed, in {e global LSN order} with END records last, so a crash at
+    any point during the checkpoint — including mid-clearing and
+    mid-compaction — recovers by repeat-history + undo to the same state
+    as an uninterrupted checkpoint. *)
 
 val recover : t -> unit
 (** Run recovery explicitly (normally done by {!attach}). *)
@@ -123,6 +134,20 @@ val pp_recovery_report : recovery_report Fmt.t
 val last_recovery : t -> recovery_report option
 (** The report of the most recent {!recover}/{!attach}; [None] if this
     manager has never run recovery. *)
+
+val last_recovery_profile : t -> Rewind_nvm.Probe.t option
+(** Per-phase profile of the most recent {!recover}/{!attach}: simulated
+    time and NVM counter deltas for [log-attach], [index-rebuild] (two-
+    layer), [analysis], [redo] (no-force), [undo] and [clearing].  Each
+    recovery gets a fresh probe, so the numbers cover exactly one
+    recovery — the arena's cumulative {!Rewind_nvm.Stats} totals cannot
+    be compared across a crash without double-counting earlier cycles. *)
+
+val set_probe : t -> Rewind_nvm.Probe.t option -> unit
+(** Attach a probe to the runtime hot paths: [commit], [checkpoint] and
+    the checkpoint sub-phases [cp-persist] / [cp-clear] / [cp-compact]
+    charge spans to it.  [None] (the default) disables hot-path
+    profiling; recovery profiling is always on. *)
 
 val commits : t -> int
 val rollbacks : t -> int

@@ -77,6 +77,33 @@ let diff a b =
 
 let snapshot s = { s with nvm_writes = s.nvm_writes }
 
+let add dst src =
+  dst.nvm_writes <- dst.nvm_writes + src.nvm_writes;
+  dst.nt_stores <- dst.nt_stores + src.nt_stores;
+  dst.flushes <- dst.flushes + src.flushes;
+  dst.fences <- dst.fences + src.fences;
+  dst.loads <- dst.loads + src.loads;
+  dst.stores <- dst.stores + src.stores;
+  dst.crashes <- dst.crashes + src.crashes;
+  dst.evictions <- dst.evictions + src.evictions;
+  dst.crash_survivals <- dst.crash_survivals + src.crash_survivals;
+  dst.media_faults <- dst.media_faults + src.media_faults;
+  dst.torn_records <- dst.torn_records + src.torn_records;
+  dst.redundant_flushes <- dst.redundant_flushes + src.redundant_flushes;
+  dst.redundant_fences <- dst.redundant_fences + src.redundant_fences;
+  dst.inline_records <- dst.inline_records + src.inline_records;
+  dst.full_records <- dst.full_records + src.full_records
+
+(* Counter scope: the counters are cumulative for the arena's lifetime —
+   across crashes and reattachments — so code that wants "the NVM work of
+   *this* phase" (a benchmark iteration, one recovery pass) must bracket
+   it.  Comparing raw totals across a crash double-counts every earlier
+   attach cycle's work. *)
+let scoped s f =
+  let before = snapshot s in
+  let v = f () in
+  (v, diff s before)
+
 let pp ppf s =
   Fmt.pf ppf "nvm_writes=%d nt=%d flushes=%d fences=%d loads=%d stores=%d"
     s.nvm_writes s.nt_stores s.flushes s.fences s.loads s.stores;

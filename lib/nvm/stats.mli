@@ -24,4 +24,16 @@ val create : unit -> t
 val reset : t -> unit
 val diff : t -> t -> t
 val snapshot : t -> t
+
+val add : t -> t -> unit
+(** [add dst src] accumulates [src]'s counters into [dst]. *)
+
+val scoped : t -> (unit -> 'a) -> 'a * t
+(** [scoped s f] runs [f] and returns its result together with the
+    counter delta it caused.  The counters are cumulative for the arena's
+    lifetime — across crashes and reattachments — so any "NVM work of
+    this phase" question must be asked through a scope like this one;
+    comparing raw totals across a crash double-counts every earlier
+    attach cycle's work. *)
+
 val pp : t Fmt.t

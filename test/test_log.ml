@@ -216,6 +216,104 @@ let prop_crash_prefix variant =
       end
       else true)
 
+(* ------------------------------------------------------------------ *)
+(* Occupancy-cache and clearing lifecycle                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Regression: [clear_all] must de-allocate *everything* the old log
+   holds, including Batch records that were appended but whose slot
+   group never persisted.  The old code sized its de-allocation scan of
+   the current bucket from the durable last-persistent-index word, so
+   every pending record leaked on wholesale clearing — which is exactly
+   the path recovery takes ([Tm] clears the log after undo). *)
+let test_clear_all_frees_pending variant () =
+  let _arena, alloc = fresh () in
+  let log = Log.create variant ~bucket_cap:100 alloc ~root_slot:2 in
+  let baseline = Alloc.live_bytes alloc in
+  for i = 1 to 11 do
+    Log.append log (mk_record alloc ~lsn:i ~txn:1)
+  done;
+  (* under Batch 8, records 9..11 sit in an unpersisted slot group *)
+  check_bool "grew" true (Alloc.live_bytes alloc > baseline);
+  Log.clear_all log;
+  check_int "clear_all freed every record, persisted or pending" baseline
+    (Alloc.live_bytes alloc);
+  check_int "log empty" 0 (Log.length log)
+
+(* The volatile occupancy cells must stay coherent with the durable
+   layout through every clearing path: selective removal, wholesale
+   clearing, compaction, and reattachment.  [check_occupancy] recounts
+   the durable image and reports mismatches. *)
+let occupancy_clean name log =
+  match Log.check_occupancy log with
+  | [] -> ()
+  | ms ->
+      Alcotest.failf "%s: occupancy cache diverged: %s" name
+        (String.concat "; "
+           (List.map
+              (fun (b, cached, actual) ->
+                Fmt.str "bucket %d cached %d actual %d" b cached actual)
+              ms))
+
+let test_occupancy_lifecycle variant () =
+  let arena, alloc = fresh () in
+  let log = Log.create variant ~bucket_cap:4 alloc ~root_slot:2 in
+  for i = 1 to 20 do
+    Log.append log (mk_record alloc ~lsn:i ~txn:(i mod 3))
+  done;
+  occupancy_clean "after append" log;
+  Log.remove_where log (fun r -> Record.txn arena r = 0);
+  occupancy_clean "after remove_where" log;
+  Log.remove_where log (fun r -> Record.txn arena r = 1);
+  occupancy_clean "after second remove_where" log;
+  (* ~7 survivors over buckets sized for 20: force the copy *)
+  Log.compact ~threshold:1.0 log;
+  occupancy_clean "after compact" log;
+  let survivors = lsns arena log in
+  check_list "compaction preserved the survivors"
+    (List.filter (fun l -> l mod 3 = 2) (List.init 20 (fun i -> i + 1)))
+    survivors;
+  Log.append log (mk_record alloc ~lsn:100 ~txn:2);
+  occupancy_clean "after post-compact append" log;
+  (* the rebuilt-from-durable occupancy must agree too *)
+  Log.flush_group log;
+  Arena.crash arena;
+  let alloc = Alloc.recover arena in
+  let log2 = Log.attach variant ~bucket_cap:4 alloc ~root_slot:2 in
+  occupancy_clean "after reattach" log2;
+  check_list "records survive the round trip" (survivors @ [ 100 ])
+    (lsns arena log2)
+
+(* Property: a random interleaving of appends, selective removals, group
+   flushes and compactions never desynchronises the occupancy cache. *)
+let prop_occupancy_coherent variant =
+  QCheck.Test.make
+    ~name:(Fmt.str "%a: occupancy cache coherent" Log.pp_variant variant)
+    ~count:60
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let arena, alloc = fresh () in
+      let log = Log.create variant ~bucket_cap:4 alloc ~root_slot:2 in
+      let state = ref (seed + 1) in
+      let rand bound =
+        state := (!state * 1103515245) + 12345;
+        (!state lsr 16) mod bound
+      in
+      let lsn = ref 0 in
+      for _ = 1 to 60 do
+        match rand 10 with
+        | 0 | 1 | 2 | 3 | 4 | 5 ->
+            incr lsn;
+            Log.append ~is_end:(rand 4 = 0) log
+              (mk_record alloc ~lsn:!lsn ~txn:(rand 3))
+        | 6 | 7 ->
+            let t = rand 3 in
+            Log.remove_where log (fun r -> Record.txn arena r = t)
+        | 8 -> Log.flush_group log
+        | _ -> Log.compact ~threshold:(float_of_int (rand 11) /. 10.) log
+      done;
+      Log.check_occupancy log = [])
+
 let () =
   let tc = Alcotest.test_case in
   let per_variant name f =
@@ -227,6 +325,12 @@ let () =
       ("remove", per_variant "remove_where" test_remove_where);
       ("empty-refill", per_variant "remove all then append" test_remove_all_then_append);
       ("clear-all", per_variant "clear_all" test_clear_all);
+      ( "occupancy-cache",
+        per_variant "clear_all frees pending" test_clear_all_frees_pending
+        @ per_variant "lifecycle coherence" test_occupancy_lifecycle
+        @ List.map
+            (fun (_, v) -> QCheck_alcotest.to_alcotest (prop_occupancy_coherent v))
+            variants );
       ("crash-reattach", per_variant "crash reattach" test_crash_reattach);
       ( "batch-semantics",
         [
