@@ -20,15 +20,35 @@ let config_names =
     ("simple", fun () -> Rewind.config_simple);
     ("optimized", fun () -> Rewind.config_optimized);
     ("batch", fun () -> Rewind.config_batch ());
+    ("lockfree", fun () -> Rewind.config_lockfree ());
   ]
 
+(* A "-pN" suffix shards any named configuration's log into N partitions:
+   "batch-p4" is the batch config with 4 log partitions. *)
+let partition_suffix s =
+  let l = String.length s in
+  match String.rindex_opt s '-' with
+  | Some i when i + 2 < l && s.[i + 1] = 'p' -> (
+      match int_of_string_opt (String.sub s (i + 2) (l - i - 2)) with
+      | Some n when n >= 1 -> Some (String.sub s 0 i, n)
+      | _ -> None)
+  | _ -> None
+
 let config_of_string s =
-  match List.assoc_opt s config_names with
-  | Some c -> Ok (c ())
+  let base, parts =
+    match partition_suffix s with
+    | Some (base, n) -> (base, n)
+    | None -> (s, 1)
+  in
+  match List.assoc_opt base config_names with
+  | Some c -> Ok (Rewind.with_partitions parts (c ()))
   | None ->
       Error
         (`Msg
-           (Fmt.str "unknown configuration %S (expected one of: %s)" s
+           (Fmt.str
+              "unknown configuration %S (expected one of: %s; any name also \
+               takes a -pN partition suffix, e.g. batch-p4 or lockfree-p8)"
+              s
               (String.concat ", " (List.map fst config_names))))
 
 let config_conv =
@@ -44,8 +64,8 @@ let figure_names =
   [
     "fig3-left"; "fig3-right"; "fig4-left"; "fig4-right"; "fig5"; "fig6";
     "fig7-left"; "fig7-right"; "fig8-left"; "fig8-right"; "fig9"; "fig10";
-    "fig11"; "ablation-bucket"; "ablation-group"; "ablation-policy";
-    "ablation-lockfree";
+    "fig11"; "scaling"; "ablation-bucket"; "ablation-group";
+    "ablation-policy"; "ablation-lockfree";
   ]
 
 let run_figure quick name =
@@ -71,6 +91,7 @@ let run_figure quick name =
       Series.print_bars ~id:"fig11" ~title:"TPC-C new-order throughput"
         ~ylabel:"thousand transactions per simulated minute"
         (Figures.fig11 ~txns_per_terminal:(s 300 60) ())
+  | "scaling" -> Series.print (Figures.scaling ~txns_per_thread:(s 400 100) ())
   | "ablation-bucket" -> Series.print (Figures.ablation_bucket_size ())
   | "ablation-group" -> Series.print (Figures.ablation_group ())
   | "ablation-policy" -> Series.print (Figures.ablation_policy ())
@@ -137,16 +158,28 @@ let crash_demo_cmd =
       value
       & opt config_conv Rewind.config_1l_nfp
       & info [ "config" ] ~docv:"CONFIG"
-          ~doc:"REWIND configuration: 1l-nfp, 1l-fp, 2l-nfp, 2l-fp, simple, optimized, batch.")
+          ~doc:"REWIND configuration: 1l-nfp, 1l-fp, 2l-nfp, 2l-fp, simple, \
+                optimized, batch, lockfree; a -pN suffix (e.g. batch-p4) \
+                shards the log into N partitions.")
   in
   let after =
     Arg.(
       value & opt int 5_000
       & info [ "crash-after" ] ~docv:"N" ~doc:"Crash after N persistence events.")
   in
+  let partitions =
+    Arg.(
+      value & opt int 0
+      & info [ "partitions" ] ~docv:"N"
+          ~doc:"Override the configuration's log partition count.")
+  in
   Cmd.v
     (Cmd.info "crash-demo" ~doc:"Run transactions, crash, recover, verify")
-    Term.(const run_crash_demo $ cfg $ after)
+    Term.(
+      const (fun cfg parts after ->
+          let cfg = if parts > 0 then Rewind.with_partitions parts cfg else cfg in
+          run_crash_demo cfg after)
+      $ cfg $ partitions $ after)
 
 (* -- tpcc --------------------------------------------------------------- *)
 
@@ -282,7 +315,10 @@ let check_one_config name cfg =
    cacheline — so the enumeration includes torn-pair states that recovery
    must truncate rather than replay. *)
 let enumerate_one name cfg =
-  let arena = Arena.create ~size_bytes:(64 * 1024) () in
+  (* room for each partition's current bucket (8 KiB at the default
+     bucket capacity) plus the workload's records *)
+  let size_bytes = (64 * 1024) + (16 * 1024 * cfg.Rewind.Tm.partitions) in
+  let arena = Arena.create ~size_bytes () in
   let alloc = Alloc.create arena in
   let a = Alloc.alloc ~align:64 alloc 8 in
   let b = Alloc.alloc ~align:64 alloc 8 in
@@ -308,24 +344,29 @@ let enumerate_one name cfg =
   Fmt.pr "enumerator[%s]: %a — all crash states recover legally@." name
     Enum.pp_stats stats
 
-let check_enumerate () =
+let check_enumerate ?(shard = fun c -> c) () =
   enumerate_one "simple"
-    { Rewind.config_simple with Rewind.Tm.policy = Rewind.Tm.No_force };
-  enumerate_one "optimized-inline" Rewind.config_1l_nfp
+    (shard { Rewind.config_simple with Rewind.Tm.policy = Rewind.Tm.No_force });
+  enumerate_one "optimized-inline" (shard Rewind.config_1l_nfp)
 
-let run_check config_filter enumerate =
+let run_check config_filter enumerate partitions =
+  let shard cfg =
+    if partitions > 0 then Rewind.with_partitions partitions cfg else cfg
+  in
   let selected =
     match config_filter with
     | None -> config_names
     | Some n -> List.filter (fun (name, _) -> name = n) config_names
   in
-  Fmt.pr "persistency sanitizer — shadow hardware model over each configuration@.@.";
+  Fmt.pr "persistency sanitizer — shadow hardware model over each configuration";
+  if partitions > 0 then Fmt.pr " (%d log partitions)" partitions;
+  Fmt.pr "@.@.";
   let total =
     List.fold_left
-      (fun acc (name, cfg) -> acc + check_one_config name (cfg ()))
+      (fun acc (name, cfg) -> acc + check_one_config name (shard (cfg ())))
       0 selected
   in
-  (if enumerate then check_enumerate ());
+  (if enumerate then check_enumerate ~shard ());
   if total > 0 then begin
     Fmt.epr "@.%d persistency violation(s) detected@." total;
     Stdlib.exit 1
@@ -346,10 +387,16 @@ let check_cmd =
       & info [ "enumerate" ]
           ~doc:"Also exhaustively enumerate crash states of a small trace.")
   in
+  let partitions =
+    Arg.(
+      value & opt int 0
+      & info [ "partitions" ] ~docv:"N"
+          ~doc:"Shard each checked configuration's log into N partitions.")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:"Run the persistency sanitizer over each configuration")
-    Term.(const run_check $ cfg $ enumerate)
+    Term.(const run_check $ cfg $ enumerate $ partitions)
 
 (* -- profile ------------------------------------------------------------- *)
 
@@ -416,6 +463,116 @@ let profile_cmd =
     (Cmd.info "profile"
        ~doc:"Profile crash recovery per phase across all configurations")
     Term.(const run_profile $ ops $ json $ prom)
+
+(* -- scaling -------------------------------------------------------------- *)
+
+(* Partition-scaling bench: throughput at a fixed thread count over
+   1..N log partitions.  Emits BENCH_scaling.json for the CI gate and
+   fails if the largest partition count does not reach --min-speedup over
+   the single-partition latch. *)
+let run_scaling threads txns json_path min_speedup =
+  let results = Rewind_benchlib.Scaling_bench.run ~threads ~txns_per_thread:txns () in
+  Fmt.pr "partitioned-log scaling — %d simulated threads@.@." threads;
+  List.iter
+    (fun r -> Fmt.pr "  %a@." Rewind_benchlib.Scaling_bench.pp_result r)
+    results;
+  let speedup = Rewind_benchlib.Scaling_bench.speedup results in
+  Fmt.pr "@.speedup (most vs fewest partitions): %.2fx@." speedup;
+  (match json_path with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Rewind_benchlib.Scaling_bench.to_json results);
+      close_out oc;
+      Fmt.pr "wrote %s@." path);
+  if speedup < min_speedup then begin
+    Fmt.epr "@.speedup %.2fx below the required %.2fx@." speedup min_speedup;
+    Stdlib.exit 1
+  end
+
+let scaling_cmd =
+  let threads =
+    Arg.(
+      value & opt int 8
+      & info [ "threads" ] ~docv:"N" ~doc:"Simulated writer threads.")
+  in
+  let txns =
+    Arg.(
+      value & opt int 400
+      & info [ "txns" ] ~docv:"N" ~doc:"Transactions per thread.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:"Write machine-readable results (BENCH_scaling.json).")
+  in
+  let min_speedup =
+    Arg.(
+      value & opt float 0.
+      & info [ "min-speedup" ] ~docv:"X"
+          ~doc:"Fail unless max-partitions throughput is at least X times \
+                the single-partition throughput.")
+  in
+  Cmd.v
+    (Cmd.info "scaling"
+       ~doc:"Throughput of the partitioned log under concurrent writers")
+    Term.(const run_scaling $ threads $ txns $ json $ min_speedup)
+
+(* -- benchdiff ------------------------------------------------------------ *)
+
+(* The benchmark-regression gate: every metric in the committed baselines
+   is simulated (deterministic, machine-independent), so CI compares the
+   fresh BENCH_*.json artifacts against them and fails the build on any
+   cost metric worse than the tolerance. *)
+let run_benchdiff baseline current tolerance =
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match
+    Rewind_benchlib.Benchdiff.compare_metrics ~tolerance (read_file baseline)
+      (read_file current)
+  with
+  | exception Sys_error e ->
+      Fmt.epr "benchdiff: %s@." e;
+      Stdlib.exit 2
+  | exception Rewind_benchlib.Benchdiff.Parse_error e ->
+      Fmt.epr "benchdiff: JSON parse error: %s@." e;
+      Stdlib.exit 2
+  | outcome ->
+      Fmt.pr "comparing %s against baseline %s (tolerance %.0f%%)@." current
+        baseline (100. *. tolerance);
+      Fmt.pr "%a" Rewind_benchlib.Benchdiff.pp_outcome outcome;
+      if not (Rewind_benchlib.Benchdiff.passed outcome) then Stdlib.exit 1
+
+let benchdiff_cmd =
+  let baseline =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "baseline" ] ~docv:"FILE" ~doc:"Committed baseline JSON.")
+  in
+  let current =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "current" ] ~docv:"FILE" ~doc:"Freshly produced benchmark JSON.")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 0.15
+      & info [ "tolerance" ] ~docv:"FRAC"
+          ~doc:"Allowed relative regression per metric (default 0.15).")
+  in
+  Cmd.v
+    (Cmd.info "benchdiff"
+       ~doc:"Compare benchmark JSON against a committed baseline; exit \
+             nonzero on regression")
+    Term.(const run_benchdiff $ baseline $ current $ tolerance)
 
 (* -- autotune ------------------------------------------------------------ *)
 
@@ -485,4 +642,5 @@ let () =
        (Cmd.group ~default
           (Cmd.info "rewind" ~version:"1.0.0"
              ~doc:"REWIND: recovery write-ahead system for in-memory non-volatile data structures")
-          [ figure_cmd; crash_demo_cmd; tpcc_cmd; costs_cmd; check_cmd; profile_cmd; autotune_cmd ]))
+          [ figure_cmd; crash_demo_cmd; tpcc_cmd; costs_cmd; check_cmd;
+            profile_cmd; scaling_cmd; benchdiff_cmd; autotune_cmd ]))

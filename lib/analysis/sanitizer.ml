@@ -24,11 +24,13 @@
 
    - [Region_logged] gives a word *coverage*: an undo record exists for
      the enclosing transaction.  Batch coverage starts *pending* (the
-     record sits in an unpersisted group) and upgrades at
-     [Group_persisted].  A covered word that becomes durable (flush,
-     eviction, or non-temporal store) while its coverage is still
-     pending is a WAL-order violation: the user store could survive a
-     crash that loses its undo record.
+     record sits in an unpersisted group) and upgrades at the
+     [Group_persisted] of the same log partition — partitions flush
+     independently, so pending coverage is keyed by partition and a
+     flush in one partition never upgrades another's.  A covered word
+     that becomes durable (flush, eviction, or non-temporal store) while
+     its coverage is still pending is a WAL-order violation: the user
+     store could survive a crash that loses its undo record.
    - Words that have ever had coverage are *tracked*: they are user data
      under transactional management, so a store to one without active
      coverage (outside recovery) is a store-to-unlogged-region
@@ -86,7 +88,8 @@ type t = {
   cover : (int, coverage) Hashtbl.t;
   tracked : (int, unit) Hashtbl.t;
   freed : (int, unit) Hashtbl.t;
-  mutable pending_cov : coverage list; (* awaiting Group_persisted *)
+  pending_cov : (int, coverage list) Hashtbl.t;
+      (* partition -> coverages awaiting that partition's Group_persisted *)
   commit_points : (int, (int * int * string) list ref) Hashtbl.t;
   red_flush : (int, int ref) Hashtbl.t; (* line base -> count *)
   red_fence : (string, int ref) Hashtbl.t; (* preceding-event site -> count *)
@@ -180,7 +183,7 @@ let on_crash t =
   Hashtbl.reset t.words;
   Hashtbl.reset t.cover;
   Hashtbl.reset t.commit_points;
-  t.pending_cov <- [];
+  Hashtbl.reset t.pending_cov;
   t.persisted_since_fence <- false;
   t.in_recovery <- false
 
@@ -203,15 +206,26 @@ let handle t ev =
       on_writeback t ~base:off ~how:"spontaneous eviction"
   | Trace.Pin _ | Trace.Unpin _ -> ()
   | Trace.Crash -> on_crash t
-  | Trace.Region_logged { txn; addr; len; durable } ->
+  | Trace.Region_logged { txn; addr; len; durable; group } ->
       let c = { c_txn = txn; c_durable = durable } in
-      if not durable then t.pending_cov <- c :: t.pending_cov;
+      if not durable then begin
+        let prev =
+          Option.value ~default:[] (Hashtbl.find_opt t.pending_cov group)
+        in
+        Hashtbl.replace t.pending_cov group (c :: prev)
+      end;
       words_of addr len (fun w ->
           Hashtbl.replace t.cover w c;
           Hashtbl.replace t.tracked w ())
-  | Trace.Group_persisted ->
-      List.iter (fun c -> c.c_durable <- true) t.pending_cov;
-      t.pending_cov <- []
+  | Trace.Group_persisted { group } -> (
+      (* Only this partition's pending coverage upgrades: with a
+         partitioned log, another partition's group flush says nothing
+         about records still sitting in this one's unpersisted group. *)
+      match Hashtbl.find_opt t.pending_cov group with
+      | None -> ()
+      | Some l ->
+          List.iter (fun c -> c.c_durable <- true) l;
+          Hashtbl.remove t.pending_cov group)
   | Trace.Commit_point { txn; addr; len; what } -> (
       match Hashtbl.find_opt t.commit_points txn with
       | Some l -> l := (addr, len, what) :: !l
@@ -230,7 +244,12 @@ let handle t ev =
       Hashtbl.filter_map_inplace
         (fun _ c -> if c.c_txn = txn then None else Some c)
         t.cover;
-      t.pending_cov <- List.filter (fun c -> c.c_txn <> txn) t.pending_cov
+      Hashtbl.filter_map_inplace
+        (fun _ l ->
+          match List.filter (fun c -> c.c_txn <> txn) l with
+          | [] -> None
+          | l -> Some l)
+        t.pending_cov
   | Trace.Expect_persisted { addr; len; what } ->
       check_persisted t ~addr ~len ~what ~kind_volatile:Unpersisted_commit
   | Trace.Recovery true -> t.in_recovery <- true
@@ -239,7 +258,7 @@ let handle t ev =
       t.in_recovery <- false;
       Hashtbl.reset t.cover;
       Hashtbl.reset t.commit_points;
-      t.pending_cov <- []
+      Hashtbl.reset t.pending_cov
   | Trace.Freed { addr; len } ->
       words_of addr len (fun w -> Hashtbl.replace t.freed w ())
   | Trace.Allocated { addr; len } ->
@@ -256,7 +275,7 @@ let attach ?(mode = Raise) arena =
       cover = Hashtbl.create 256;
       tracked = Hashtbl.create 256;
       freed = Hashtbl.create 256;
-      pending_cov = [];
+      pending_cov = Hashtbl.create 8;
       commit_points = Hashtbl.create 16;
       red_flush = Hashtbl.create 64;
       red_fence = Hashtbl.create 64;

@@ -463,8 +463,11 @@ let fig8_right ?(n_records = 10_000) () =
    partition lock, readers are lock-free. *)
 let lookup_ratio thread = 20 + (thread * 60 / 7) mod 61
 
-let fig9_rewind ~threads ~ops_per_thread ~n_records =
-  let cfg = { Rewind.config_1l_nfp with variant = Log.Batch 8 } in
+let fig9_rewind ?(partitions = 1) ~threads ~ops_per_thread ~n_records () =
+  let cfg =
+    Rewind.with_partitions partitions
+      { Rewind.config_1l_nfp with variant = Log.Batch 8 }
+  in
   let arena = Arena.create ~size_bytes:(384 lsl 20) () in
   let alloc = Alloc.create arena in
   let tm = Tm.create ~cfg alloc ~root_slot in
@@ -533,14 +536,36 @@ let fig9 ?(ops_per_thread = 10_000) ?(n_records = 4_000) () =
                 (fig9_baseline
                    ~make:(fun () -> Stasis_like.create ())
                    ~threads ~ops_per_thread ~n_records);
-              Series.ns_to_s (fig9_rewind ~threads ~ops_per_thread ~n_records);
+              Series.ns_to_s (fig9_rewind ~threads ~ops_per_thread ~n_records ());
+              Series.ns_to_s
+                (fig9_rewind ~partitions:8 ~threads ~ops_per_thread ~n_records ());
             ];
         })
       [ 1; 2; 3; 4; 5; 6; 7; 8 ]
   in
   Series.make ~id:"fig9" ~title:"Multithreaded B+-tree logging"
     ~xlabel:"threads" ~ylabel:"processing time (s)"
-    ~series_names:[ "Shore-MT"; "BerkeleyDB"; "Stasis"; "REWIND-Batch" ] rows
+    ~series_names:
+      [ "Shore-MT"; "BerkeleyDB"; "Stasis"; "REWIND-Batch"; "REWIND-Batch-P8" ]
+    rows
+
+(* Partition scaling on its own: fixed thread count, varying partition
+   count (the {!Scaling_bench} workload rendered as a series). *)
+let scaling ?(threads = 8) ?(txns_per_thread = 400) () =
+  let results = Scaling_bench.run ~threads ~txns_per_thread () in
+  let rows =
+    List.map
+      (fun r ->
+        {
+          Series.x = float_of_int r.Scaling_bench.partitions;
+          ys = [ r.Scaling_bench.throughput_ops_per_s ];
+        })
+      results
+  in
+  Series.make ~id:"scaling" ~title:"Partitioned-log write scaling"
+    ~xlabel:"partitions" ~ylabel:"updates per simulated second"
+    ~series_names:[ Printf.sprintf "%d threads" threads ]
+    rows
 
 (* ------------------------------------------------------------------ *)
 (* Figure 10: memory-fence sensitivity                                  *)

@@ -1,0 +1,95 @@
+(* Partition-scaling benchmark: throughput of the partitioned log under
+   concurrent writers (Section 4.7 / the Figure 9 story), isolated from
+   the B+-tree.
+
+   Fixed thread count, varying partition count.  Each fiber runs short
+   write transactions against its private cells through one shared
+   manager; with one partition every append/commit serialises on the
+   single log latch, with [p] partitions concurrent transactions mostly
+   land on distinct partitions (round-robin by transaction id) and only
+   the LSN fetch — one atomic — is shared.  Simulated time, so results
+   are deterministic and the committed BENCH_scaling.json baseline is
+   machine-independent. *)
+
+open Rewind_nvm
+
+type result = {
+  threads : int;
+  partitions : int;
+  total_ops : int;  (** logged user updates across all threads *)
+  makespan_sim_ns : int;  (** slowest fiber's finish time *)
+  throughput_ops_per_s : float;  (** updates per simulated second *)
+}
+
+let cells_per_thread = 64
+
+let run_one ~threads ~partitions ~txns_per_thread ~writes_per_txn =
+  let arena = Arena.create ~size_bytes:(256 lsl 20) () in
+  let alloc = Alloc.create arena in
+  let cfg = Rewind.with_partitions partitions (Rewind.config_batch ()) in
+  let tm = Rewind.Tm.create ~cfg alloc ~root_slot:2 in
+  let cells =
+    Array.init (threads * cells_per_thread) (fun _ -> Alloc.alloc alloc 8)
+  in
+  let makespan =
+    Sim_threads.run ~threads ~ops_per_thread:txns_per_thread (fun t op ->
+        let txn = Rewind.Tm.begin_txn tm in
+        for i = 0 to writes_per_txn - 1 do
+          let c =
+            (t * cells_per_thread)
+            + (((op * writes_per_txn) + i) mod cells_per_thread)
+          in
+          Rewind.Tm.write tm txn ~addr:cells.(c)
+            ~value:(Int64.of_int (((t * 1000) + op) * 10 + i))
+        done;
+        Rewind.Tm.commit tm txn)
+  in
+  let total_ops = threads * txns_per_thread * writes_per_txn in
+  {
+    threads;
+    partitions;
+    total_ops;
+    makespan_sim_ns = makespan;
+    throughput_ops_per_s =
+      (if makespan = 0 then 0.
+       else float_of_int total_ops *. 1e9 /. float_of_int makespan);
+  }
+
+let default_partitions = [ 1; 2; 4; 8 ]
+
+let run ?(threads = 8) ?(partitions = default_partitions)
+    ?(txns_per_thread = 400) ?(writes_per_txn = 4) () =
+  List.map
+    (fun p -> run_one ~threads ~partitions:p ~txns_per_thread ~writes_per_txn)
+    partitions
+
+(* Throughput ratio of the largest partition count over the smallest —
+   the scaling headline (the CI gate expects >= 2x at 8 threads). *)
+let speedup results =
+  match (results, List.rev results) with
+  | first :: _, last :: _ when first.throughput_ops_per_s > 0. ->
+      last.throughput_ops_per_s /. first.throughput_ops_per_s
+  | _ -> 0.
+
+let pp_result ppf r =
+  Fmt.pf ppf
+    "threads=%d partitions=%d  %8d ops  makespan %a  %10.0f ops/sim-s"
+    r.threads r.partitions r.total_ops Clock.pp_ns r.makespan_sim_ns
+    r.throughput_ops_per_s
+
+let to_json results =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "[\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Printf.sprintf
+           "  {\"name\": \"scaling\", \"threads\": %d, \"partitions\": %d, \
+            \"total_ops\": %d, \"makespan_sim_ns\": %d, \
+            \"throughput_ops_per_s\": %.2f}"
+           r.threads r.partitions r.total_ops r.makespan_sim_ns
+           r.throughput_ops_per_s))
+    results;
+  Buffer.add_string b "\n]\n";
+  Buffer.contents b

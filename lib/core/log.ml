@@ -74,11 +74,17 @@ type t = {
       (* test-only fault: skip the group-persistence fence, leaving the
          batch slots written back but unordered — the bug class the
          persistency sanitizer exists to catch *)
+  mutable group_tag : int;
+      (* partition id stamped on this log's sanitizer annotations: each
+         partition's batch groups flush independently, so Group_persisted
+         events must say which partition's pending coverage upgrades *)
 }
 
 let variant t = t.variant
 let arena t = t.arena
 let allocator t = t.alloc
+let set_group_tag t g = t.group_tag <- g
+let group_tag t = t.group_tag
 
 let rd t off = Int64.to_int (Arena.read t.arena off)
 let wr_nt t off v = Arena.nt_write t.arena off (Int64.of_int v)
@@ -123,6 +129,7 @@ let create variant ?(bucket_cap = 1000) alloc ~root_slot =
       appended = 0;
       torn = 0;
       chaos_drop_group_fence = false;
+      group_tag = 0;
     }
   in
   (match variant with Simple -> () | Optimized | Batch _ -> ignore (new_bucket t));
@@ -147,7 +154,9 @@ let flush_group t =
       Pmcheck.expect_persisted t.arena ~addr:first ~len
         ~what:"batch group slots before last-persistent-index advance";
       wr_nt t (t.cur_bucket + b_idx) t.next_slot;
-      Pmcheck.group_persisted t.arena;
+      (let s = Arena.stats t.arena in
+       s.Stats.group_flushes <- s.Stats.group_flushes + 1);
+      Pmcheck.group_persisted ~group:t.group_tag t.arena;
       t.pending <- 0
   | _ -> ()
 
@@ -393,6 +402,40 @@ let iter_back t f =
                 f v
               end;
               decr i
+            end
+          done)
+
+(* Forward scan that also yields each record's removal handle, so a
+   caller can collect records from several log partitions, order them
+   globally (e.g. by LSN), and remove them one by one with
+   {!remove_handle} — each removal one atomic tombstone, exactly like
+   scan-based clearing.  The partitioned checkpoint uses this to keep
+   the clearing order global across partitions. *)
+let iter_h t f =
+  match t.variant with
+  | Simple ->
+      Adll.iter t.chain (fun n ->
+          charge_miss t;
+          f (Node n) (Adll.element t.chain n))
+  | Optimized | Batch _ ->
+      Adll.iter t.chain (fun node ->
+          let b = Adll.element t.chain node in
+          let bound = bucket_bound t b in
+          let i = ref 0 in
+          while !i < bound do
+            charge_seq t;
+            let off = slot_off b !i in
+            let v = rd t off in
+            if trusted_pair t ~off ~i:!i ~bound v then begin
+              f (Slot { node; bucket = b; slot = !i }) (Record.inline_ref off);
+              i := !i + 2
+            end
+            else begin
+              if live_record t v then begin
+                charge_miss t;
+                f (Slot { node; bucket = b; slot = !i }) v
+              end;
+              incr i
             end
           done)
 
@@ -747,6 +790,7 @@ let attach variant ?(bucket_cap = 1000) alloc ~root_slot =
         appended = 0;
         torn = 0;
         chaos_drop_group_fence = false;
+        group_tag = 0;
       }
     in
     (match variant with

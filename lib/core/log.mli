@@ -42,6 +42,14 @@ val variant : t -> variant
 val arena : t -> Rewind_nvm.Arena.t
 val allocator : t -> Rewind_nvm.Alloc.t
 
+val set_group_tag : t -> int -> unit
+(** Stamp this log's sanitizer annotations with a partition id: each
+    partition of a partitioned log flushes its batch groups
+    independently, so its [Group_persisted] events must name the
+    partition whose pending coverage upgrades.  Defaults to 0. *)
+
+val group_tag : t -> int
+
 (** {1 Appending} *)
 
 val append : ?is_end:bool -> t -> int -> unit
@@ -115,6 +123,14 @@ val appended : t -> int
 
 val iter : t -> (int -> unit) -> unit
 val iter_back : t -> (int -> unit) -> unit
+
+val iter_h : t -> (handle -> int -> unit) -> unit
+(** Like {!iter}, but also yields each live record's removal handle.
+    Callers that must clear records from several log partitions in a
+    single global order (the partitioned checkpoint) collect
+    [(sort key, handle)] pairs from every partition and then call
+    {!remove_handle} in the merged order.  The handles stay valid while
+    no other removal or compaction runs in between. *)
 
 val iter_back_while : t -> (int -> bool) -> unit
 (** Backward scan with early exit: stops when the callback returns

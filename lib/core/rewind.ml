@@ -33,6 +33,7 @@ type config = Tm.config = {
   variant : Log.variant;
   bucket_cap : int;
   lockfree_latch : bool;
+  partitions : int;
 }
 
 (* The paper's named configurations. *)
@@ -52,6 +53,9 @@ let config_batch ?(group = 8) () =
 (* Section 7 future work: the lock-free log variant. *)
 let config_lockfree ?(group = 8) () =
   { Tm.default_config with variant = Log.Batch group; lockfree_latch = true }
+
+(* Shard any configuration's log into [n] partitions (Section 4.7). *)
+let with_partitions n cfg = { cfg with partitions = n }
 
 let all_figure3_configs =
   [

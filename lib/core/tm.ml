@@ -13,7 +13,24 @@
 
    The log implementation (Simple / Optimized / Batch) is picked
    independently, giving the paper's Simple/Optimized/Batch REWIND
-   versions. *)
+   versions.
+
+   Partitioned logging (Section 4.7 / Section 5's multithreaded results):
+   the log can be sharded into [partitions] independent partitions, each a
+   full recoverable bucketed-ADLL log with its own latch, current-bucket
+   cursor, group-flush state and Batch last-persistent index — plus its
+   own two-layer AAVLT and transaction table.  A transaction is pinned to
+   a *home partition* by its id (round-robin), so the append fast path
+   touches only partition-local state; the LSN counter stays one process-
+   wide [Atomic], so a single global order over all records survives.
+   Recovery merges: analysis scans every partition (each rebuilding its
+   own transaction table), redo replays the union of records in global
+   LSN order (k-way merge by LSN across the partition streams), undo
+   walks each loser's back-chain within its home partition, and clearing
+   runs per partition.  The checkpoint clears settled transactions in
+   global LSN order with END records last *across* the merged set, which
+   preserves the repeat-history invariant a crash mid-clearing depends
+   on. *)
 
 open Rewind_nvm
 
@@ -28,6 +45,11 @@ type config = {
   lockfree_latch : bool;
       (* Section 7 future work: a lock-free log fast path — appends pay a
          CAS instead of serialising on the latch. *)
+  partitions : int;
+      (* independent log partitions (>= 1); transactions are pinned to a
+         home partition by id, and recovery merges the partitions by
+         LSN.  1 = the unpartitioned log of the paper's single-threaded
+         experiments. *)
 }
 
 let default_config =
@@ -37,13 +59,15 @@ let default_config =
     variant = Log.Optimized;
     bucket_cap = 1000;
     lockfree_latch = false;
+    partitions = 1;
   }
 
 let pp_config ppf c =
   Fmt.pf ppf "%s-%s/%a"
     (match c.layers with One_layer -> "1L" | Two_layer -> "2L")
     (match c.policy with Force -> "FP" | No_force -> "NFP")
-    Log.pp_variant c.variant
+    Log.pp_variant c.variant;
+  if c.partitions > 1 then Fmt.pf ppf "x%d" c.partitions
 
 type txn = int
 
@@ -64,17 +88,17 @@ let pp_recovery_report ppf r =
     r.records_scanned r.torn_truncated r.redo_applied r.txns_finished
     r.txns_undone
 
-type t = {
-  cfg : config;
-  alloc : Alloc.t;
-  arena : Arena.t;
+(* One log partition: a complete recoverable log plus the per-partition
+   transactional state that used to be process-global.  Everything a
+   transaction's fast path touches lives here, guarded by this
+   partition's latch alone. *)
+type part = {
+  pid : int;
   log : Log.t;  (* 1L: the user log; 2L: the AAVLT's internal log *)
   index : Avl_index.t option;  (* 2L only *)
   table : Txn_table.t;
   latch : Sim_mutex.t;
-  mutable next_txn : int;
-  next_lsn : int Atomic.t;  (* LSNs are handed out outside the latch *)
-  mutable ended : (int, unit) Hashtbl.t;  (* committed/rolled back, awaiting clearing *)
+  ended : (int, unit) Hashtbl.t;  (* committed/rolled back, awaiting clearing *)
   mutable deferred_deletes : (txn * int * int * int) list;
       (* txn, DELETE record lsn, addr, size *)
   mutable deferred : (int * bool) list;
@@ -83,6 +107,16 @@ type t = {
          model even a *cached* store may reach NVM at any moment, so these
          lines are pinned in the store buffer (visible to every load,
          never written back) until the group is durable. *)
+}
+
+type t = {
+  cfg : config;
+  alloc : Alloc.t;
+  arena : Arena.t;
+  parts : part array;
+  next_txn : int Atomic.t;
+  next_lsn : int Atomic.t;  (* one global counter: LSNs order records
+                               across all partitions *)
   mutable commits : int;
   mutable rollbacks : int;
   mutable last_recovery : recovery_report option;
@@ -94,23 +128,46 @@ type t = {
 (* Reserved txn id 0 belongs to the AAVLT's internal logging. *)
 let first_txn = 1
 
-let make_t cfg alloc log index =
+(* Each partition anchors its log at [root_slot + 2*pid] and its AAVLT
+   root at [root_slot + 2*pid + 1] — the layout a single-partition
+   manager has always used, repeated per partition. *)
+let part_log_slot ~root_slot pid = root_slot + (2 * pid)
+let part_index_slot ~root_slot pid = root_slot + (2 * pid) + 1
+
+let check_cfg cfg ~root_slot =
+  if cfg.partitions < 1 then
+    invalid_arg "Tm: config.partitions must be at least 1";
+  if part_index_slot ~root_slot (cfg.partitions - 1) >= 63 then
+    invalid_arg
+      (Printf.sprintf
+         "Tm: %d partitions at root slot %d exceed the arena's 63 root slots"
+         cfg.partitions root_slot)
+
+let make_latch cfg =
+  if cfg.lockfree_latch then
+    Sim_mutex.create ~acquire_ns:30 ~contention_free:true ()
+  else Sim_mutex.create ()
+
+let make_part cfg pid log index =
+  {
+    pid;
+    log;
+    index;
+    table = Txn_table.create ();
+    latch = make_latch cfg;
+    ended = Hashtbl.create 64;
+    deferred_deletes = [];
+    deferred = [];
+  }
+
+let make_t cfg alloc parts =
   {
     cfg;
     alloc;
     arena = Alloc.arena alloc;
-    log;
-    index;
-    table = Txn_table.create ();
-    latch =
-      (if cfg.lockfree_latch then
-         Sim_mutex.create ~acquire_ns:30 ~contention_free:true ()
-       else Sim_mutex.create ());
-    next_txn = first_txn;
+    parts;
+    next_txn = Atomic.make first_txn;
     next_lsn = Atomic.make 1;
-    ended = Hashtbl.create 64;
-    deferred_deletes = [];
-    deferred = [];
     commits = 0;
     rollbacks = 0;
     last_recovery = None;
@@ -119,20 +176,34 @@ let make_t cfg alloc log index =
   }
 
 let create ?(cfg = default_config) alloc ~root_slot =
-  let log = Log.create cfg.variant ~bucket_cap:cfg.bucket_cap alloc ~root_slot in
-  let index =
-    match cfg.layers with
-    | One_layer -> None
-    | Two_layer ->
-        let idx = Avl_index.create alloc ~ilog:log in
-        Arena.root_set (Alloc.arena alloc) (root_slot + 1)
-          (Int64.of_int (Avl_index.root_ptr idx));
-        Some idx
+  check_cfg cfg ~root_slot;
+  let arena = Alloc.arena alloc in
+  let parts =
+    Array.init cfg.partitions (fun pid ->
+        let log =
+          Log.create cfg.variant ~bucket_cap:cfg.bucket_cap alloc
+            ~root_slot:(part_log_slot ~root_slot pid)
+        in
+        Log.set_group_tag log pid;
+        let index =
+          match cfg.layers with
+          | One_layer -> None
+          | Two_layer ->
+              let idx = Avl_index.create alloc ~ilog:log in
+              Arena.root_set arena
+                (part_index_slot ~root_slot pid)
+                (Int64.of_int (Avl_index.root_ptr idx));
+              Some idx
+        in
+        make_part cfg pid log index)
   in
-  make_t cfg alloc log index
+  make_t cfg alloc parts
 
 let config t = t.cfg
-let log t = t.log
+let partitions t = Array.length t.parts
+let log t = t.parts.(0).log
+let logs t = Array.map (fun p -> p.log) t.parts
+let partition_appended t = Array.map (fun p -> Log.appended p.log) t.parts
 let commits t = t.commits
 let rollbacks t = t.rollbacks
 let set_probe t p = t.probe <- p
@@ -143,40 +214,49 @@ let hot_span t name f =
   match t.probe with
   | None -> f ()
   | Some p -> Probe.span p (Arena.stats t.arena) name f
-let active_transactions t = Txn_table.size t.table
+
+let active_transactions t =
+  Array.fold_left (fun acc p -> acc + Txn_table.size p.table) 0 t.parts
+
 let last_recovery t = t.last_recovery
 
 let fresh_lsn t = Atomic.fetch_and_add t.next_lsn 1
 
+(* A transaction's home partition, a pure function of its id: round-robin
+   over the partitions.  Deterministic, so recovery needs no pinning map —
+   a transaction's records are found exactly where logging put them. *)
+let home_partition t txn = (txn - first_txn) mod Array.length t.parts
+let home t txn = t.parts.(home_partition t txn)
+
 (* -- transaction begin -------------------------------------------------- *)
 
 let begin_txn t =
-  Sim_mutex.with_lock t.latch (fun () ->
-      let id = t.next_txn in
-      t.next_txn <- id + 1;
-      (match t.index with
-      | None -> ()  (* one-layer: no per-transaction state while logging *)
-      | Some _ ->
-          (* two-layer: the transaction table is maintained while logging *)
-          ignore (Txn_table.find_or_add t.table id));
-      id)
+  let id = Atomic.fetch_and_add t.next_txn 1 in
+  (match t.cfg.layers with
+  | One_layer -> ()  (* one-layer: no per-transaction state while logging *)
+  | Two_layer ->
+      (* two-layer: the transaction table is maintained while logging *)
+      let p = home t id in
+      Sim_mutex.with_lock p.latch (fun () ->
+          ignore (Txn_table.find_or_add p.table id)));
+  id
 
 (* -- logging ------------------------------------------------------------ *)
 
 (* Under Batch, pinned user stores are released as soon as their group is
    persistent (durably for Force, cached for No_force — by then the undo
    record is reachable, so a later eviction of the line is recoverable). *)
-let drain_deferred t =
-  if t.deferred <> [] && Log.pending t.log = 0 then begin
+let drain_deferred t p =
+  if p.deferred <> [] && Log.pending p.log = 0 then begin
     List.iter
       (fun (addr, durably) ->
         if durably then Arena.flush_line t.arena addr
         else Arena.unpin_line t.arena addr)
-      (List.rev t.deferred);
-    t.deferred <- []
+      (List.rev p.deferred);
+    p.deferred <- []
   end
 
-let user_write t addr v =
+let user_write t p addr v =
   let durably = t.cfg.policy = Force in
   match t.cfg.variant with
   | Log.Batch _ ->
@@ -187,23 +267,23 @@ let user_write t addr v =
          roll. *)
       Arena.pin_line t.arena addr;
       Arena.write t.arena addr v;
-      t.deferred <- (addr, durably) :: t.deferred;
-      drain_deferred t
+      p.deferred <- (addr, durably) :: p.deferred;
+      drain_deferred t p
   | Log.Simple | Log.Optimized ->
       (* The record and its slot are already durably reachable. *)
       if durably then Arena.nt_write t.arena addr v
       else Arena.write t.arena addr v
 
-(* Append a user record.  In two-layer mode the AAVLT indexes records by
-   their LSN (Section 3.4): every record becomes a tree node whose payload
-   is the record's address, inserted in one atomic AAVLT operation, and the
-   record is threaded onto its transaction's back-chain via the volatile
-   transaction table. *)
-let append_user_record t txn_id r ~is_end =
-  match t.index with
-  | None -> Log.append ~is_end t.log r
+(* Append a user record to [p].  In two-layer mode the AAVLT indexes
+   records by their LSN (Section 3.4): every record becomes a tree node
+   whose payload is the record's address, inserted in one atomic AAVLT
+   operation, and the record is threaded onto its transaction's back-chain
+   via the volatile transaction table. *)
+let append_user_record t p txn_id r ~is_end =
+  match p.index with
+  | None -> Log.append ~is_end p.log r
   | Some idx ->
-      let e = Txn_table.find_or_add t.table txn_id in
+      let e = Txn_table.find_or_add p.table txn_id in
       (* Chain before the record becomes reachable. *)
       Record.set_prev_same_txn t.arena r e.Txn_table.last_record;
       let lsn = Record.lsn t.arena r in
@@ -223,14 +303,17 @@ let append_user_record t txn_id r ~is_end =
    inline fast path: the record is two tagged slot words, encoded outside
    the latch and stored by the append itself — no allocation, no separate
    record line.  (Two-layer user records stay full: the AAVLT indexes
-   them by address and threads their back-chains.) *)
+   them by address and threads their back-chains.)  With a partitioned
+   log the latch taken here is the transaction's home-partition latch —
+   appends in different partitions never serialise against each other. *)
 let log_update t txn_id ~addr ~old_value ~new_value =
+  let p = home t txn_id in
   let lsn = fresh_lsn t in
   let inline =
-    match t.index with
+    match p.index with
     | Some _ -> None
     | None ->
-        if Log.inline_eligible t.log then
+        if Log.inline_eligible p.log then
           Record.inline_encode ~lsn ~txn:txn_id ~typ:Record.Update ~addr
             ~old_value ~new_value ~undo_next:0
         else None
@@ -242,16 +325,16 @@ let log_update t txn_id ~addr ~old_value ~new_value =
         Record.make t.alloc ~lsn ~txn:txn_id ~typ:Record.Update ~addr
           ~old_value ~new_value ~undo_next:0 ~prev_same_txn:0
   in
-  Sim_mutex.with_lock t.latch (fun () ->
+  Sim_mutex.with_lock p.latch (fun () ->
       (match inline with
-      | Some (w0, w1) -> ignore (Log.append_pair t.log ~txn:txn_id w0 w1)
-      | None -> append_user_record t txn_id r ~is_end:false);
+      | Some (w0, w1) -> ignore (Log.append_pair p.log ~txn:txn_id w0 w1)
+      | None -> append_user_record t p txn_id r ~is_end:false);
       (* WAL declaration: [addr] now has an undo record.  Under Batch the
          record may still sit in an unpersisted group ([Log.pending] > 0),
-         in which case the covered store must not reach NVM before
-         {!Pmcheck.group_persisted}. *)
-      Pmcheck.region_logged t.arena ~txn:txn_id ~addr ~len:8
-        ~durable:(Log.pending t.log = 0))
+         in which case the covered store must not reach NVM before the
+         {!Pmcheck.group_persisted} of this partition. *)
+      Pmcheck.region_logged ~group:p.pid t.arena ~txn:txn_id ~addr ~len:8
+        ~durable:(Log.pending p.log = 0))
 
 (* The paper's expanded-code pattern (Listing 2): log, then store. *)
 let write t txn_id ~addr ~value =
@@ -263,23 +346,26 @@ let write t txn_id ~addr ~value =
          (Section 4.7); the cached store itself needs no TM latch. *)
       Arena.write t.arena addr value
   | Force, _ | No_force, Log.Batch _ ->
-      (* The Batch deferral list is TM state: serialise it. *)
-      Sim_mutex.with_lock t.latch (fun () -> user_write t addr value)
+      (* The Batch deferral list is partition state: serialise on the
+         home latch. *)
+      let p = home t txn_id in
+      Sim_mutex.with_lock p.latch (fun () -> user_write t p addr value)
 
 let read t _txn_id ~addr = Arena.read t.arena addr
 
 (* Record an intention to free NVM; the de-allocation itself happens only
    once the transaction's outcome is settled (Section 4.3). *)
 let log_delete t txn_id ~addr ~size =
+  let p = home t txn_id in
   let lsn = fresh_lsn t in
   let r =
     Record.make t.alloc ~lsn ~txn:txn_id ~typ:Record.Delete ~addr
       ~old_value:(Int64.of_int size) ~new_value:0L ~undo_next:0
       ~prev_same_txn:0
   in
-  Sim_mutex.with_lock t.latch (fun () ->
-      append_user_record t txn_id r ~is_end:false;
-      t.deferred_deletes <- (txn_id, lsn, addr, size) :: t.deferred_deletes)
+  Sim_mutex.with_lock p.latch (fun () ->
+      append_user_record t p txn_id r ~is_end:false;
+      p.deferred_deletes <- (txn_id, lsn, addr, size) :: p.deferred_deletes)
 
 (* -- clearing ------------------------------------------------------------ *)
 
@@ -288,29 +374,29 @@ let record_typ t r = Record.typ t.arena r
 
 (* Remove one transaction's records; END last, so that an interrupted
    clearing is re-attempted identically after a crash (Section 4.6). *)
-let clear_txn_records t txn_id =
-  Log.remove_where t.log (fun r ->
+let clear_txn_records t p txn_id =
+  Log.remove_where p.log (fun r ->
       record_txn t r = txn_id && record_typ t r <> Record.End);
-  Log.remove_where t.log (fun r ->
+  Log.remove_where p.log (fun r ->
       record_txn t r = txn_id && record_typ t r = Record.End)
 
-let free_deferred_deletes t txn_id =
+let free_deferred_deletes t p txn_id =
   let mine, rest =
-    List.partition (fun (x, _, _, _) -> x = txn_id) t.deferred_deletes
+    List.partition (fun (x, _, _, _) -> x = txn_id) p.deferred_deletes
   in
   List.iter (fun (_, _, addr, size) -> Alloc.free t.alloc addr size) mine;
-  t.deferred_deletes <- rest
+  p.deferred_deletes <- rest
 
-let drop_deferred_deletes t txn_id =
-  t.deferred_deletes <-
-    List.filter (fun (x, _, _, _) -> x <> txn_id) t.deferred_deletes
+let drop_deferred_deletes _t p txn_id =
+  p.deferred_deletes <-
+    List.filter (fun (x, _, _, _) -> x <> txn_id) p.deferred_deletes
 
 (* Two-layer clearing of one settled transaction: walk its back-chain and
    delete each record's tree node, oldest first — so the END record (the
    newest) goes last, and an interrupted clearing is re-attempted
    identically after a crash (Section 4.6). *)
-let clear_txn_index t idx txn_id =
-  match Txn_table.find t.table txn_id with
+let clear_txn_index t p idx txn_id =
+  match Txn_table.find p.table txn_id with
   | None -> ()
   | Some e ->
       let rec collect r acc =
@@ -323,67 +409,70 @@ let clear_txn_index t idx txn_id =
           ignore (Avl_index.remove idx (Record.lsn t.arena r));
           Record.free t.alloc r)
         oldest_first;
-      Txn_table.remove t.table txn_id
+      Txn_table.remove p.table txn_id
 
 (* -- commit --------------------------------------------------------------- *)
 
-let append_end t txn_id =
-  match t.index with
+let append_end t p txn_id =
+  match p.index with
   | None ->
       (* One-layer END records carry no payload and always fit inline. *)
       ignore
-        (Log.append_record ~is_end:true t.log ~lsn:(fresh_lsn t) ~txn:txn_id
+        (Log.append_record ~is_end:true p.log ~lsn:(fresh_lsn t) ~txn:txn_id
            ~typ:Record.End ~addr:0 ~old_value:0L ~new_value:0L ~undo_next:0)
   | Some _ ->
       let r =
         Record.make t.alloc ~lsn:(fresh_lsn t) ~txn:txn_id ~typ:Record.End
           ~addr:0 ~old_value:0L ~new_value:0L ~undo_next:0 ~prev_same_txn:0
       in
-      append_user_record t txn_id r ~is_end:true
+      append_user_record t p txn_id r ~is_end:true
 
 (* [clear] exists for experiments that model a crash landing between the
    END record and commit-time clearing (Sections 5.1's recovery scenarios);
    production callers leave it true. *)
 let commit ?(clear = true) t txn_id =
   hot_span t "commit" @@ fun () ->
-  Sim_mutex.with_lock t.latch (fun () ->
+  let p = home t txn_id in
+  Sim_mutex.with_lock p.latch (fun () ->
       t.commits <- t.commits + 1;
       (match t.cfg.policy with
       | Force ->
           (* All of the transaction's stores are already on their way to
              NVM; fence, log END, and clear immediately. *)
-          Log.flush_group t.log;
-          drain_deferred t;
+          Log.flush_group p.log;
+          drain_deferred t p;
           Arena.fence t.arena;
-          append_end t txn_id;
+          append_end t p txn_id;
           if clear then begin
-            (match t.index with
-            | None -> clear_txn_records t txn_id
-            | Some idx -> clear_txn_index t idx txn_id);
-            free_deferred_deletes t txn_id
+            (match p.index with
+            | None -> clear_txn_records t p txn_id
+            | Some idx -> clear_txn_index t p idx txn_id);
+            free_deferred_deletes t p txn_id
           end
       | No_force ->
           (* The END record forces the batch group; buffered stores can
              then reach the (volatile) cache. *)
-          append_end t txn_id;
-          drain_deferred t;
-          Hashtbl.replace t.ended txn_id ());
+          append_end t p txn_id;
+          drain_deferred t p;
+          Hashtbl.replace p.ended txn_id ());
       Pmcheck.txn_settled t.arena ~txn:txn_id)
 
 (* -- rollback -------------------------------------------------------------- *)
 
 (* Write a CLR recording the undo of [rec], then apply the undo.  The CLR's
    new value is the restored (old) value; [undo_next] carries the undone
-   record's LSN so that Algorithm 2 can skip past it after a crash. *)
-let undo_one t txn_id rec_ ~durably =
+   record's LSN so that Algorithm 2 can skip past it after a crash.  The
+   CLR lands in the transaction's home partition, like every record of the
+   transaction. *)
+let undo_one t p txn_id rec_ ~durably =
   let addr = Record.addr t.arena rec_ in
   let restored = Record.old_value t.arena rec_ in
-  (match t.index with
+  (match p.index with
   | None ->
       (* A CLR's old value is write-only (never read by redo or undo), so
          the compact format drops it; small restores go inline. *)
       ignore
-        (Log.append_record ~is_end:durably t.log ~lsn:(fresh_lsn t)
+        (Log.append_record ~is_end:durably p.log ~lsn:(fresh_lsn t)
            ~txn:txn_id ~typ:Record.Clr ~addr
            ~old_value:(Record.new_value t.arena rec_) ~new_value:restored
            ~undo_next:(Record.lsn t.arena rec_))
@@ -394,25 +483,27 @@ let undo_one t txn_id rec_ ~durably =
           ~old_value:(Record.new_value t.arena rec_) ~new_value:restored
           ~undo_next:(Record.lsn t.arena rec_) ~prev_same_txn:0
       in
-      append_user_record t txn_id clr ~is_end:durably);
-  Pmcheck.region_logged t.arena ~txn:txn_id ~addr ~len:8
-    ~durable:(Log.pending t.log = 0);
+      append_user_record t p txn_id clr ~is_end:durably);
+  Pmcheck.region_logged ~group:p.pid t.arena ~txn:txn_id ~addr ~len:8
+    ~durable:(Log.pending p.log = 0);
   (* Route the restore through the same WAL-ordered store path as forward
      writes: under Batch it must stay buffered behind the CLR's group (and
      behind any still-pending forward store to the same line). *)
-  user_write t addr restored
+  user_write t p addr restored
 
-let rollback_one_layer t txn_id =
-  (* One-layer: no per-transaction chain — a full backward scan skipping
-     other transactions' records (the "skip records" of Section 5.1). *)
+let rollback_one_layer t p txn_id =
+  (* One-layer: no per-transaction chain — a full backward scan of the
+     home partition skipping other transactions' records (the "skip
+     records" of Section 5.1).  Every record of [txn_id] lives in its
+     home partition, so other partitions need not be scanned. *)
   let durably = t.cfg.policy = Force in
-  Log.iter_back t.log (fun r ->
+  Log.iter_back p.log (fun r ->
       if record_txn t r = txn_id && record_typ t r = Record.Update then
-        undo_one t txn_id r ~durably)
+        undo_one t p txn_id r ~durably)
 
-let rollback_two_layer t idx txn_id =
+let rollback_two_layer t p idx txn_id =
   let durably = t.cfg.policy = Force in
-  match Txn_table.find t.table txn_id with
+  match Txn_table.find p.table txn_id with
   | None -> ()
   | Some e ->
       let rec go r =
@@ -420,7 +511,8 @@ let rollback_two_layer t idx txn_id =
           let next = Record.prev_same_txn t.arena r in
           (* each record is retrieved through the AAVLT (Section 4.4) *)
           ignore (Avl_index.find idx (Record.lsn t.arena r));
-          (if record_typ t r = Record.Update then undo_one t txn_id r ~durably);
+          (if record_typ t r = Record.Update then
+             undo_one t p txn_id r ~durably);
           go next
         end
       in
@@ -439,15 +531,16 @@ type savepoint = int
 let savepoint t _txn_id = Atomic.get t.next_lsn
 
 let rollback_to t txn_id (sp : savepoint) =
-  Sim_mutex.with_lock t.latch (fun () ->
+  let p = home t txn_id in
+  Sim_mutex.with_lock p.latch (fun () ->
       let durably = t.cfg.policy = Force in
-      (match t.index with
+      (match p.index with
       | None ->
           (* Backward scan with the Algorithm-2 bound so repeated partial
              rollbacks never re-undo compensated updates; stop at the
              first of this transaction's records below the savepoint. *)
           let bound = ref max_int in
-          Log.iter_back_while t.log (fun r ->
+          Log.iter_back_while p.log (fun r ->
               if record_txn t r <> txn_id then true
               else
                 let lsn = Record.lsn t.arena r in
@@ -456,14 +549,14 @@ let rollback_to t txn_id (sp : savepoint) =
                   (match record_typ t r with
                   | Record.Clr -> bound := Record.undo_next t.arena r
                   | Record.Update ->
-                      if lsn < !bound then undo_one t txn_id r ~durably
+                      if lsn < !bound then undo_one t p txn_id r ~durably
                   | Record.End | Record.Checkpoint | Record.Delete
                   | Record.Rollback ->
                       ());
                   true
                 end)
       | Some idx -> (
-          match Txn_table.find t.table txn_id with
+          match Txn_table.find p.table txn_id with
           | None -> ()
           | Some e ->
               let bound = ref max_int in
@@ -477,7 +570,7 @@ let rollback_to t txn_id (sp : savepoint) =
                     | Record.Update ->
                         if lsn < !bound then begin
                           ignore (Avl_index.find idx lsn);
-                          undo_one t txn_id r ~durably
+                          undo_one t p txn_id r ~durably
                         end
                     | Record.End | Record.Checkpoint | Record.Delete
                     | Record.Rollback ->
@@ -488,163 +581,320 @@ let rollback_to t txn_id (sp : savepoint) =
               in
               go e.Txn_table.last_record));
       (* deferred de-allocations requested after the savepoint are void *)
-      t.deferred_deletes <-
+      p.deferred_deletes <-
         List.filter
           (fun (x, lsn, _, _) -> x <> txn_id || lsn < sp)
-          t.deferred_deletes)
+          p.deferred_deletes)
 
 let rollback t txn_id =
-  Sim_mutex.with_lock t.latch (fun () ->
+  let p = home t txn_id in
+  Sim_mutex.with_lock p.latch (fun () ->
       t.rollbacks <- t.rollbacks + 1;
       (* Settle any deferred (Batch) user stores *before* undoing, or a
          stale pending store could overwrite a restored value. *)
-      Log.flush_group t.log;
-      drain_deferred t;
-      (match t.index with
-      | None -> rollback_one_layer t txn_id
-      | Some idx -> rollback_two_layer t idx txn_id);
-      Log.flush_group t.log;
-      append_end t txn_id;
-      drain_deferred t;
-      drop_deferred_deletes t txn_id;
+      Log.flush_group p.log;
+      drain_deferred t p;
+      (match p.index with
+      | None -> rollback_one_layer t p txn_id
+      | Some idx -> rollback_two_layer t p idx txn_id);
+      Log.flush_group p.log;
+      append_end t p txn_id;
+      drain_deferred t p;
+      drop_deferred_deletes t p txn_id;
       (match t.cfg.policy with
       | Force -> (
-          match t.index with
-          | None -> clear_txn_records t txn_id
-          | Some idx -> clear_txn_index t idx txn_id)
-      | No_force -> Hashtbl.replace t.ended txn_id ());
+          match p.index with
+          | None -> clear_txn_records t p txn_id
+          | Some idx -> clear_txn_index t p idx txn_id)
+      | No_force -> Hashtbl.replace p.ended txn_id ());
       Pmcheck.txn_settled t.arena ~txn:txn_id)
 
 (* -- checkpoint (Section 4.6) ---------------------------------------------- *)
 
+(* Acquire every partition latch in index order (deadlock-free: the
+   transaction fast paths only ever hold a single latch). *)
+let rec with_all_latches t i f =
+  if i >= Array.length t.parts then f ()
+  else
+    Sim_mutex.with_lock t.parts.(i).latch (fun () ->
+        with_all_latches t (i + 1) f)
+
 let checkpoint t =
   hot_span t "checkpoint" @@ fun () ->
-  Sim_mutex.with_lock t.latch (fun () ->
+  with_all_latches t 0 (fun () ->
       hot_span t "cp-persist" (fun () ->
-          (* Persist the batch cursor first: otherwise flushed user data
-             could refer to untrusted log slots after a crash. *)
-          Log.flush_group t.log;
-          drain_deferred t;
-          (* CHECKPOINT record marks the durable point, inserted before
-             the cache flush. *)
-          let cp =
-            Record.make t.alloc ~lsn:(fresh_lsn t) ~txn:0
-              ~typ:Record.Checkpoint ~addr:0 ~old_value:0L ~new_value:0L
-              ~undo_next:0 ~prev_same_txn:0
+          (* Persist every partition's batch cursor first: otherwise
+             flushed user data could refer to untrusted log slots after a
+             crash.  Each partition then gets its own CHECKPOINT record
+             marking the durable point, inserted before the cache
+             flush. *)
+          let cps =
+            Array.map
+              (fun p ->
+                Log.flush_group p.log;
+                drain_deferred t p;
+                let cp =
+                  Record.make t.alloc ~lsn:(fresh_lsn t) ~txn:0
+                    ~typ:Record.Checkpoint ~addr:0 ~old_value:0L
+                    ~new_value:0L ~undo_next:0 ~prev_same_txn:0
+                in
+                Log.append ~is_end:true p.log cp;
+                cp)
+              t.parts
           in
-          Log.append ~is_end:true t.log cp;
           Arena.flush_all t.arena;
           Arena.fence t.arena;
-          (* Section 4.6: the CHECKPOINT record and every user update are
+          (* Section 4.6: the CHECKPOINT records and every user update are
              now durable; clearing may begin. *)
-          Pmcheck.expect_persisted t.arena ~addr:cp ~len:Record.size_bytes
-            ~what:"checkpoint record before log clearing");
+          Array.iter
+            (fun cp ->
+              Pmcheck.expect_persisted t.arena ~addr:cp ~len:Record.size_bytes
+                ~what:"checkpoint record before log clearing")
+            cps);
       hot_span t "cp-clear" (fun () ->
-      (* Clear settled transactions, END records last. *)
-      let settled = Hashtbl.fold (fun id () acc -> id :: acc) t.ended [] in
-      (match t.index with
-      | None ->
-          let is_settled r = Hashtbl.mem t.ended (record_txn t r) in
-          Log.remove_where t.log (fun r ->
-              is_settled r && record_typ t r <> Record.End);
-          Log.remove_where t.log (fun r ->
-              is_settled r && record_typ t r = Record.End)
-      | Some idx ->
-          (* Remove the settled transactions' records in *global* LSN
-             order, END records last — the order the one-layer path gets
-             for free from its forward scans.  Clearing transaction by
-             transaction (in whatever order the [ended] table yields)
-             breaks repeat history: a crash mid-clearing can leave
-             transaction A's old update in the log after transaction B's
-             newer committed update to the same word was already removed,
-             and the redo pass then resurrects the stale value. *)
-          let records = ref [] in
-          List.iter
-            (fun id ->
-              match Txn_table.find t.table id with
-              | None -> ()
-              | Some e ->
-                  let rec collect r =
-                    if r <> 0 then begin
-                      records := (Record.lsn t.arena r, r) :: !records;
-                      collect (Record.prev_same_txn t.arena r)
-                    end
-                  in
-                  collect e.Txn_table.last_record)
-            settled;
-          let oldest_first = List.sort compare !records in
-          let remove (lsn, r) =
-            ignore (Avl_index.remove idx lsn);
-            Record.free t.alloc r
-          in
-          let ends, others =
-            List.partition (fun (_, r) -> record_typ t r = Record.End)
-              oldest_first
-          in
-          List.iter remove others;
-          List.iter remove ends;
-          List.iter (fun id -> Txn_table.remove t.table id) settled);
-      List.iter (fun id -> free_deferred_deletes t id) settled;
-      Hashtbl.reset t.ended;
-      (* The checkpoint record has served its purpose. *)
-      Log.remove_where t.log (fun r -> record_typ t r = Record.Checkpoint));
-      (* Compact if clearing left the buckets mostly gaps (long-running
-         transactions spanning otherwise-empty buckets, Section 3.3). *)
-      hot_span t "cp-compact" (fun () -> Log.compact ~threshold:0.25 t.log))
+          (* Clear settled transactions in *global* LSN order, END records
+             last, across every partition.  Clearing per partition (or
+             transaction by transaction, in whatever order the [ended]
+             tables yield) breaks repeat history: a crash mid-clearing can
+             leave transaction A's old update in one partition's log after
+             transaction B's newer committed update to the same word was
+             already removed from another's, and the redo pass then
+             resurrects the stale value.  Each removal is one atomic
+             tombstone, so a crash leaves exactly a *prefix* of the
+             global-LSN-ordered removal sequence applied. *)
+          let settled p = Hashtbl.fold (fun id () acc -> id :: acc) p.ended [] in
+          (match t.cfg.layers with
+          | One_layer ->
+              let victims = ref [] in
+              Array.iter
+                (fun p ->
+                    Log.iter_h p.log (fun h r ->
+                        let x = record_txn t r in
+                        if x <> 0 && Hashtbl.mem p.ended x then
+                          victims :=
+                            ( Record.lsn t.arena r,
+                              record_typ t r = Record.End,
+                              p,
+                              h )
+                            :: !victims))
+                t.parts;
+              let oldest_first =
+                List.sort
+                  (fun (l1, _, _, _) (l2, _, _, _) -> compare l1 l2)
+                  !victims
+              in
+              List.iter
+                (fun (_, is_end, p, h) ->
+                  if not is_end then Log.remove_handle p.log h)
+                oldest_first;
+              List.iter
+                (fun (_, is_end, p, h) ->
+                  if is_end then Log.remove_handle p.log h)
+                oldest_first
+          | Two_layer ->
+              let records = ref [] in
+              Array.iter
+                (fun p ->
+                  match p.index with
+                  | None -> ()
+                  | Some idx ->
+                      List.iter
+                        (fun id ->
+                          match Txn_table.find p.table id with
+                          | None -> ()
+                          | Some e ->
+                              let rec collect r =
+                                if r <> 0 then begin
+                                  records :=
+                                    (Record.lsn t.arena r, r, p, idx)
+                                    :: !records;
+                                  collect (Record.prev_same_txn t.arena r)
+                                end
+                              in
+                              collect e.Txn_table.last_record)
+                        (settled p))
+                t.parts;
+              let oldest_first =
+                List.sort (fun (l1, _, _, _) (l2, _, _, _) -> compare l1 l2)
+                  !records
+              in
+              let remove (lsn, r, _, idx) =
+                ignore (Avl_index.remove idx lsn);
+                Record.free t.alloc r
+              in
+              let ends, others =
+                List.partition
+                  (fun (_, r, _, _) -> record_typ t r = Record.End)
+                  oldest_first
+              in
+              List.iter remove others;
+              List.iter remove ends;
+              Array.iter
+                (fun p ->
+                  List.iter
+                    (fun id -> Txn_table.remove p.table id)
+                    (settled p))
+                t.parts);
+          Array.iter
+            (fun p ->
+              List.iter (fun id -> free_deferred_deletes t p id) (settled p);
+              Hashtbl.reset p.ended;
+              (* The checkpoint record has served its purpose. *)
+              Log.remove_where p.log (fun r ->
+                  record_typ t r = Record.Checkpoint))
+            t.parts);
+      (* Compact any partition that clearing left mostly gaps
+         (long-running transactions spanning otherwise-empty buckets,
+         Section 3.3). *)
+      hot_span t "cp-compact" (fun () ->
+          Array.iter (fun p -> Log.compact ~threshold:0.25 p.log) t.parts))
 
 (* -- recovery (Section 4.5) -------------------------------------------------- *)
 
-(* Analysis for one-layer logging: reconstruct the transaction table with a
-   forward scan to the point of failure.  Returns (records scanned,
-   transactions found finished). *)
-let analysis_one_layer t =
-  Txn_table.clear t.table;
+(* Per-partition sub-span: with one partition the phase totals are the
+   whole story (and the pinned profile shape stays exactly as before);
+   with several, each partition's share appears as "phase/pN". *)
+let part_span t prof name p f =
+  if Array.length t.parts > 1 then
+    Probe.span prof (Arena.stats t.arena) (Printf.sprintf "%s/p%d" name p.pid) f
+  else f ()
+
+(* K-way merge of per-partition [(lsn, payload)] streams, each ascending
+   by LSN, into one globally ascending list.  The streams are small in
+   number (the partition count), so a linear scan of the heads per pop is
+   cheaper than a heap at this size. *)
+let merge_ascending streams =
+  let n = Array.length streams in
+  let out = ref [] in
+  let exhausted = ref false in
+  while not !exhausted do
+    let best = ref (-1) and best_lsn = ref max_int in
+    for i = 0 to n - 1 do
+      match streams.(i) with
+      | (l, _) :: _ when l < !best_lsn ->
+          best := i;
+          best_lsn := l
+      | _ -> ()
+    done;
+    if !best < 0 then exhausted := true
+    else
+      match streams.(!best) with
+      | entry :: rest ->
+          streams.(!best) <- rest;
+          out := entry :: !out
+      | [] -> assert false
+  done;
+  List.rev !out
+
+(* One partition's live records as an ascending-by-LSN stream.  Append
+   order within a partition is *almost* LSN order — LSNs are fetched from
+   the global counter outside the latch, so two concurrent appends into
+   the same partition can land inverted — hence the per-stream sort
+   (cheap on nearly-sorted input) before the k-way merge relies on it. *)
+let part_stream t p =
+  let acc = ref [] in
+  Log.iter p.log (fun r -> acc := (Record.lsn t.arena r, r) :: !acc);
+  List.sort (fun (l1, _) (l2, _) -> compare l1 l2) !acc
+
+(* The union of every partition's records in global LSN order — the
+   stream the merged redo pass replays.  Exposed for the property test
+   that merged redo order equals global LSN order. *)
+let merged_log_records t =
+  match t.cfg.layers with
+  | One_layer ->
+      List.map snd (merge_ascending (Array.map (part_stream t) t.parts))
+  | Two_layer ->
+      let streams =
+        Array.map
+          (fun p ->
+            match p.index with
+            | None -> []
+            | Some idx ->
+                let acc = ref [] in
+                Avl_index.iter idx (fun n ->
+                    let r = Avl_index.head_record idx n in
+                    acc := (Record.lsn t.arena r, r) :: !acc);
+                List.rev !acc)
+          t.parts
+      in
+      List.map snd (merge_ascending streams)
+
+(* Analysis for one-layer logging: reconstruct each partition's
+   transaction table with a forward scan of that partition to the point
+   of failure (a transaction's records all live in its home partition).
+   The LSN and transaction-id high-water marks are global maxima over
+   every partition.  Returns (records scanned, transactions found
+   finished). *)
+let analysis_one_layer t prof =
   let max_lsn = ref 0 and max_txn = ref 0 and scanned = ref 0 in
-  Log.iter t.log (fun r ->
-      incr scanned;
-      let lsn = Record.lsn t.arena r in
-      if lsn > !max_lsn then max_lsn := lsn;
-      let x = record_txn t r in
-      if x > !max_txn then max_txn := x;
-      if x <> 0 then begin
-        let e = Txn_table.find_or_add t.table x in
-        e.Txn_table.last_record <- r;
-        match record_typ t r with
-        | Record.End -> e.Txn_table.status <- Txn_table.Finished
-        | Record.Rollback -> e.Txn_table.status <- Txn_table.Aborted
-        | Record.Update | Record.Clr | Record.Delete | Record.Checkpoint -> ()
-      end);
+  Array.iter
+    (fun p ->
+      part_span t prof "analysis" p @@ fun () ->
+      Txn_table.clear p.table;
+      Log.iter p.log (fun r ->
+          incr scanned;
+          let lsn = Record.lsn t.arena r in
+          if lsn > !max_lsn then max_lsn := lsn;
+          let x = record_txn t r in
+          if x > !max_txn then max_txn := x;
+          if x <> 0 then begin
+            let e = Txn_table.find_or_add p.table x in
+            e.Txn_table.last_record <- r;
+            match record_typ t r with
+            | Record.End -> e.Txn_table.status <- Txn_table.Finished
+            | Record.Rollback -> e.Txn_table.status <- Txn_table.Aborted
+            | Record.Update | Record.Clr | Record.Delete | Record.Checkpoint
+              ->
+                ()
+          end))
+    t.parts;
   Atomic.set t.next_lsn (!max_lsn + 1);
-  t.next_txn <- max !max_txn t.next_txn + 1;
+  (let cur = Atomic.get t.next_txn in
+   if !max_txn + 1 > cur then Atomic.set t.next_txn (!max_txn + 1));
   let finished = ref 0 in
-  Txn_table.iter t.table (fun e ->
-      if e.Txn_table.status = Txn_table.Finished then incr finished);
+  Array.iter
+    (fun p ->
+      Txn_table.iter p.table (fun e ->
+          if e.Txn_table.status = Txn_table.Finished then incr finished))
+    t.parts;
   (!scanned, !finished)
 
-(* Redo phase (no-force only): repeat history forward.  Physical redo is
-   idempotent, so a crash during recovery just restarts it.  Returns the
-   number of records re-applied. *)
+(* Redo phase (no-force only): repeat history forward in *global* LSN
+   order — the k-way merge over the partition streams.  Replaying each
+   partition independently would be wrong the moment two transactions in
+   different partitions updated the same word: the replay order must be
+   the LSN order, which is cross-partition.  Physical redo is idempotent,
+   so a crash during recovery just restarts it.  Returns the number of
+   records re-applied. *)
 let redo_one_layer t =
   let applied = ref 0 in
-  Log.iter t.log (fun r ->
+  List.iter
+    (fun r ->
       match record_typ t r with
       | Record.Update | Record.Clr ->
           incr applied;
-          Arena.write t.arena (Record.addr t.arena r) (Record.new_value t.arena r)
-      | Record.End | Record.Checkpoint | Record.Delete | Record.Rollback -> ());
+          Arena.write t.arena (Record.addr t.arena r)
+            (Record.new_value t.arena r)
+      | Record.End | Record.Checkpoint | Record.Delete | Record.Rollback -> ())
+    (merged_log_records t);
   !applied
 
-(* Undo phase: Algorithm 2 — a single backward scan undoing every
-   unfinished transaction, tracking per-transaction CLR bounds so that
-   already-undone updates are skipped.  Returns the number of losers. *)
+(* Undo phase: Algorithm 2 — a single backward scan in descending global
+   LSN order (the reversed merge) undoing every unfinished transaction,
+   tracking per-transaction CLR bounds so that already-undone updates are
+   skipped.  Each CLR lands in its transaction's home partition.  Returns
+   the number of losers. *)
 let undo_one_layer t =
   let durably = t.cfg.policy = Force in
   let undo_map : (int, int) Hashtbl.t = Hashtbl.create 16 in
   let to_mark_rollback = Hashtbl.create 16 in
-  Log.iter_back t.log (fun r ->
+  let descending = List.rev (merged_log_records t) in
+  List.iter
+    (fun r ->
       let x = record_txn t r in
       if x <> 0 then
-        match Txn_table.find t.table x with
+        let p = home t x in
+        match Txn_table.find p.table x with
         | None -> ()
         | Some e -> (
             match e.Txn_table.status with
@@ -668,25 +918,30 @@ let undo_one_layer t =
                       | Some bound -> Record.lsn t.arena r >= bound
                       | None -> false
                     in
-                    if not skip then undo_one t x r ~durably
+                    if not skip then undo_one t p x r ~durably
                 | Record.End | Record.Checkpoint | Record.Delete
                 | Record.Rollback ->
-                    ())));
-  (* END records for every transaction we just settled *)
+                    ())))
+    descending;
+  (* END records for every transaction we just settled, appended to each
+     loser's home partition *)
   let losers = ref 0 in
-  Txn_table.iter t.table (fun e ->
-      if e.Txn_table.status <> Txn_table.Finished then begin
-        incr losers;
-        (if Hashtbl.mem to_mark_rollback e.Txn_table.id then
-           let r =
-             Record.make t.alloc ~lsn:(fresh_lsn t) ~txn:e.Txn_table.id
-               ~typ:Record.Rollback ~addr:0 ~old_value:0L ~new_value:0L
-               ~undo_next:0 ~prev_same_txn:0
-           in
-           Log.append t.log r);
-        append_end t e.Txn_table.id;
-        e.Txn_table.status <- Txn_table.Finished
-      end);
+  Array.iter
+    (fun p ->
+      Txn_table.iter p.table (fun e ->
+          if e.Txn_table.status <> Txn_table.Finished then begin
+            incr losers;
+            (if Hashtbl.mem to_mark_rollback e.Txn_table.id then
+               let r =
+                 Record.make t.alloc ~lsn:(fresh_lsn t) ~txn:e.Txn_table.id
+                   ~typ:Record.Rollback ~addr:0 ~old_value:0L ~new_value:0L
+                   ~undo_next:0 ~prev_same_txn:0
+               in
+               Log.append p.log r);
+            append_end t p e.Txn_table.id;
+            e.Txn_table.status <- Txn_table.Finished
+          end))
+    t.parts;
   !losers
 
 (* Checksum gate used by two-layer recovery before a tree-indexed record
@@ -697,31 +952,46 @@ let record_intact t r =
   && r + Record.size_bytes <= Arena.size t.arena
   && Record.verify t.arena r
 
-(* Two-layer analysis + undo: the AAVLT *is* the durable transaction table. *)
-(* Two-layer recovery: the AAVLT's in-order traversal *is* the LSN-ordered
-   log.  Analysis rebuilds the transaction table from the per-transaction
-   back-chains; redo (no-force) repeats history in LSN order; undo walks
-   each unfinished transaction's chain with the Algorithm-2 CLR bound.
-   Records failing their checksum are torn writes: they are dropped from
-   analysis/redo, and a chain walk stops at the first torn link. *)
-let recover_two_layer t idx prof =
+(* Two-layer analysis + undo: the AAVLTs *are* the durable transaction
+   tables, one per partition. *)
+(* Two-layer recovery: each partition's AAVLT in-order traversal is that
+   partition's LSN-ordered record stream; the k-way merge of the streams
+   is the *global* LSN order.  Analysis rebuilds each partition's
+   transaction table from the merged stream (each transaction's records
+   land in its home table); redo (no-force) repeats history in merged
+   LSN order; undo walks each unfinished transaction's chain within its
+   home partition with the Algorithm-2 CLR bound.  Records failing their
+   checksum are torn writes: they are dropped from analysis/redo, and a
+   chain walk stops at the first torn link. *)
+let recover_two_layer t prof =
   let pstats = Arena.stats t.arena in
-  Txn_table.clear t.table;
+  Array.iter (fun p -> Txn_table.clear p.table) t.parts;
   let torn = ref 0 in
   let count_torn () =
     incr torn;
     let s = Arena.stats t.arena in
     s.Stats.torn_records <- s.Stats.torn_records + 1
   in
-  (* analysis: in-order traversal gives records in ascending LSN *)
+  (* analysis: per-partition in-order traversals, merged by LSN *)
   let ascending, finished =
     Probe.span prof pstats "analysis" @@ fun () ->
-    let descending = ref [] in
-    Avl_index.iter idx (fun n ->
-        let r = Avl_index.head_record idx n in
-        if record_intact t r then descending := r :: !descending
-        else count_torn ());
-    let ascending = List.rev !descending in
+    let streams =
+      Array.map
+        (fun p ->
+          part_span t prof "analysis" p @@ fun () ->
+          match p.index with
+          | None -> []
+          | Some idx ->
+              let descending = ref [] in
+              Avl_index.iter idx (fun n ->
+                  let r = Avl_index.head_record idx n in
+                  if record_intact t r then
+                    descending := (Record.lsn t.arena r, r) :: !descending
+                  else count_torn ());
+              List.rev !descending)
+        t.parts
+    in
+    let ascending = List.map snd (merge_ascending streams) in
     let max_lsn = ref 0 and max_txn = ref 0 in
     List.iter
       (fun r ->
@@ -730,7 +1000,7 @@ let recover_two_layer t idx prof =
         let x = record_txn t r in
         if x > !max_txn then max_txn := x;
         if x <> 0 then begin
-          let e = Txn_table.find_or_add t.table x in
+          let e = Txn_table.find_or_add (home t x).table x in
           e.Txn_table.last_record <- r;
           match record_typ t r with
           | Record.End -> e.Txn_table.status <- Txn_table.Finished
@@ -740,13 +1010,17 @@ let recover_two_layer t idx prof =
         end)
       ascending;
     Atomic.set t.next_lsn (!max_lsn + 1);
-    t.next_txn <- max !max_txn t.next_txn + 1;
+    (let cur = Atomic.get t.next_txn in
+     if !max_txn + 1 > cur then Atomic.set t.next_txn (!max_txn + 1));
     let finished = ref 0 in
-    Txn_table.iter t.table (fun e ->
-        if e.Txn_table.status = Txn_table.Finished then incr finished);
+    Array.iter
+      (fun p ->
+        Txn_table.iter p.table (fun e ->
+            if e.Txn_table.status = Txn_table.Finished then incr finished))
+      t.parts;
     (ascending, !finished)
   in
-  (* redo (no-force only): repeat history *)
+  (* redo (no-force only): repeat history in merged LSN order *)
   let redo = ref 0 in
   if t.cfg.policy = No_force then
     Probe.span prof pstats "redo" (fun () ->
@@ -761,64 +1035,87 @@ let recover_two_layer t idx prof =
             | Record.Rollback ->
                 ())
           ascending);
-  (* undo unfinished transactions via their back-chains *)
+  (* undo unfinished transactions via their back-chains, each within its
+     home partition *)
   let n_losers =
     Probe.span prof pstats "undo" @@ fun () ->
-  let durably = t.cfg.policy = Force in
-  let losers = Txn_table.unfinished t.table in
-  let n_losers = List.length losers in
-  List.iter
-    (fun e ->
-      let x = e.Txn_table.id in
-      let head = e.Txn_table.last_record in
-      (* corner case: crash between the last CLR and its user store *)
-      (if t.cfg.policy = Force && head <> 0 && record_typ t head = Record.Clr
-       then
-         Arena.nt_write t.arena (Record.addr t.arena head)
-           (Record.new_value t.arena head));
-      let bound = ref max_int in
-      let rec go r =
-        if r <> 0 then
-          if not (record_intact t r) then
-            (* torn link: the chain beyond it predates the tear and was
-               settled by earlier groups — stop here *)
-            count_torn ()
-          else begin
-            let next = Record.prev_same_txn t.arena r in
-            (match record_typ t r with
-            | Record.Clr -> bound := Record.undo_next t.arena r
-            | Record.Update ->
-                if Record.lsn t.arena r < !bound then begin
-                  ignore (Avl_index.find idx (Record.lsn t.arena r));
-                  undo_one t x r ~durably
-                end
-            | Record.End | Record.Checkpoint | Record.Delete | Record.Rollback
-              -> ());
-            go next
-          end
-      in
-      go head;
-      append_end t x;
-      e.Txn_table.status <- Txn_table.Finished)
-    losers;
-    n_losers
+    let durably = t.cfg.policy = Force in
+    let total = ref 0 in
+    Array.iter
+      (fun p ->
+        match p.index with
+        | None -> ()
+        | Some idx ->
+            let losers = Txn_table.unfinished p.table in
+            total := !total + List.length losers;
+            List.iter
+              (fun e ->
+                let x = e.Txn_table.id in
+                let head = e.Txn_table.last_record in
+                (* corner case: crash between the last CLR and its user
+                   store *)
+                (if
+                   t.cfg.policy = Force && head <> 0
+                   && record_typ t head = Record.Clr
+                 then
+                   Arena.nt_write t.arena
+                     (Record.addr t.arena head)
+                     (Record.new_value t.arena head));
+                let bound = ref max_int in
+                let rec go r =
+                  if r <> 0 then
+                    if not (record_intact t r) then
+                      (* torn link: the chain beyond it predates the tear
+                         and was settled by earlier groups — stop here *)
+                      count_torn ()
+                    else begin
+                      let next = Record.prev_same_txn t.arena r in
+                      (match record_typ t r with
+                      | Record.Clr -> bound := Record.undo_next t.arena r
+                      | Record.Update ->
+                          if Record.lsn t.arena r < !bound then begin
+                            ignore (Avl_index.find idx (Record.lsn t.arena r));
+                            undo_one t p x r ~durably
+                          end
+                      | Record.End | Record.Checkpoint | Record.Delete
+                      | Record.Rollback ->
+                          ());
+                      go next
+                    end
+                in
+                go head;
+                append_end t p x;
+                e.Txn_table.status <- Txn_table.Finished)
+              losers)
+      t.parts;
+    !total
   in
   Probe.span prof pstats "clearing" (fun () ->
       (* Make the redo/undo results durable *before* dropping records: a
          crash here must still find the log able to repeat history. *)
-      Log.flush_group t.log;
-      drain_deferred t;
+      Array.iter
+        (fun p ->
+          Log.flush_group p.log;
+          drain_deferred t p)
+        t.parts;
       Arena.flush_all t.arena;
       Arena.fence t.arena;
-      (* every transaction is settled: free the records, then drop the
-         whole tree with one atomic root swing.  Torn records leak, like
-         every volatile free list across a crash. *)
-      let records = ref [] in
-      Avl_index.iter idx (fun n ->
-          let r = Avl_index.head_record idx n in
-          if record_intact t r then records := r :: !records);
-      Avl_index.clear idx;
-      List.iter (fun r -> Record.free t.alloc r) !records);
+      (* every transaction is settled: free the records, then drop each
+         tree with one atomic root swing per partition.  Torn records
+         leak, like every volatile free list across a crash. *)
+      Array.iter
+        (fun p ->
+          part_span t prof "clearing" p @@ fun () ->
+          match p.index with
+          | None -> ()
+          | Some idx ->
+              let records = ref [] in
+              Avl_index.iter idx (fun n ->
+                  let r = Avl_index.head_record idx n in
+                  if record_intact t r then records := r :: !records);
+              Avl_index.clear idx;
+              List.iter (fun r -> Record.free t.alloc r) !records)
+        t.parts);
   {
     records_scanned = List.length ascending;
     torn_truncated = !torn;
@@ -828,31 +1125,44 @@ let recover_two_layer t idx prof =
   }
 
 let clear_after_recovery t =
-  (* All transactions are settled; make their effects durable and clear the
-     log wholesale (three-step swap, Section 4.5).  Buffered Batch stores
-     must land before the flush or they would be silently dropped. *)
-  Log.flush_group t.log;
-  drain_deferred t;
+  (* All transactions are settled; make their effects durable and clear
+     every partition's log wholesale (three-step swap, Section 4.5).
+     Buffered Batch stores must land before the flush or they would be
+     silently dropped. *)
+  Array.iter
+    (fun p ->
+      Log.flush_group p.log;
+      drain_deferred t p)
+    t.parts;
   Arena.flush_all t.arena;
   Arena.fence t.arena;
-  Log.clear_all t.log;
-  Txn_table.clear t.table;
-  Hashtbl.reset t.ended;
-  t.deferred_deletes <- [];
-  t.deferred <- []
+  Array.iter
+    (fun p ->
+      Log.clear_all p.log;
+      Txn_table.clear p.table;
+      Hashtbl.reset p.ended;
+      p.deferred_deletes <- [];
+      p.deferred <- [])
+    t.parts
+
+let torn_truncated_logs t =
+  Array.fold_left (fun acc p -> acc + Log.torn_truncated p.log) 0 t.parts
 
 (* Recovery proper, charging each phase to [prof].  The profile gives
    every recovery its own counter scope: the arena's {!Stats} totals are
    cumulative across attach cycles, so per-phase deltas are the only way
-   to report one recovery's NVM work without double-counting. *)
+   to report one recovery's NVM work without double-counting.  With more
+   than one partition the per-partition shares additionally appear as
+   "phase/pN" sub-spans. *)
 let recover_with t prof =
   let pstats = Arena.stats t.arena in
   Pmcheck.recovery_begin t.arena;
   let report =
-    match t.index with
-    | None ->
+    match t.cfg.layers with
+    | One_layer ->
         let scanned, finished =
-          Probe.span prof pstats "analysis" (fun () -> analysis_one_layer t)
+          Probe.span prof pstats "analysis" (fun () ->
+              analysis_one_layer t prof)
         in
         let redo =
           if t.cfg.policy = No_force then
@@ -864,15 +1174,15 @@ let recover_with t prof =
         in
         {
           records_scanned = scanned;
-          torn_truncated = Log.torn_truncated t.log;
+          torn_truncated = torn_truncated_logs t;
           redo_applied = redo;
           txns_finished = finished;
           txns_undone = undone;
         }
-    | Some idx ->
-        let r = recover_two_layer t idx prof in
-        (* the AAVLT's internal log may have truncated torn records too *)
-        { r with torn_truncated = r.torn_truncated + Log.torn_truncated t.log }
+    | Two_layer ->
+        let r = recover_two_layer t prof in
+        (* the AAVLTs' internal logs may have truncated torn records too *)
+        { r with torn_truncated = r.torn_truncated + torn_truncated_logs t }
   in
   Probe.span prof pstats "clearing" (fun () -> clear_after_recovery t);
   Pmcheck.recovery_end t.arena;
@@ -881,28 +1191,43 @@ let recover_with t prof =
 
 let recover t = recover_with t (Probe.create ())
 
-(* Reattach after a crash: recover the log structure, the AAVLT, and then
-   run transaction recovery.  Every phase — including the structural
-   log/index reattachment — is profiled; see {!last_recovery_profile}. *)
+(* Reattach after a crash: recover each partition's log structure and
+   AAVLT, then run the merged transaction recovery.  Every phase —
+   including the structural log/index reattachment — is profiled; see
+   {!last_recovery_profile}. *)
 let attach ?(cfg = default_config) alloc ~root_slot =
+  check_cfg cfg ~root_slot;
   let arena = Alloc.arena alloc in
   let prof = Probe.create () in
   let pstats = Arena.stats arena in
-  let log =
-    Probe.span prof pstats "log-attach" (fun () ->
-        Log.attach cfg.variant ~bucket_cap:cfg.bucket_cap alloc ~root_slot)
+  let parts =
+    Array.init cfg.partitions (fun pid ->
+        let log =
+          Probe.span prof pstats "log-attach" (fun () ->
+              (if cfg.partitions > 1 then
+                 Probe.span prof pstats (Printf.sprintf "log-attach/p%d" pid)
+               else fun f -> f ())
+              @@ fun () ->
+              Log.attach cfg.variant ~bucket_cap:cfg.bucket_cap alloc
+                ~root_slot:(part_log_slot ~root_slot pid))
+        in
+        Log.set_group_tag log pid;
+        let index =
+          match cfg.layers with
+          | One_layer -> None
+          | Two_layer ->
+              Probe.span prof pstats "index-rebuild" (fun () ->
+                  let root_ptr =
+                    Int64.to_int
+                      (Arena.root_get arena (part_index_slot ~root_slot pid))
+                  in
+                  let idx = Avl_index.attach alloc ~ilog:log ~root_ptr in
+                  Avl_index.recover idx;
+                  Some idx)
+        in
+        make_part cfg pid log index)
   in
-  let index =
-    match cfg.layers with
-    | One_layer -> None
-    | Two_layer ->
-        Probe.span prof pstats "index-rebuild" (fun () ->
-            let root_ptr = Int64.to_int (Arena.root_get arena (root_slot + 1)) in
-            let idx = Avl_index.attach alloc ~ilog:log ~root_ptr in
-            Avl_index.recover idx;
-            Some idx)
-  in
-  let t = make_t cfg alloc log index in
+  let t = make_t cfg alloc parts in
   recover_with t prof;
   t
 

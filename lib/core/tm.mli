@@ -13,7 +13,24 @@
       logging, making selective rollback cheap at a higher logging cost.
 
     The log implementation ({!Log.variant}) is chosen independently,
-    giving the paper's Simple / Optimized / Batch versions. *)
+    giving the paper's Simple / Optimized / Batch versions.
+
+    {2 Partitioned logging}
+
+    With [config.partitions = n > 1] the log is sharded into [n]
+    independent partitions — each a full recoverable bucketed-ADLL log
+    with its own latch, bucket cursor, group-flush state and (two-layer)
+    AAVLT + transaction table.  A transaction is pinned to a {e home
+    partition} by its id (round-robin), so its entire fast path — record
+    append, Batch deferral, commit, rollback — serialises only on that
+    partition's latch; appends in different partitions proceed in
+    parallel.  LSNs still come from one process-wide atomic counter, so a
+    single global order over all records survives, and recovery merges
+    the partitions: analysis scans each partition, redo replays the union
+    in global LSN order (a k-way merge by LSN over the partition
+    streams), undo walks each loser's back-chain within its home
+    partition, and {!checkpoint} clears settled transactions in global
+    LSN order (ENDs last) {e across} the merged set. *)
 
 type policy = Force | No_force
 type layers = One_layer | Two_layer
@@ -26,6 +43,9 @@ type config = {
   lockfree_latch : bool;
       (** Section 7 future work: model a lock-free log — appends pay a CAS
           instead of serialising on the log latch. *)
+  partitions : int;
+      (** Independent log partitions (>= 1).  [1] is the unpartitioned
+          log of the paper's single-threaded experiments. *)
 }
 
 val default_config : config
@@ -37,8 +57,11 @@ type txn = int
 type t
 
 val create : ?cfg:config -> Rewind_nvm.Alloc.t -> root_slot:int -> t
-(** Fresh transaction manager anchored at [root_slot] (and [root_slot+1]
-    for the two-layer index). *)
+(** Fresh transaction manager anchored at [root_slot]: partition [p]'s
+    log lives at root slot [root_slot + 2p] and its two-layer index at
+    [root_slot + 2p + 1] (so a single-partition manager uses
+    [root_slot] and [root_slot + 1], as always).  Raises [Invalid_argument]
+    if the partitions do not fit the arena's 63 root slots. *)
 
 val attach : ?cfg:config -> Rewind_nvm.Alloc.t -> root_slot:int -> t
 (** Reattach after a crash with the same configuration and root slot:
@@ -46,7 +69,26 @@ val attach : ?cfg:config -> Rewind_nvm.Alloc.t -> root_slot:int -> t
     clears the log.  On return every pre-crash transaction is settled. *)
 
 val config : t -> config
+
 val log : t -> Log.t
+(** Partition 0's log (the only one when [partitions = 1]). *)
+
+val logs : t -> Log.t array
+(** All partitions' logs, indexed by partition id. *)
+
+val partitions : t -> int
+
+val home_partition : t -> txn -> int
+(** The partition a transaction's records land in: a pure function of
+    its id (round-robin), so recovery needs no pinning map. *)
+
+val partition_appended : t -> int array
+(** Per-partition append counts, for scaling experiments. *)
+
+val merged_log_records : t -> int list
+(** The union of every partition's live records merged into global LSN
+    order — the stream the redo pass replays.  Introspection for tests
+    (the merged-redo-order property). *)
 
 (** {1 Transactions} *)
 

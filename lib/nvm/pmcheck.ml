@@ -12,12 +12,12 @@
    (the default, including every benchmark) the cost is one pointer
    compare and no allocation. *)
 
-let region_logged arena ~txn ~addr ~len ~durable =
+let region_logged ?(group = 0) arena ~txn ~addr ~len ~durable =
   if Arena.traced arena then
-    Arena.emit arena (Trace.Region_logged { txn; addr; len; durable })
+    Arena.emit arena (Trace.Region_logged { txn; addr; len; durable; group })
 
-let group_persisted arena =
-  if Arena.traced arena then Arena.emit arena Trace.Group_persisted
+let group_persisted ?(group = 0) arena =
+  if Arena.traced arena then Arena.emit arena (Trace.Group_persisted { group })
 
 let commit_point arena ~txn ~addr ~len ~what =
   if Arena.traced arena then

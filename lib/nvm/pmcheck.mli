@@ -10,14 +10,18 @@
     a tracer is attached with {!Arena.set_tracer}. *)
 
 val region_logged :
-  Arena.t -> txn:int -> addr:int -> len:int -> durable:bool -> unit
+  ?group:int -> Arena.t -> txn:int -> addr:int -> len:int -> durable:bool -> unit
 (** An undo record covering [addr, addr+len) exists for [txn].  [durable]
     is false when the record sits in a not-yet-persistent batch group:
-    the covered user store must stay volatile until {!group_persisted}. *)
+    the covered user store must stay volatile until the {!group_persisted}
+    of the same [group] (the log partition holding the record; default 0
+    for an unpartitioned log). *)
 
-val group_persisted : Arena.t -> unit
-(** The pending batch group is durably reachable; every pending
-    [region_logged] coverage upgrades to durable. *)
+val group_persisted : ?group:int -> Arena.t -> unit
+(** Log partition [group]'s pending batch group is durably reachable;
+    every pending [region_logged] coverage of that partition upgrades to
+    durable.  Partitions flush independently — a flush in one must not
+    upgrade another's pending coverage. *)
 
 val commit_point :
   Arena.t -> txn:int -> addr:int -> len:int -> what:string -> unit

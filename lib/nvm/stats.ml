@@ -18,6 +18,7 @@ type t = {
   mutable redundant_fences : int;  (** fences with no persistence event since the last *)
   mutable inline_records : int; (** log appends encoded as inline slot pairs *)
   mutable full_records : int;   (** log appends of heap-allocated 64-byte records *)
+  mutable group_flushes : int;  (** batch-group persistence points (per log partition) *)
 }
 
 let create () =
@@ -37,6 +38,7 @@ let create () =
     redundant_fences = 0;
     inline_records = 0;
     full_records = 0;
+    group_flushes = 0;
   }
 
 let reset s =
@@ -54,7 +56,8 @@ let reset s =
   s.redundant_flushes <- 0;
   s.redundant_fences <- 0;
   s.inline_records <- 0;
-  s.full_records <- 0
+  s.full_records <- 0;
+  s.group_flushes <- 0
 
 let diff a b =
   {
@@ -73,6 +76,7 @@ let diff a b =
     redundant_fences = a.redundant_fences - b.redundant_fences;
     inline_records = a.inline_records - b.inline_records;
     full_records = a.full_records - b.full_records;
+    group_flushes = a.group_flushes - b.group_flushes;
   }
 
 let snapshot s = { s with nvm_writes = s.nvm_writes }
@@ -92,7 +96,8 @@ let add dst src =
   dst.redundant_flushes <- dst.redundant_flushes + src.redundant_flushes;
   dst.redundant_fences <- dst.redundant_fences + src.redundant_fences;
   dst.inline_records <- dst.inline_records + src.inline_records;
-  dst.full_records <- dst.full_records + src.full_records
+  dst.full_records <- dst.full_records + src.full_records;
+  dst.group_flushes <- dst.group_flushes + src.group_flushes
 
 (* Counter scope: the counters are cumulative for the arena's lifetime —
    across crashes and reattachments — so code that wants "the NVM work of
@@ -115,4 +120,5 @@ let pp ppf s =
       s.redundant_fences;
   if s.inline_records + s.full_records > 0 then
     Fmt.pf ppf " inline_records=%d full_records=%d" s.inline_records
-      s.full_records
+      s.full_records;
+  if s.group_flushes > 0 then Fmt.pf ppf " group_flushes=%d" s.group_flushes

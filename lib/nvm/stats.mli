@@ -18,6 +18,7 @@ type t = {
   mutable redundant_fences : int;  (** fences with no persistence event since the last *)
   mutable inline_records : int; (** log appends encoded as inline slot pairs *)
   mutable full_records : int;   (** log appends of heap-allocated 64-byte records *)
+  mutable group_flushes : int;  (** batch-group persistence points (per log partition) *)
 }
 
 val create : unit -> t

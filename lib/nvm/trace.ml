@@ -29,15 +29,26 @@ type event =
           durable immediately, but not program-ordered. *)
   | Crash  (** Power failure: every volatile line is gone. *)
   (* semantic annotations (emitted via Pmcheck) *)
-  | Region_logged of { txn : int; addr : int; len : int; durable : bool }
+  | Region_logged of {
+      txn : int;
+      addr : int;
+      len : int;
+      durable : bool;
+      group : int;
+    }
       (** An undo record covering [addr, addr+len) exists for transaction
           [txn].  [durable] is true when the record is already durably
           reachable (Simple/Optimized logging); false when it sits in a
           not-yet-persistent batch group — the covered user store must not
-          become durable until {!Group_persisted}. *)
-  | Group_persisted
-      (** The pending batch group is durably reachable: every
-          [Region_logged ~durable:false] coverage is upgraded. *)
+          become durable until the {!Group_persisted} of the same [group].
+          [group] identifies the log partition holding the record: with a
+          partitioned log, each partition flushes its batch groups
+          independently, so coverage upgrades must not cross partitions. *)
+  | Group_persisted of { group : int }
+      (** Log partition [group]'s pending batch group is durably
+          reachable: every [Region_logged ~durable:false] coverage of that
+          partition is upgraded.  Other partitions' pending coverage is
+          untouched. *)
   | Commit_point of { txn : int; addr : int; len : int; what : string }
       (** [addr, addr+len) makes transaction [txn]'s END record reachable
           and must be durable (and fence-ordered) by the time the commit
@@ -68,10 +79,11 @@ let pp ppf = function
   | Unpin { off } -> Fmt.pf ppf "unpin @%d" off
   | Evict { off } -> Fmt.pf ppf "evict @%d" off
   | Crash -> Fmt.string ppf "crash"
-  | Region_logged { txn; addr; len; durable } ->
-      Fmt.pf ppf "region-logged txn=%d [%d,+%d) %s" txn addr len
+  | Region_logged { txn; addr; len; durable; group } ->
+      Fmt.pf ppf "region-logged txn=%d [%d,+%d) %s p%d" txn addr len
         (if durable then "durable" else "pending")
-  | Group_persisted -> Fmt.string ppf "group-persisted"
+        group
+  | Group_persisted { group } -> Fmt.pf ppf "group-persisted p%d" group
   | Commit_point { txn; addr; len; what } ->
       Fmt.pf ppf "commit-point txn=%d [%d,+%d) %s" txn addr len what
   | Txn_settled { txn } -> Fmt.pf ppf "txn-settled %d" txn

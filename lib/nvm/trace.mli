@@ -17,10 +17,18 @@ type event =
       (** Spontaneous hardware write-back: durable but not
           program-ordered. *)
   | Crash
-  | Region_logged of { txn : int; addr : int; len : int; durable : bool }
+  | Region_logged of {
+      txn : int;
+      addr : int;
+      len : int;
+      durable : bool;
+      group : int;
+    }
       (** Undo record for [txn] covers the region; [durable] false means
-          the record waits in an unpersisted batch group. *)
-  | Group_persisted
+          the record waits in an unpersisted batch group of log partition
+          [group]. *)
+  | Group_persisted of { group : int }
+      (** Partition [group]'s pending batch group became durable. *)
   | Commit_point of { txn : int; addr : int; len : int; what : string }
   | Txn_settled of { txn : int }
   | Expect_persisted of { addr : int; len : int; what : string }

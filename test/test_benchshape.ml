@@ -109,8 +109,10 @@ let test_fig9_shape () =
   let rows = ys_of s in
   let last = List.nth rows (List.length rows - 1) in
   (match last with
-  | [ _shore; bdb; _stasis; rewind ] ->
-      check_bool "rewind beats bdb at 8 threads" true (bdb > 5. *. rewind)
+  | [ _shore; bdb; _stasis; rewind; rewind_p8 ] ->
+      check_bool "rewind beats bdb at 8 threads" true (bdb > 5. *. rewind);
+      check_bool "8 partitions beat the single latch at 8 threads" true
+        (rewind_p8 < rewind)
   | _ -> Alcotest.fail "unexpected series");
   let s = Figures.ablation_lockfree ~ops_per_thread:500 ~n_records:300 () in
   let rows = ys_of s in

@@ -1,0 +1,395 @@
+(* Partitioned per-thread logging (Section 4.7) with merged recovery.
+
+   Four attacks:
+
+   1. functional smoke across every configuration at 2 and 4 partitions:
+      committed transactions survive a crash, a rolled-back and a live
+      transaction do not, and transactions actually spread round-robin
+      over the partitions' logs;
+
+   2. an exhaustive crash sweep: concurrent writers (the fiber scheduler)
+      under Batch logging with tiny buckets and groups, a crash armed at
+      *every* persistence event of the run, recovery after each.  With
+      four writers appending into distinct partitions and group flushes /
+      bucket rollovers staggered across them, the sweep necessarily
+      includes crash points where one partition is mid-group-flush while
+      another is mid-bucket-append — the interleavings a global-latch log
+      can never produce;
+
+   3. a checkpoint crash sweep at 2 and 4 partitions — the merged
+      clearing must remove settled records in *global* LSN order across
+      partitions, ENDs last, or redo resurrects stale values;
+
+   4. properties: the merged record stream {!Tm.merged_log_records} is
+      strictly ascending by LSN and is exactly the union of the
+      partitions' logs; and recovery at 4 partitions reaches the same
+      cell state as at 1 partition for the same transaction history. *)
+
+open Rewind_nvm
+open Rewind
+module San = Rewind_analysis.Sanitizer
+
+let root_slot = 2
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let all_configs =
+  [
+    ("1l-nfp", Rewind.config_1l_nfp);
+    ("1l-fp", Rewind.config_1l_fp);
+    ("2l-nfp", Rewind.config_2l_nfp);
+    ("2l-fp", Rewind.config_2l_fp);
+    ("simple", Rewind.config_simple);
+    ("batch4", Rewind.config_batch ~group:4 ());
+  ]
+
+let shadow_events arena =
+  let s = Arena.stats arena in
+  s.Stats.nt_stores + s.Stats.flushes
+
+(* ------------------------------------------------------------------ *)
+(* 1. Smoke: every config at 2 and 4 partitions                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_smoke (name, cfg0) n_parts () =
+  let cfg = Rewind.with_partitions n_parts { cfg0 with Tm.bucket_cap = 8 } in
+  let arena = Arena.create ~size_bytes:(32 lsl 20) () in
+  let alloc = Alloc.create arena in
+  let tm = Tm.create ~cfg alloc ~root_slot in
+  check_int (name ^ ": partitions") n_parts (Tm.partitions tm);
+  let cells = Array.init 24 (fun _ -> Alloc.alloc alloc 8) in
+  (* 2 * n_parts committed transactions: with round-robin homes, every
+     partition gets exactly two. *)
+  let n_txns = 2 * n_parts in
+  for tno = 0 to n_txns - 1 do
+    let txn = Tm.begin_txn tm in
+    check_int
+      (Fmt.str "%s: txn %d home" name txn)
+      (tno mod n_parts)
+      (Tm.home_partition tm txn);
+    for i = 0 to 1 do
+      Tm.write tm txn
+        ~addr:cells.((2 * tno) + i)
+        ~value:(Int64.of_int ((tno * 10) + i + 1))
+    done;
+    Tm.commit tm txn
+  done;
+  (* every partition's log saw appends (committed records may already be
+     cleared under force policy, so count appends, not length) *)
+  Array.iteri
+    (fun p n ->
+      check_bool (Fmt.str "%s: partition %d used" name p) true (n > 0))
+    (Tm.partition_appended tm);
+  (* one rolled back, one live *)
+  let rb = Tm.begin_txn tm in
+  Tm.write tm rb ~addr:cells.(20) ~value:777L;
+  Tm.rollback tm rb;
+  let live = Tm.begin_txn tm in
+  Tm.write tm live ~addr:cells.(21) ~value:888L;
+  Arena.crash arena;
+  let alloc2 = Alloc.recover arena in
+  let san = San.attach ~mode:San.Collect arena in
+  let tm2 = Tm.attach ~cfg alloc2 ~root_slot in
+  check_int (name ^ ": recovery sanitizer-clean") 0
+    (List.length (San.violations san));
+  San.detach san;
+  for tno = 0 to n_txns - 1 do
+    for i = 0 to 1 do
+      check_int
+        (Fmt.str "%s: committed cell %d" name ((2 * tno) + i))
+        ((tno * 10) + i + 1)
+        (Int64.to_int (Arena.read arena cells.((2 * tno) + i)))
+    done
+  done;
+  check_int (name ^ ": rolled-back cell") 0
+    (Int64.to_int (Arena.read arena cells.(20)));
+  check_int (name ^ ": live cell undone") 0
+    (Int64.to_int (Arena.read arena cells.(21)));
+  (* post-recovery transactions still work, and ids continue past every
+     transaction the log still knew about (a live Batch transaction whose
+     records never left the cache leaves no trace, so [live] itself need
+     not be passed) *)
+  let txn = Tm.begin_txn tm2 in
+  check_bool (name ^ ": txn ids continue") true (txn > n_txns);
+  Tm.write tm2 txn ~addr:cells.(22) ~value:99L;
+  Tm.commit tm2 txn;
+  check_int (name ^ ": post-recovery commit") 99
+    (Int64.to_int (Arena.read arena cells.(22)))
+
+(* ------------------------------------------------------------------ *)
+(* 2. Concurrent writers, crash at every persistence event             *)
+(* ------------------------------------------------------------------ *)
+
+(* Four fiber writers, each running transactions pinned (by id) across
+   the partitions; Batch 4 groups and 8-slot buckets so group flushes
+   and bucket rollovers happen constantly and out of phase between
+   partitions.  Each transaction writes 3 private cells; recovery must
+   make each transaction all-or-nothing. *)
+let sweep_threads = 4
+let sweep_ops = 3 (* transactions per writer *)
+
+let sweep_cfg n_parts =
+  Rewind.with_partitions n_parts
+    { (Rewind.config_batch ~group:4 ()) with Tm.bucket_cap = 8 }
+
+let sweep_setup n_parts =
+  let arena = Arena.create ~size_bytes:(32 lsl 20) () in
+  let alloc = Alloc.create arena in
+  let tm = Tm.create ~cfg:(sweep_cfg n_parts) alloc ~root_slot in
+  let cells =
+    Array.init (sweep_threads * sweep_ops * 3) (fun _ -> Alloc.alloc alloc 8)
+  in
+  (arena, tm, cells)
+
+(* Deterministic value for (thread, op, i). *)
+let sweep_value t op i = Int64.of_int ((((t * 10) + op) * 10) + i + 1)
+
+let sweep_workload tm cells =
+  ignore
+    (Sim_threads.run ~threads:sweep_threads ~ops_per_thread:sweep_ops
+       (fun t op ->
+         let txn = Tm.begin_txn tm in
+         for i = 0 to 2 do
+           Tm.write tm txn
+             ~addr:cells.(((t * sweep_ops) + op) * 3 + i)
+             ~value:(sweep_value t op i)
+         done;
+         Tm.commit tm txn))
+
+let test_concurrent_sweep n_parts () =
+  (* Dry run: count persistence events of the full concurrent run. *)
+  let arena, tm, cells = sweep_setup n_parts in
+  let before = shadow_events arena in
+  sweep_workload tm cells;
+  let events = shadow_events arena - before in
+  check_bool
+    (Fmt.str "p%d: run persists events" n_parts)
+    true (events > 20);
+  let tried = ref 0 in
+  for k = 1 to events do
+    let arena, tm, cells = sweep_setup n_parts in
+    Arena.arm_crash arena ~after:(before + k - 1);
+    (match sweep_workload tm cells with
+    | () -> ()
+    | exception Arena.Crash -> ());
+    if Arena.crashed arena then begin
+      incr tried;
+      Arena.crash arena;
+      let alloc2 = Alloc.recover arena in
+      let san = San.attach ~mode:San.Collect arena in
+      let _tm2 = Tm.attach ~cfg:(sweep_cfg n_parts) alloc2 ~root_slot in
+      check_int
+        (Fmt.str "p%d k=%d: recovery sanitizer-clean" n_parts k)
+        0
+        (List.length (San.violations san));
+      San.detach san;
+      (* every transaction all-or-nothing *)
+      for t = 0 to sweep_threads - 1 do
+        for op = 0 to sweep_ops - 1 do
+          let got i = Arena.read arena cells.(((t * sweep_ops) + op) * 3 + i) in
+          let all_zero = got 0 = 0L && got 1 = 0L && got 2 = 0L in
+          let all_set =
+            got 0 = sweep_value t op 0
+            && got 1 = sweep_value t op 1
+            && got 2 = sweep_value t op 2
+          in
+          if not (all_zero || all_set) then
+            Alcotest.failf
+              "p%d: crash at event %d/%d: txn (writer %d, op %d) torn: \
+               %Ld/%Ld/%Ld"
+              n_parts k events t op (got 0) (got 1) (got 2)
+        done
+      done
+    end
+  done;
+  check_bool (Fmt.str "p%d: sweep hit crash points" n_parts) true (!tried > 0)
+
+(* ------------------------------------------------------------------ *)
+(* 3. Checkpoint crash sweep with partitions                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The test_checkpoint regression scenario, sharded: several committed
+   transactions overwriting a shared working set (so clearing order
+   matters across partitions), one live, then a checkpoint with a crash
+   armed at every persistence event inside it. *)
+let cp_setup n_parts =
+  let cfg =
+    Rewind.with_partitions n_parts
+      { Rewind.config_1l_nfp with Tm.bucket_cap = 8 }
+  in
+  let arena = Arena.create ~size_bytes:(32 lsl 20) () in
+  let alloc = Alloc.create arena in
+  let tm = Tm.create ~cfg alloc ~root_slot in
+  let cells = Array.init 16 (fun _ -> Alloc.alloc alloc 8) in
+  (arena, tm, cells, cfg)
+
+let cp_workload tm cells =
+  let expected = Array.make 16 0L in
+  for tno = 1 to 6 do
+    let txn = Tm.begin_txn tm in
+    for i = 0 to 2 do
+      let c = (tno + i) mod 8 in
+      let v = Int64.of_int ((tno * 100) + i) in
+      Tm.write tm txn ~addr:cells.(c) ~value:v;
+      expected.(c) <- v
+    done;
+    Tm.commit tm txn
+  done;
+  let live = Tm.begin_txn tm in
+  for i = 0 to 2 do
+    Tm.write tm live ~addr:cells.(i + 8) ~value:(Int64.of_int (9990 + i))
+  done;
+  expected
+
+let test_checkpoint_sweep n_parts () =
+  let arena, tm, cells, _ = cp_setup n_parts in
+  let _ = cp_workload tm cells in
+  let before = shadow_events arena in
+  Tm.checkpoint tm;
+  let events = shadow_events arena - before in
+  check_bool (Fmt.str "p%d: checkpoint persists" n_parts) true (events > 0);
+  let tried = ref 0 in
+  for k = 1 to events do
+    let arena, tm, cells, cfg = cp_setup n_parts in
+    let expected = cp_workload tm cells in
+    Arena.arm_crash arena ~after:(k - 1);
+    (match Tm.checkpoint tm with () -> () | exception Arena.Crash -> ());
+    if Arena.crashed arena then begin
+      incr tried;
+      Arena.crash arena;
+      let alloc2 = Alloc.recover arena in
+      let san = San.attach ~mode:San.Collect arena in
+      let _tm2 = Tm.attach ~cfg alloc2 ~root_slot in
+      check_int
+        (Fmt.str "p%d k=%d: checkpoint recovery sanitizer-clean" n_parts k)
+        0
+        (List.length (San.violations san));
+      San.detach san;
+      Array.iteri
+        (fun c exp ->
+          let exp = if c >= 8 then 0L else exp in
+          let got = Arena.read arena cells.(c) in
+          if got <> exp then
+            Alcotest.failf
+              "p%d: crash at event %d/%d: cell %d = %Ld, want %Ld" n_parts k
+              events c got exp)
+        expected
+    end
+  done;
+  check_bool (Fmt.str "p%d: sweep hit crash points" n_parts) true (!tried > 0)
+
+(* ------------------------------------------------------------------ *)
+(* 4. Properties                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Merged redo order equals global LSN order: after a random transaction
+   history over 1..4 partitions, the merged stream's LSNs are strictly
+   ascending, and the stream is exactly the union of the per-partition
+   logs. *)
+let prop_merged_order =
+  QCheck.Test.make ~name:"merged stream is the union in global LSN order"
+    ~count:100
+    QCheck.(pair (int_range 1 4) (list_of_size (Gen.int_range 1 12) (int_bound 5)))
+    (fun (n_parts, writes_per_txn) ->
+      let cfg =
+        Rewind.with_partitions n_parts
+          { Rewind.config_1l_nfp with Tm.bucket_cap = 8 }
+      in
+      let arena = Arena.create ~size_bytes:(32 lsl 20) () in
+      let alloc = Alloc.create arena in
+      let tm = Tm.create ~cfg alloc ~root_slot in
+      let cells = Array.init 8 (fun _ -> Alloc.alloc alloc 8) in
+      List.iteri
+        (fun tno n ->
+          let txn = Tm.begin_txn tm in
+          for i = 0 to n - 1 do
+            Tm.write tm txn
+              ~addr:cells.((tno + i) mod 8)
+              ~value:(Int64.of_int ((tno * 100) + i))
+          done;
+          (* leave every third transaction live so the logs keep records *)
+          if tno mod 3 <> 0 then Tm.commit tm txn)
+        writes_per_txn;
+      let merged = Tm.merged_log_records tm in
+      let lsns = List.map (fun r -> Record.lsn arena r) merged in
+      let rec ascending = function
+        | a :: (b :: _ as rest) -> a < b && ascending rest
+        | _ -> true
+      in
+      let union =
+        Array.to_list (Tm.logs tm)
+        |> List.concat_map (fun log -> Log.records log)
+        |> List.sort compare
+      in
+      ascending lsns && List.sort compare merged = union)
+
+(* Same history, 1 vs 4 partitions: identical recovered state. *)
+let test_equivalence () =
+  let run n_parts =
+    let cfg =
+      Rewind.with_partitions n_parts
+        { Rewind.config_1l_nfp with Tm.bucket_cap = 8 }
+    in
+    let arena = Arena.create ~size_bytes:(32 lsl 20) () in
+    let alloc = Alloc.create arena in
+    let tm = Tm.create ~cfg alloc ~root_slot in
+    let cells = Array.init 8 (fun _ -> Alloc.alloc alloc 8) in
+    for tno = 1 to 7 do
+      let txn = Tm.begin_txn tm in
+      for i = 0 to 2 do
+        Tm.write tm txn
+          ~addr:cells.((tno + i) mod 8)
+          ~value:(Int64.of_int ((tno * 100) + i))
+      done;
+      if tno mod 3 = 0 then Tm.rollback tm txn
+      else if tno <> 7 then Tm.commit tm txn
+      (* txn 7 stays live *)
+    done;
+    Arena.crash arena;
+    let alloc2 = Alloc.recover arena in
+    let _tm2 = Tm.attach ~cfg alloc2 ~root_slot in
+    Array.map (fun c -> Arena.read arena c) cells
+  in
+  let one = run 1 and four = run 4 in
+  Array.iteri
+    (fun i v ->
+      check_int (Fmt.str "cell %d equal across partition counts" i)
+        (Int64.to_int v)
+        (Int64.to_int four.(i)))
+    one
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let per_config n_parts =
+    List.map
+      (fun (cn, cfg) ->
+        Alcotest.test_case
+          (Fmt.str "smoke [%s x%d]" cn n_parts)
+          `Quick
+          (test_smoke (cn, cfg) n_parts))
+      all_configs
+  in
+  Alcotest.run "partition"
+    [
+      ("smoke-2", per_config 2);
+      ("smoke-4", per_config 4);
+      ( "concurrent-crash-sweep",
+        [
+          Alcotest.test_case "2 partitions, crash at every event" `Slow
+            (test_concurrent_sweep 2);
+          Alcotest.test_case "4 partitions, crash at every event" `Slow
+            (test_concurrent_sweep 4);
+        ] );
+      ( "checkpoint-crash-sweep",
+        [
+          Alcotest.test_case "2 partitions" `Slow (test_checkpoint_sweep 2);
+          Alcotest.test_case "4 partitions" `Slow (test_checkpoint_sweep 4);
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_merged_order;
+          Alcotest.test_case "1 vs 4 partitions recover identically" `Quick
+            test_equivalence;
+        ] );
+    ]
