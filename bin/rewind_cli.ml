@@ -192,10 +192,10 @@ let run_tpcc txns =
         Workload.run ~txns_per_terminal:txns ~params:Datagen.small ~arena_mb:384
           ~config ()
       in
-      Fmt.pr "%-38s %10.0f ktpm  (%d committed, %d aborted)@."
+      Fmt.pr "%-38s %10.0f ktpm  (%d committed, %d aborted, %d conflict retries)@."
         (Fmt.str "%a" Workload.pp_configuration config)
         (r.Workload.tpm /. 1000.)
-        r.Workload.committed r.Workload.aborted)
+        r.Workload.committed r.Workload.aborted r.Workload.retried)
     [
       Workload.Nvm_naive; Workload.Rewind_opt_dlog; Workload.Rewind_opt;
       Workload.Rewind_naive;
@@ -526,40 +526,35 @@ let scaling_cmd =
    is simulated (deterministic, machine-independent), so CI compares the
    fresh BENCH_*.json artifacts against them and fails the build on any
    cost metric worse than the tolerance. *)
+(* Exit codes: 0 = within tolerance, 1 = benchmark regression, 2 = the
+   gate could not run (file missing/unreadable/not JSON) — so CI can tell
+   "the numbers got worse" from "the comparison never happened". *)
 let run_benchdiff baseline current tolerance =
-  let read_file path =
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
   match
-    Rewind_benchlib.Benchdiff.compare_metrics ~tolerance (read_file baseline)
-      (read_file current)
+    Rewind_benchlib.Benchdiff.compare_files ~tolerance ~baseline ~current
   with
-  | exception Sys_error e ->
-      Fmt.epr "benchdiff: %s@." e;
+  | Error msg ->
+      Fmt.epr "benchdiff: %s@." msg;
       Stdlib.exit 2
-  | exception Rewind_benchlib.Benchdiff.Parse_error e ->
-      Fmt.epr "benchdiff: JSON parse error: %s@." e;
-      Stdlib.exit 2
-  | outcome ->
+  | Ok outcome ->
       Fmt.pr "comparing %s against baseline %s (tolerance %.0f%%)@." current
         baseline (100. *. tolerance);
       Fmt.pr "%a" Rewind_benchlib.Benchdiff.pp_outcome outcome;
       if not (Rewind_benchlib.Benchdiff.passed outcome) then Stdlib.exit 1
 
 let benchdiff_cmd =
+  (* plain strings, not Arg.file: missing paths must reach our own
+     diagnostic and exit code, not cmdliner's usage error *)
   let baseline =
     Arg.(
       required
-      & opt (some file) None
+      & opt (some string) None
       & info [ "baseline" ] ~docv:"FILE" ~doc:"Committed baseline JSON.")
   in
   let current =
     Arg.(
       required
-      & opt (some file) None
+      & opt (some string) None
       & info [ "current" ] ~docv:"FILE" ~doc:"Freshly produced benchmark JSON.")
   in
   let tolerance =
@@ -573,6 +568,120 @@ let benchdiff_cmd =
        ~doc:"Compare benchmark JSON against a committed baseline; exit \
              nonzero on regression")
     Term.(const run_benchdiff $ baseline $ current $ tolerance)
+
+(* -- 2pc ------------------------------------------------------------------ *)
+
+module Twopc = Rewind_dist.Twopc
+module Tbench = Rewind_benchlib.Twopc_bench
+
+(* Exit codes: 0 = every crash state recovered to a globally consistent
+   outcome; 1 = the sweep found an unresolved in-doubt transaction or a
+   split commit. *)
+let run_2pc_enumerate nodes txns =
+  match Tbench.enumerate ~nodes ~txns () with
+  | r ->
+      Fmt.pr "2pc enumerator[%d nodes + coordinator]: %a@." nodes
+        Tbench.pp_enum_report r
+  | exception Enum.Node_illegal { node; event; detail } ->
+      Fmt.epr
+        "2pc enumerator: INCONSISTENT recovery — %s crashed at persistence \
+         event %d: %s@."
+        (if node < 0 then "no component (crash-free run)"
+         else if node = 0 then "the coordinator"
+         else Printf.sprintf "participant %d" (node - 1))
+        event detail;
+      Stdlib.exit 1
+
+(* Walkthrough: a lossy run with the coordinator dying at the worst
+   moment (decision durable, no COMMIT sent), then a cluster-wide power
+   failure, then log-only recovery. *)
+let run_2pc_demo nodes txns drop =
+  Fmt.pr
+    "distributed commit: %d participants + 1 coordinator, %d transactions%s@.@."
+    nodes txns
+    (if drop > 0 then Printf.sprintf ", dropping ~1 message in %d" drop else "");
+  let w =
+    Tbench.make_world ~nodes ~txns ~drop_1_in:drop ~seed:3
+      ~chaos_at:(Some (txns - 1)) ()
+  in
+  Tbench.run_workload w;
+  let t = w.Tbench.cluster in
+  let s = Twopc.stats t in
+  Fmt.pr
+    "outcomes: %d committed, %d aborted, %d unknown   (%d messages, %d \
+     dropped, %d retries)@."
+    s.Twopc.committed s.Twopc.aborted s.Twopc.unknown s.Twopc.msgs_sent
+    s.Twopc.msgs_dropped s.Twopc.retries;
+  Fmt.pr
+    "coordinator power-failed right after durably deciding transaction %d — \
+     before sending any COMMIT; %d participant transaction(s) left in doubt@."
+    (txns - 1)
+    (Twopc.in_doubt_total t);
+  Fmt.pr "power-failing every participant too...@.";
+  for i = 0 to nodes - 1 do
+    if Twopc.node_up t i then Twopc.crash_node t i
+  done;
+  Fmt.pr "recovering the whole cluster from its logs alone...@.";
+  match Tbench.check_world w with
+  | None ->
+      Fmt.pr
+        "recovery: every in-doubt transaction resolved from the decision \
+         log, all outcomes globally all-or-nothing, 0 still in doubt@."
+  | Some detail ->
+      Fmt.epr "recovery: INCONSISTENT — %s@." detail;
+      Stdlib.exit 1
+
+let run_2pc nodes txns drop enumerate json_path =
+  (match json_path with
+  | None -> ()
+  | Some path ->
+      let results = Tbench.run ~txns:(max txns 200) () in
+      List.iter (fun r -> Fmt.pr "%a@." Tbench.pp_result r) results;
+      let oc = open_out path in
+      output_string oc (Tbench.to_json results);
+      close_out oc;
+      Fmt.pr "wrote %s@." path);
+  if enumerate then run_2pc_enumerate nodes (min txns 8)
+  else if json_path = None then run_2pc_demo nodes txns drop
+
+let twopc_cmd =
+  let nodes =
+    Arg.(
+      value & opt int 3
+      & info [ "nodes" ] ~docv:"N" ~doc:"Participant nodes (each its own NVM arena).")
+  in
+  let txns =
+    Arg.(
+      value & opt int 8
+      & info [ "txns" ] ~docv:"N" ~doc:"Distributed transactions to run.")
+  in
+  let drop =
+    Arg.(
+      value & opt int 6
+      & info [ "drop" ] ~docv:"N"
+          ~doc:"Drop roughly one simulated message in N (0 = lossless).")
+  in
+  let enumerate =
+    Arg.(
+      value & flag
+      & info [ "enumerate" ]
+          ~doc:"Crash every component at every persistence event (plus the \
+                coordinator after each decision) and prove recovery resolves \
+                every in-doubt transaction consistently; exit nonzero \
+                otherwise.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:"Run the distributed-commit benchmark and write BENCH_2pc.json.")
+  in
+  Cmd.v
+    (Cmd.info "2pc"
+       ~doc:"Two-phase commit across independent REWIND nodes: demo, \
+             crash-everywhere enumeration, benchmark")
+    Term.(const run_2pc $ nodes $ txns $ drop $ enumerate $ json)
 
 (* -- autotune ------------------------------------------------------------ *)
 
@@ -643,4 +752,4 @@ let () =
           (Cmd.info "rewind" ~version:"1.0.0"
              ~doc:"REWIND: recovery write-ahead system for in-memory non-volatile data structures")
           [ figure_cmd; crash_demo_cmd; tpcc_cmd; costs_cmd; check_cmd;
-            profile_cmd; scaling_cmd; benchdiff_cmd; autotune_cmd ]))
+            profile_cmd; scaling_cmd; benchdiff_cmd; twopc_cmd; autotune_cmd ]))

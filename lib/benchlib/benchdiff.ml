@@ -338,6 +338,47 @@ let compare_metrics ~tolerance baseline_json current_json =
 
 let passed o = o.regressions = [] && o.missing = []
 
+(* -- file-level entry point ---------------------------------------------- *)
+
+(* CI drives the gate with file paths; every way a path can disappoint —
+   missing, unreadable, truncated mid-read, not JSON — must come back as
+   a diagnostic naming the file and its role, never as an exception.  The
+   CLI maps [Error] to its own exit code (2), distinct from a benchmark
+   regression (1), so a gate that failed to *run* is never mistaken for a
+   gate that *passed judgment*. *)
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match really_input_string ic (in_channel_length ic) with
+          | s -> Ok s
+          | exception Sys_error e -> Error e
+          | exception End_of_file ->
+              Error (path ^ ": truncated while reading"))
+
+let compare_files ~tolerance ~baseline ~current =
+  match read_file baseline with
+  | Error e -> Error (Printf.sprintf "cannot read baseline: %s" e)
+  | Ok base_s -> (
+      match read_file current with
+      | Error e -> Error (Printf.sprintf "cannot read current results: %s" e)
+      | Ok cur_s -> (
+          match compare_metrics ~tolerance base_s cur_s with
+          | outcome -> Ok outcome
+          | exception Parse_error e ->
+              (* tell the user which of the two files is malformed *)
+              let culprit =
+                match parse base_s with
+                | _ -> Printf.sprintf "current results %s" current
+                | exception Parse_error _ ->
+                    Printf.sprintf "baseline %s" baseline
+              in
+              Error (Printf.sprintf "%s is not valid JSON: %s" culprit e)))
+
 let pp_outcome ppf o =
   List.iter
     (fun r ->

@@ -1,0 +1,248 @@
+(* Distributed-commit harness: the canonical crash-everywhere workload
+   over {!Rewind_dist.Twopc}, shared by the `rewind 2pc` CLI, the test
+   suite and the committed BENCH_2pc.json baseline.
+
+   The workload is built for checkability: transaction [j] writes the
+   value [1000 + j] into a cell reserved for it on every participating
+   node, so after recovery the global all-or-nothing property reads
+   directly off the cells — for each [j], either every participant holds
+   the value (commit) or none does (abort) — and is cross-checked
+   against the outcome the coordinator reported to the client. *)
+
+open Rewind_nvm
+module San = Rewind_analysis.Sanitizer
+module Enum = Rewind_analysis.Enumerator
+module Twopc = Rewind_dist.Twopc
+
+(* Which nodes transaction [j] touches: even transactions span the whole
+   cluster, odd ones a pair — partial participation exercises the
+   coordinator's bookkeeping of who must vote and who must ACK. *)
+let participants ~nodes j =
+  if nodes = 1 || j land 1 = 0 then List.init nodes Fun.id
+  else List.sort_uniq compare [ 0; 1 + (j mod (nodes - 1)) ]
+
+type world = {
+  cluster : Twopc.t;
+  cells : int array array;  (* cells.(node).(j): written only by txn j *)
+  outcomes : Twopc.outcome option array;  (* None = never submitted *)
+  chaos_at : int option;
+      (* crash the coordinator right after txn j's decision is durable *)
+}
+
+let make_world ~nodes ~txns ~drop_1_in ~seed ~chaos_at () =
+  let cluster =
+    Twopc.create { Twopc.default_config with nodes; drop_1_in; seed }
+  in
+  let cells =
+    Array.init nodes (fun i -> Array.init txns (fun _ -> Twopc.alloc_cell cluster i))
+  in
+  { cluster; cells; outcomes = Array.make txns None; chaos_at }
+
+let run_workload w =
+  let t = w.cluster in
+  let nodes = Twopc.nodes t in
+  for j = 0 to Array.length w.outcomes - 1 do
+    (* A dead coordinator ends the run; dead participants just vote no by
+       silence, so the loop keeps going around them. *)
+    if Twopc.coordinator_up t then begin
+      if w.chaos_at = Some j then
+        Twopc.chaos_crash_coordinator_after_decision t true;
+      let ops =
+        List.map
+          (fun i ->
+            {
+              Twopc.node = i;
+              addr = w.cells.(i).(j);
+              value = Int64.of_int (1000 + j);
+            })
+          (participants ~nodes j)
+      in
+      w.outcomes.(j) <- Some (Twopc.submit t ops)
+    end
+  done
+
+(* Recover the cluster from its logs alone — sanitizers collecting on
+   every arena — and verify the global outcome of every transaction. *)
+let check_world w =
+  let t = w.cluster in
+  let sans =
+    Array.map (fun a -> San.attach ~mode:San.Collect a) (Twopc.arenas t)
+  in
+  Twopc.recover t;
+  let violations =
+    Array.fold_left (fun n s -> n + List.length (San.violations s)) 0 sans
+  in
+  Array.iter San.detach sans;
+  if violations > 0 then
+    Some (Printf.sprintf "%d sanitizer violation(s) during recovery" violations)
+  else if Twopc.in_doubt_total t > 0 then
+    Some
+      (Printf.sprintf "%d transaction(s) still in doubt after recovery"
+         (Twopc.in_doubt_total t))
+  else begin
+    let nodes = Twopc.nodes t in
+    let bad = ref None in
+    Array.iteri
+      (fun j outcome ->
+        if !bad = None then begin
+          let parts = participants ~nodes j in
+          let expect = Int64.of_int (1000 + j) in
+          let vals = List.map (fun i -> Twopc.read_cell t i w.cells.(i).(j)) parts in
+          let total = List.length vals in
+          let present = List.length (List.filter (fun v -> v = expect) vals) in
+          let absent = List.length (List.filter (fun v -> v = 0L) vals) in
+          let fail msg = bad := Some (Printf.sprintf "txn %d: %s" j msg) in
+          if present + absent <> total then
+            fail "cell holds a value no transaction wrote"
+          else
+            match outcome with
+            | None ->
+                if absent <> total then
+                  fail "never submitted but writes survived recovery"
+            | Some Twopc.Committed ->
+                if present <> total then
+                  Fmt.kstr fail
+                    "reported committed but only %d/%d participants hold the \
+                     writes"
+                    present total
+            | Some Twopc.Aborted ->
+                if absent <> total then
+                  Fmt.kstr fail
+                    "reported aborted but %d/%d participants hold the writes"
+                    present total
+            | Some Twopc.Unknown ->
+                if present <> total && absent <> total then
+                  Fmt.kstr fail
+                    "outcome unknown and recovery split it: %d/%d participants \
+                     hold the writes"
+                    present total
+        end)
+      w.outcomes;
+    !bad
+  end
+
+(* -- the crash-everywhere proof ----------------------------------------- *)
+
+type enum_report = {
+  arenas_swept : int;  (* lossless sweep: arenas with workload events *)
+  crash_points : int;  (* armed (arena, event) pairs, both sweeps *)
+  after_decision_states : int;
+      (* coordinator-crash-after-decision-before-any-COMMIT states *)
+}
+
+let pp_enum_report ppf r =
+  Fmt.pf ppf
+    "arenas=%d crash points=%d coordinator-after-decision states=%d: all \
+     recover consistently"
+    r.arenas_swept r.crash_points r.after_decision_states
+
+(* Raises {!Enum.Node_illegal} on the first inconsistent crash state. *)
+let enumerate ?(nodes = 3) ?(txns = 6) () =
+  (* Every (component, persistence event) single-crash over a lossless
+     run: participants and the coordinator (index 0) alike. *)
+  let lossless =
+    Enum.sweep_nodes
+      ~make:(make_world ~nodes ~txns ~drop_1_in:0 ~seed:1 ~chaos_at:None)
+      ~arenas:(fun w -> Twopc.arenas w.cluster)
+      ~workload:run_workload ~check:check_world
+  in
+  (* The same sweep under heavy message loss: dropped votes, COMMITs and
+     ACKs force the retry/timeout paths and presumed aborts while the
+     crash point moves. *)
+  let lossy =
+    Enum.sweep_nodes
+      ~make:
+        (make_world ~nodes ~txns:(max 3 (txns / 2)) ~drop_1_in:3 ~seed:7
+           ~chaos_at:None)
+      ~arenas:(fun w -> Twopc.arenas w.cluster)
+      ~workload:run_workload ~check:check_world
+  in
+  (* No coordinator persistence event separates the decision append from
+     the COMMIT fan-out, so arm_crash cannot reach the classic worst
+     case: decision durable, every participant in doubt.  The chaos hook
+     plants the crash there for each transaction in turn. *)
+  let after_decision = ref 0 in
+  for j = 0 to txns - 1 do
+    let w = make_world ~nodes ~txns ~drop_1_in:0 ~seed:1 ~chaos_at:(Some j) () in
+    run_workload w;
+    incr after_decision;
+    match check_world w with
+    | None -> ()
+    | Some detail ->
+        raise (Enum.Node_illegal { node = 0; event = j; detail })
+  done;
+  {
+    arenas_swept = lossless.Enum.swept_arenas;
+    crash_points = lossless.Enum.crash_points + lossy.Enum.crash_points;
+    after_decision_states = !after_decision;
+  }
+
+(* -- benchmark ----------------------------------------------------------- *)
+
+type result = {
+  nodes : int;
+  drop_1_in : int;
+  txns : int;
+  committed : int;
+  aborted : int;
+  unknown : int;
+  retries : int;
+  msgs_sent : int;
+  msgs_dropped : int;
+  makespan_sim_ns : int;
+  throughput_commits_per_s : float;
+}
+
+let run_one ~nodes ~txns ~drop_1_in =
+  let w = make_world ~nodes ~txns ~drop_1_in ~seed:11 ~chaos_at:None () in
+  let span = Clock.start () in
+  run_workload w;
+  let makespan = Clock.elapsed span in
+  let s = Twopc.stats w.cluster in
+  {
+    nodes;
+    drop_1_in;
+    txns;
+    committed = s.Twopc.committed;
+    aborted = s.Twopc.aborted;
+    unknown = s.Twopc.unknown;
+    retries = s.Twopc.retries;
+    msgs_sent = s.Twopc.msgs_sent;
+    msgs_dropped = s.Twopc.msgs_dropped;
+    makespan_sim_ns = makespan;
+    throughput_commits_per_s =
+      (if makespan = 0 then 0.
+       else float_of_int s.Twopc.committed *. 1e9 /. float_of_int makespan);
+  }
+
+let default_points = [ (3, 0); (5, 0); (3, 7) ]
+
+let run ?(txns = 200) ?(points = default_points) () =
+  List.map (fun (nodes, drop_1_in) -> run_one ~nodes ~txns ~drop_1_in) points
+
+let pp_result ppf r =
+  Fmt.pf ppf
+    "nodes=%d drop=1/%d  %4d txns: %4d committed %3d aborted %2d unknown  \
+     %4d msgs (%d dropped, %d retries)  makespan %a  %8.0f commits/sim-s"
+    r.nodes r.drop_1_in r.txns r.committed r.aborted r.unknown r.msgs_sent
+    r.msgs_dropped r.retries Clock.pp_ns r.makespan_sim_ns
+    r.throughput_commits_per_s
+
+let to_json results =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "[\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Printf.sprintf
+           "  {\"name\": \"2pc\", \"id\": \"n%d_drop%d\", \"txns\": %d, \
+            \"committed\": %d, \"aborted\": %d, \"unknown\": %d, \
+            \"retries\": %d, \"msgs_sent\": %d, \"msgs_dropped\": %d, \
+            \"makespan_sim_ns\": %d, \"throughput_commits_per_s\": %.2f}"
+           r.nodes r.drop_1_in r.txns r.committed r.aborted r.unknown r.retries
+           r.msgs_sent r.msgs_dropped r.makespan_sim_ns
+           r.throughput_commits_per_s))
+    results;
+  Buffer.add_string b "\n]\n";
+  Buffer.contents b

@@ -23,6 +23,7 @@ type typ =
   | Checkpoint
   | Delete
   | Rollback
+  | Prepare
 
 let int_of_typ = function
   | Update -> 1
@@ -31,6 +32,7 @@ let int_of_typ = function
   | Checkpoint -> 4
   | Delete -> 5
   | Rollback -> 6
+  | Prepare -> 7
 
 let typ_of_int = function
   | 1 -> Update
@@ -39,6 +41,7 @@ let typ_of_int = function
   | 4 -> Checkpoint
   | 5 -> Delete
   | 6 -> Rollback
+  | 7 -> Prepare
   | n -> Fmt.invalid_arg "Record.typ_of_int: %d" n
 
 let pp_typ ppf t =
@@ -49,7 +52,8 @@ let pp_typ ppf t =
     | End -> "END"
     | Checkpoint -> "CHECKPOINT"
     | Delete -> "DELETE"
-    | Rollback -> "ROLLBACK")
+    | Rollback -> "ROLLBACK"
+    | Prepare -> "PREPARE")
 
 let size_bytes = 64
 
@@ -130,7 +134,7 @@ module Inline = struct
     | Update -> Some 0
     | Clr -> Some 1
     | End -> Some 2
-    | Checkpoint | Delete | Rollback -> None
+    | Checkpoint | Delete | Rollback | Prepare -> None
 
   let typ_of_typ2 = function
     | 0 -> Update
@@ -206,7 +210,7 @@ module Inline = struct
                   pack ~fmt:0 ~payload ~a16:(Int64.to_int old_value)
                     ~b16:(Int64.to_int new_value)
                 else None
-            | Checkpoint | Delete | Rollback -> None
+            | Checkpoint | Delete | Rollback | Prepare -> None
 end
 
 (* An inline ref is the pair's first-slot address with the low bit set. *)

@@ -11,6 +11,7 @@ type typ =
   | Checkpoint  (** durable point marker (Section 4.6) *)
   | Delete      (** deferred de-allocation intention (Section 4.3) *)
   | Rollback    (** rollback started (Algorithm 2) *)
+  | Prepare     (** 2PC vote: transaction is in doubt until resolved *)
 
 val pp_typ : typ Fmt.t
 

@@ -117,6 +117,11 @@ type t = {
   next_txn : int Atomic.t;
   next_lsn : int Atomic.t;  (* one global counter: LSNs order records
                                across all partitions *)
+  prepared_gtids : (int, int) Hashtbl.t;
+      (* local txn id -> global (2PC) transaction id, for every
+         transaction currently in doubt: PREPARE logged, outcome not yet
+         resolved.  Maintained by [prepare]/[resolve_in_doubt] and rebuilt
+         from the logs by recovery. *)
   mutable commits : int;
   mutable rollbacks : int;
   mutable last_recovery : recovery_report option;
@@ -128,11 +133,54 @@ type t = {
 (* Reserved txn id 0 belongs to the AAVLT's internal logging. *)
 let first_txn = 1
 
-(* Each partition anchors its log at [root_slot + 2*pid] and its AAVLT
-   root at [root_slot + 2*pid + 1] — the layout a single-partition
-   manager has always used, repeated per partition. *)
-let part_log_slot ~root_slot pid = root_slot + (2 * pid)
-let part_index_slot ~root_slot pid = root_slot + (2 * pid) + 1
+(* Root-slot layout: the manager's first slot holds a durable
+   configuration fingerprint (written once at [create]); partition [p]
+   then anchors its log at [root_slot + 1 + 2*pid] and its AAVLT root at
+   [root_slot + 2 + 2*pid].  [attach] validates the fingerprint before
+   touching any log slot — re-attaching with, say, a different partition
+   count used to silently misassign home partitions and read other
+   partitions' anchors as its own. *)
+let part_log_slot ~root_slot pid = root_slot + 1 + (2 * pid)
+let part_index_slot ~root_slot pid = root_slot + 2 + (2 * pid)
+
+(* The fingerprint packs every recovery-relevant config field into one
+   word: magic tag, partition count, policy, layers, log variant (plus
+   Batch group size) and bucket capacity.  [lockfree_latch] is volatile
+   scheduling policy — it does not change the durable layout — so it is
+   recorded but masked out of the comparison. *)
+let config_magic = 0x52 (* 'R' *)
+
+let config_word cfg =
+  let vtag, group =
+    match cfg.variant with
+    | Log.Simple -> (0, 0)
+    | Log.Optimized -> (1, 0)
+    | Log.Batch g -> (2, g land 0xFFFF)
+  in
+  config_magic
+  lor ((cfg.partitions land 0xFF) lsl 8)
+  lor ((match cfg.policy with No_force -> 0 | Force -> 1) lsl 16)
+  lor ((match cfg.layers with One_layer -> 0 | Two_layer -> 1) lsl 17)
+  lor (vtag lsl 18)
+  lor (group lsl 20)
+  lor ((cfg.bucket_cap land 0xFFFFFF) lsl 36)
+  lor ((if cfg.lockfree_latch then 1 else 0) lsl 60)
+
+let config_of_word w =
+  {
+    policy = (if (w lsr 16) land 1 = 1 then Force else No_force);
+    layers = (if (w lsr 17) land 1 = 1 then Two_layer else One_layer);
+    variant =
+      (match (w lsr 18) land 3 with
+      | 0 -> Log.Simple
+      | 1 -> Log.Optimized
+      | _ -> Log.Batch ((w lsr 20) land 0xFFFF));
+    bucket_cap = (w lsr 36) land 0xFFFFFF;
+    lockfree_latch = (w lsr 60) land 1 = 1;
+    partitions = (w lsr 8) land 0xFF;
+  }
+
+let semantic_config_bits w = w land lnot (1 lsl 60)
 
 let check_cfg cfg ~root_slot =
   if cfg.partitions < 1 then
@@ -142,6 +190,31 @@ let check_cfg cfg ~root_slot =
       (Printf.sprintf
          "Tm: %d partitions at root slot %d exceed the arena's 63 root slots"
          cfg.partitions root_slot)
+
+let validate_stored_config arena cfg ~root_slot =
+  let stored = Int64.to_int (Arena.root_get arena root_slot) in
+  if stored = 0 then
+    failwith
+      (Printf.sprintf
+         "Tm.attach: no durable configuration at root slot %d (this arena \
+          was never initialised with Tm.create here)"
+         root_slot)
+  else if stored land 0xFF <> config_magic then
+    failwith
+      (Printf.sprintf
+         "Tm.attach: root slot %d does not hold a Tm configuration \
+          fingerprint (found %#x)"
+         root_slot stored)
+  else if semantic_config_bits stored <> semantic_config_bits (config_word cfg)
+  then
+    failwith
+      (Fmt.str
+         "Tm.attach: durable configuration mismatch at root slot %d: the \
+          arena was created with %a (%d partition(s)) but attach requested \
+          %a (%d partition(s))"
+         root_slot pp_config (config_of_word stored)
+         ((stored lsr 8) land 0xFF)
+         pp_config cfg cfg.partitions)
 
 let make_latch cfg =
   if cfg.lockfree_latch then
@@ -168,6 +241,7 @@ let make_t cfg alloc parts =
     parts;
     next_txn = Atomic.make first_txn;
     next_lsn = Atomic.make 1;
+    prepared_gtids = Hashtbl.create 8;
     commits = 0;
     rollbacks = 0;
     last_recovery = None;
@@ -178,6 +252,7 @@ let make_t cfg alloc parts =
 let create ?(cfg = default_config) alloc ~root_slot =
   check_cfg cfg ~root_slot;
   let arena = Alloc.arena alloc in
+  Arena.root_set arena root_slot (Int64.of_int (config_word cfg));
   let parts =
     Array.init cfg.partitions (fun pid ->
         let log =
@@ -495,24 +570,41 @@ let rollback_one_layer t p txn_id =
   (* One-layer: no per-transaction chain — a full backward scan of the
      home partition skipping other transactions' records (the "skip
      records" of Section 5.1).  Every record of [txn_id] lives in its
-     home partition, so other partitions need not be scanned. *)
+     home partition, so other partitions need not be scanned.  The
+     Algorithm-2 CLR bound makes the scan idempotent: resolving an
+     in-doubt transaction as aborted after a crash mid-rollback must not
+     re-undo already-compensated updates. *)
   let durably = t.cfg.policy = Force in
+  let bound = ref max_int in
   Log.iter_back p.log (fun r ->
-      if record_txn t r = txn_id && record_typ t r = Record.Update then
-        undo_one t p txn_id r ~durably)
+      if record_txn t r = txn_id then
+        match record_typ t r with
+        | Record.Clr -> bound := Record.undo_next t.arena r
+        | Record.Update ->
+            if Record.lsn t.arena r < !bound then undo_one t p txn_id r ~durably
+        | Record.End | Record.Checkpoint | Record.Delete | Record.Rollback
+        | Record.Prepare ->
+            ())
 
 let rollback_two_layer t p idx txn_id =
   let durably = t.cfg.policy = Force in
   match Txn_table.find p.table txn_id with
   | None -> ()
   | Some e ->
+      let bound = ref max_int in
       let rec go r =
         if r <> 0 then begin
           let next = Record.prev_same_txn t.arena r in
           (* each record is retrieved through the AAVLT (Section 4.4) *)
           ignore (Avl_index.find idx (Record.lsn t.arena r));
-          (if record_typ t r = Record.Update then
-             undo_one t p txn_id r ~durably);
+          (match record_typ t r with
+          | Record.Clr -> bound := Record.undo_next t.arena r
+          | Record.Update ->
+              if Record.lsn t.arena r < !bound then
+                undo_one t p txn_id r ~durably
+          | Record.End | Record.Checkpoint | Record.Delete | Record.Rollback
+          | Record.Prepare ->
+              ());
           go next
         end
       in
@@ -551,7 +643,7 @@ let rollback_to t txn_id (sp : savepoint) =
                   | Record.Update ->
                       if lsn < !bound then undo_one t p txn_id r ~durably
                   | Record.End | Record.Checkpoint | Record.Delete
-                  | Record.Rollback ->
+                  | Record.Rollback | Record.Prepare ->
                       ());
                   true
                 end)
@@ -573,7 +665,7 @@ let rollback_to t txn_id (sp : savepoint) =
                           undo_one t p txn_id r ~durably
                         end
                     | Record.End | Record.Checkpoint | Record.Delete
-                    | Record.Rollback ->
+                    | Record.Rollback | Record.Prepare ->
                         ());
                     go next
                   end
@@ -608,6 +700,58 @@ let rollback t txn_id =
           | Some idx -> clear_txn_index t p idx txn_id)
       | No_force -> Hashtbl.replace p.ended txn_id ());
       Pmcheck.txn_settled t.arena ~txn:txn_id)
+
+(* -- two-phase commit: the participant side (Distributed REWIND) ----------- *)
+
+(* PREPARE (the participant's yes-vote): make everything the transaction
+   did durable — pending batch groups, deferred user stores and, under
+   force, the data itself — then durably log a PREPARE record carrying
+   the global transaction id in its old-value field.  From here until
+   {!resolve_in_doubt} the transaction is *in doubt*: recovery neither
+   undoes nor finishes it, because under presumed abort only the
+   coordinator's durable decision record can settle it. *)
+let prepare t txn_id ~gtid =
+  hot_span t "prepare" @@ fun () ->
+  let p = home t txn_id in
+  Sim_mutex.with_lock p.latch (fun () ->
+      Log.flush_group p.log;
+      drain_deferred t p;
+      Arena.fence t.arena;
+      (match p.index with
+      | None ->
+          ignore
+            (Log.append_record ~is_end:true p.log ~lsn:(fresh_lsn t)
+               ~txn:txn_id ~typ:Record.Prepare ~addr:0
+               ~old_value:(Int64.of_int gtid) ~new_value:0L ~undo_next:0)
+      | Some _ ->
+          let r =
+            Record.make t.alloc ~lsn:(fresh_lsn t) ~txn:txn_id
+              ~typ:Record.Prepare ~addr:0 ~old_value:(Int64.of_int gtid)
+              ~new_value:0L ~undo_next:0 ~prev_same_txn:0
+          in
+          append_user_record t p txn_id r ~is_end:true);
+      (match Txn_table.find p.table txn_id with
+      | Some e -> e.Txn_table.status <- Txn_table.Prepared
+      | None -> ());
+      Hashtbl.replace t.prepared_gtids txn_id gtid)
+
+(* The transactions currently in doubt (live after {!prepare}, or found
+   by recovery), with their global transaction ids. *)
+let in_doubt t =
+  List.sort compare
+    (Hashtbl.fold (fun x g acc -> (x, g) :: acc) t.prepared_gtids [])
+
+(* Settle an in-doubt transaction once the coordinator's decision is
+   known.  Both outcomes reuse the ordinary settle paths; rollback's CLR
+   bound makes abort resolution idempotent when a crash lands
+   mid-resolution and the decision is re-applied after re-attach. *)
+let resolve_in_doubt t txn_id ~commit:do_commit =
+  if not (Hashtbl.mem t.prepared_gtids txn_id) then
+    invalid_arg
+      (Printf.sprintf "Tm.resolve_in_doubt: transaction %d is not in doubt"
+         txn_id);
+  if do_commit then commit t txn_id else rollback t txn_id;
+  Hashtbl.remove t.prepared_gtids txn_id
 
 (* -- checkpoint (Section 4.6) ---------------------------------------------- *)
 
@@ -843,6 +987,10 @@ let analysis_one_layer t prof =
             match record_typ t r with
             | Record.End -> e.Txn_table.status <- Txn_table.Finished
             | Record.Rollback -> e.Txn_table.status <- Txn_table.Aborted
+            | Record.Prepare ->
+                e.Txn_table.status <- Txn_table.Prepared;
+                Hashtbl.replace t.prepared_gtids x
+                  (Int64.to_int (Record.old_value t.arena r))
             | Record.Update | Record.Clr | Record.Delete | Record.Checkpoint
               ->
                 ()
@@ -875,7 +1023,9 @@ let redo_one_layer t =
           incr applied;
           Arena.write t.arena (Record.addr t.arena r)
             (Record.new_value t.arena r)
-      | Record.End | Record.Checkpoint | Record.Delete | Record.Rollback -> ())
+      | Record.End | Record.Checkpoint | Record.Delete | Record.Rollback
+      | Record.Prepare ->
+          ())
     (merged_log_records t);
   !applied
 
@@ -899,6 +1049,11 @@ let undo_one_layer t =
         | Some e -> (
             match e.Txn_table.status with
             | Txn_table.Finished -> ()
+            | Txn_table.Prepared ->
+                (* in doubt: the transaction voted yes and may only be
+                   settled by [resolve_in_doubt] once the coordinator's
+                   decision is known — leave its records untouched *)
+                ()
             | Txn_table.Running | Txn_table.Aborted -> (
                 if e.Txn_table.status = Txn_table.Running then begin
                   e.Txn_table.status <- Txn_table.Aborted;
@@ -920,16 +1075,19 @@ let undo_one_layer t =
                     in
                     if not skip then undo_one t p x r ~durably
                 | Record.End | Record.Checkpoint | Record.Delete
-                | Record.Rollback ->
+                | Record.Rollback | Record.Prepare ->
                     ())))
     descending;
   (* END records for every transaction we just settled, appended to each
-     loser's home partition *)
+     loser's home partition; in-doubt transactions are not losers *)
   let losers = ref 0 in
   Array.iter
     (fun p ->
       Txn_table.iter p.table (fun e ->
-          if e.Txn_table.status <> Txn_table.Finished then begin
+          if
+            e.Txn_table.status <> Txn_table.Finished
+            && e.Txn_table.status <> Txn_table.Prepared
+          then begin
             incr losers;
             (if Hashtbl.mem to_mark_rollback e.Txn_table.id then
                let r =
@@ -943,6 +1101,23 @@ let undo_one_layer t =
           end))
     t.parts;
   !losers
+
+(* After analysis, [t.prepared_gtids] holds every transaction that logged
+   a PREPARE; keep only those still in doubt (status [Prepared]) — a
+   later END or ROLLBACK record means the outcome was already settled. *)
+let prune_in_doubt t =
+  let keep = Hashtbl.create 8 in
+  Array.iter
+    (fun p ->
+      Txn_table.iter p.table (fun e ->
+          if e.Txn_table.status = Txn_table.Prepared then
+            Hashtbl.replace keep e.Txn_table.id
+              (match Hashtbl.find_opt t.prepared_gtids e.Txn_table.id with
+              | Some g -> g
+              | None -> 0)))
+    t.parts;
+  Hashtbl.reset t.prepared_gtids;
+  Hashtbl.iter (Hashtbl.replace t.prepared_gtids) keep
 
 (* Checksum gate used by two-layer recovery before a tree-indexed record
    is interpreted: plausibly addressed, then CRC-intact. *)
@@ -1005,6 +1180,10 @@ let recover_two_layer t prof =
           match record_typ t r with
           | Record.End -> e.Txn_table.status <- Txn_table.Finished
           | Record.Rollback -> e.Txn_table.status <- Txn_table.Aborted
+          | Record.Prepare ->
+              e.Txn_table.status <- Txn_table.Prepared;
+              Hashtbl.replace t.prepared_gtids x
+                (Int64.to_int (Record.old_value t.arena r))
           | Record.Update | Record.Clr | Record.Delete | Record.Checkpoint ->
               ()
         end)
@@ -1020,6 +1199,7 @@ let recover_two_layer t prof =
       t.parts;
     (ascending, !finished)
   in
+  prune_in_doubt t;
   (* redo (no-force only): repeat history in merged LSN order *)
   let redo = ref 0 in
   if t.cfg.policy = No_force then
@@ -1032,7 +1212,7 @@ let recover_two_layer t prof =
                 Arena.write t.arena (Record.addr t.arena r)
                   (Record.new_value t.arena r)
             | Record.End | Record.Checkpoint | Record.Delete
-            | Record.Rollback ->
+            | Record.Rollback | Record.Prepare ->
                 ())
           ascending);
   (* undo unfinished transactions via their back-chains, each within its
@@ -1046,7 +1226,13 @@ let recover_two_layer t prof =
         match p.index with
         | None -> ()
         | Some idx ->
-            let losers = Txn_table.unfinished p.table in
+            (* in-doubt (prepared) transactions are not losers: they stay
+               unsettled until [resolve_in_doubt] *)
+            let losers =
+              List.filter
+                (fun e -> e.Txn_table.status <> Txn_table.Prepared)
+                (Txn_table.unfinished p.table)
+            in
             total := !total + List.length losers;
             List.iter
               (fun e ->
@@ -1078,7 +1264,7 @@ let recover_two_layer t prof =
                             undo_one t p x r ~durably
                           end
                       | Record.End | Record.Checkpoint | Record.Delete
-                      | Record.Rollback ->
+                      | Record.Rollback | Record.Prepare ->
                           ());
                       go next
                     end
@@ -1100,21 +1286,44 @@ let recover_two_layer t prof =
         t.parts;
       Arena.flush_all t.arena;
       Arena.fence t.arena;
-      (* every transaction is settled: free the records, then drop each
-         tree with one atomic root swing per partition.  Torn records
-         leak, like every volatile free list across a crash. *)
+      (* every transaction except the in-doubt set is settled: free the
+         settled records — wholesale (one atomic root swing per
+         partition) when nothing is in doubt, selectively otherwise, so
+         that in-doubt chains survive until [resolve_in_doubt].  Torn
+         records leak, like every volatile free list across a crash. *)
       Array.iter
         (fun p ->
           part_span t prof "clearing" p @@ fun () ->
           match p.index with
           | None -> ()
           | Some idx ->
-              let records = ref [] in
-              Avl_index.iter idx (fun n ->
-                  let r = Avl_index.head_record idx n in
-                  if record_intact t r then records := r :: !records);
-              Avl_index.clear idx;
-              List.iter (fun r -> Record.free t.alloc r) !records)
+              if Hashtbl.length t.prepared_gtids = 0 then begin
+                let records = ref [] in
+                Avl_index.iter idx (fun n ->
+                    let r = Avl_index.head_record idx n in
+                    if record_intact t r then records := r :: !records);
+                Avl_index.clear idx;
+                List.iter (fun r -> Record.free t.alloc r) !records
+              end
+              else begin
+                let victims = ref [] in
+                Avl_index.iter idx (fun n ->
+                    let r = Avl_index.head_record idx n in
+                    let keep =
+                      record_intact t r
+                      && Hashtbl.mem t.prepared_gtids (record_txn t r)
+                    in
+                    if not keep then
+                      victims :=
+                        ( Avl_index.key idx n,
+                          if record_intact t r then r else 0 )
+                        :: !victims);
+                List.iter
+                  (fun (lsn, r) ->
+                    ignore (Avl_index.remove idx lsn);
+                    if r <> 0 then Record.free t.alloc r)
+                  !victims
+              end)
         t.parts);
   {
     records_scanned = List.length ascending;
@@ -1125,10 +1334,14 @@ let recover_two_layer t prof =
   }
 
 let clear_after_recovery t =
-  (* All transactions are settled; make their effects durable and clear
-     every partition's log wholesale (three-step swap, Section 4.5).
-     Buffered Batch stores must land before the flush or they would be
-     silently dropped. *)
+  (* Every transaction is settled except the in-doubt set; make the
+     recovered state durable, then clear the logs.  With nothing in doubt
+     this is the paper's wholesale three-step swap (Section 4.5);
+     otherwise clearing is selective — an in-doubt transaction's records
+     (UPDATE/DELETE/PREPARE and any CLRs from an interrupted abort
+     resolution) must survive until [resolve_in_doubt], across any number
+     of further crashes.  Buffered Batch stores must land before the
+     flush or they would be silently dropped. *)
   Array.iter
     (fun p ->
       Log.flush_group p.log;
@@ -1136,14 +1349,68 @@ let clear_after_recovery t =
     t.parts;
   Arena.flush_all t.arena;
   Arena.fence t.arena;
+  let in_doubt_txn x = Hashtbl.mem t.prepared_gtids x in
   Array.iter
     (fun p ->
-      Log.clear_all p.log;
-      Txn_table.clear p.table;
+      (match (t.cfg.layers, Hashtbl.length t.prepared_gtids) with
+      | _, 0 ->
+          Log.clear_all p.log;
+          Txn_table.clear p.table
+      | One_layer, _ ->
+          (* tombstone everything settled, END records last (mirroring
+             [clear_txn_records], so a crash mid-clearing re-attempts
+             identically); one-layer resolution re-scans the log, so the
+             volatile table can go *)
+          Log.remove_where p.log (fun r ->
+              (not (in_doubt_txn (record_txn t r)))
+              && record_typ t r <> Record.End);
+          Log.remove_where p.log (fun r ->
+              (not (in_doubt_txn (record_txn t r)))
+              && record_typ t r = Record.End);
+          Txn_table.clear p.table
+      | Two_layer, _ ->
+          (* the bottom-layer (AAVLT-internal) log holds only settled
+             internal records; in-doubt user records live in the index,
+             which recovery already cleared selectively.  Keep the
+             in-doubt table entries: their chains drive resolution. *)
+          Log.clear_all p.log;
+          let dead = ref [] in
+          Txn_table.iter p.table (fun e ->
+              if e.Txn_table.status <> Txn_table.Prepared then
+                dead := e.Txn_table.id :: !dead);
+          List.iter (fun id -> Txn_table.remove p.table id) !dead);
       Hashtbl.reset p.ended;
       p.deferred_deletes <- [];
       p.deferred <- [])
-    t.parts
+    t.parts;
+  (* Rebuild the in-doubt transactions' deferred de-allocation intentions
+     from their surviving DELETE records: a commit decision frees them, an
+     abort drops them. *)
+  if Hashtbl.length t.prepared_gtids > 0 then
+    Array.iter
+      (fun p ->
+        let note r =
+          let x = record_txn t r in
+          if in_doubt_txn x && record_typ t r = Record.Delete then
+            p.deferred_deletes <-
+              ( x,
+                Record.lsn t.arena r,
+                Record.addr t.arena r,
+                Int64.to_int (Record.old_value t.arena r) )
+              :: p.deferred_deletes
+        in
+        match t.cfg.layers with
+        | One_layer -> Log.iter p.log note
+        | Two_layer ->
+            Txn_table.iter p.table (fun e ->
+                let rec go r =
+                  if r <> 0 then begin
+                    note r;
+                    go (Record.prev_same_txn t.arena r)
+                  end
+                in
+                go e.Txn_table.last_record))
+      t.parts
 
 let torn_truncated_logs t =
   Array.fold_left (fun acc p -> acc + Log.torn_truncated p.log) 0 t.parts
@@ -1157,6 +1424,7 @@ let torn_truncated_logs t =
 let recover_with t prof =
   let pstats = Arena.stats t.arena in
   Pmcheck.recovery_begin t.arena;
+  Hashtbl.reset t.prepared_gtids;
   let report =
     match t.cfg.layers with
     | One_layer ->
@@ -1164,6 +1432,7 @@ let recover_with t prof =
           Probe.span prof pstats "analysis" (fun () ->
               analysis_one_layer t prof)
         in
+        prune_in_doubt t;
         let redo =
           if t.cfg.policy = No_force then
             Probe.span prof pstats "redo" (fun () -> redo_one_layer t)
@@ -1198,6 +1467,7 @@ let recover t = recover_with t (Probe.create ())
 let attach ?(cfg = default_config) alloc ~root_slot =
   check_cfg cfg ~root_slot;
   let arena = Alloc.arena alloc in
+  validate_stored_config arena cfg ~root_slot;
   let prof = Probe.create () in
   let pstats = Arena.stats arena in
   let parts =

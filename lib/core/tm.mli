@@ -57,16 +57,24 @@ type txn = int
 type t
 
 val create : ?cfg:config -> Rewind_nvm.Alloc.t -> root_slot:int -> t
-(** Fresh transaction manager anchored at [root_slot]: partition [p]'s
-    log lives at root slot [root_slot + 2p] and its two-layer index at
-    [root_slot + 2p + 1] (so a single-partition manager uses
-    [root_slot] and [root_slot + 1], as always).  Raises [Invalid_argument]
+(** Fresh transaction manager anchored at [root_slot]: the slot itself
+    durably records a configuration fingerprint (validated by {!attach}),
+    partition [p]'s log lives at root slot [root_slot + 1 + 2p] and its
+    two-layer index at [root_slot + 2 + 2p].  Raises [Invalid_argument]
     if the partitions do not fit the arena's 63 root slots. *)
 
 val attach : ?cfg:config -> Rewind_nvm.Alloc.t -> root_slot:int -> t
 (** Reattach after a crash with the same configuration and root slot:
     recovers the log structure, then runs analysis / redo / undo and
-    clears the log.  On return every pre-crash transaction is settled. *)
+    clears the log.  On return every pre-crash transaction is settled,
+    except transactions left {e in doubt} by a {!prepare} — those keep
+    their records and must be settled via {!resolve_in_doubt}.
+
+    The configuration is checked against the fingerprint {!create} stored
+    at [root_slot]: attaching with a different partition count (or any
+    other recovery-relevant config field) raises [Failure] with a
+    diagnostic instead of silently misassigning home partitions.
+    ([lockfree_latch] is volatile scheduling policy and may differ.) *)
 
 val config : t -> config
 
@@ -126,6 +134,36 @@ val rollback : t -> txn -> unit
 val atomically : t -> (txn -> 'a) -> 'a
 (** The paper's [persistent_atomic] block: begin; commit on success, roll
     back and re-raise on exception. *)
+
+(** {1 Two-phase commit (Distributed REWIND)}
+
+    The participant side of presumed-abort 2PC.  {!prepare} is the
+    yes-vote: it persists everything the transaction did and durably logs
+    a PREPARE record carrying the coordinator's global transaction id.
+    From then on the transaction is {e in doubt}: recovery neither undoes
+    nor finishes it — its records survive log clearing across any number
+    of crashes — until {!resolve_in_doubt} applies the coordinator's
+    decision (commit if the coordinator durably logged one, abort
+    otherwise: presumed abort). *)
+
+val prepare : t -> txn -> gtid:int -> unit
+(** Vote yes: persist the transaction's records (and, under force, its
+    stores), then durably log PREPARE.  After [prepare] the transaction
+    must not be settled unilaterally — only {!resolve_in_doubt} may
+    finish it. *)
+
+val in_doubt : t -> (txn * int) list
+(** The transactions currently in doubt with their global transaction
+    ids — live after {!prepare}, or as reconstructed by recovery from
+    surviving PREPARE records.  Sorted by local transaction id. *)
+
+val resolve_in_doubt : t -> txn -> commit:bool -> unit
+(** Settle an in-doubt transaction with the coordinator's decision:
+    [commit:true] commits it (its updates are already durable or
+    redo-able), [commit:false] rolls it back with CLRs.  Idempotent
+    across crashes mid-resolution — re-attach finds the transaction in
+    doubt again and the decision can be re-applied.  Raises
+    [Invalid_argument] if the transaction is not in doubt. *)
 
 (** {1 Partial rollback}
 

@@ -13,8 +13,9 @@
 
 type t = { cfg : Tm.config; tms : Tm.t array }
 
-(* Each partition uses two root slots (log anchor + two-layer index). *)
-let slots_per_partition = 2
+(* Each group member's root-slot footprint: one config-fingerprint slot
+   plus two slots (log anchor + two-layer index) per internal partition. *)
+let slots_per_member cfg = 1 + (2 * cfg.Tm.partitions)
 
 let create ?(cfg = Tm.default_config) alloc ~root_slot ~partitions =
   if partitions < 1 then invalid_arg "Tm_group.create: partitions";
@@ -22,7 +23,7 @@ let create ?(cfg = Tm.default_config) alloc ~root_slot ~partitions =
     cfg;
     tms =
       Array.init partitions (fun p ->
-          Tm.create ~cfg alloc ~root_slot:(root_slot + (slots_per_partition * p)));
+          Tm.create ~cfg alloc ~root_slot:(root_slot + (slots_per_member cfg * p)));
   }
 
 (* Reattach after a crash: every partition runs its own recovery. *)
@@ -31,7 +32,7 @@ let attach ?(cfg = Tm.default_config) alloc ~root_slot ~partitions =
     cfg;
     tms =
       Array.init partitions (fun p ->
-          Tm.attach ~cfg alloc ~root_slot:(root_slot + (slots_per_partition * p)));
+          Tm.attach ~cfg alloc ~root_slot:(root_slot + (slots_per_member cfg * p)));
   }
 
 let partitions t = Array.length t.tms

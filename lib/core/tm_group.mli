@@ -10,8 +10,9 @@ type t
 
 val create :
   ?cfg:Tm.config -> Rewind_nvm.Alloc.t -> root_slot:int -> partitions:int -> t
-(** Each partition occupies two consecutive root slots starting at
-    [root_slot]. *)
+(** Each partition occupies consecutive root slots starting at
+    [root_slot]: a config-fingerprint slot plus two slots per internal
+    partition of its manager. *)
 
 val attach :
   ?cfg:Tm.config -> Rewind_nvm.Alloc.t -> root_slot:int -> partitions:int -> t

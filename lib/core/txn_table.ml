@@ -6,13 +6,14 @@
    Entries carry the transaction's status, its most recent record and the
    next record to undo. *)
 
-type status = Running | Aborted | Finished
+type status = Running | Aborted | Prepared | Finished
 
 let pp_status ppf s =
   Fmt.string ppf
     (match s with
     | Running -> "RUNNING"
     | Aborted -> "ABORTED"
+    | Prepared -> "PREPARED"
     | Finished -> "FINISHED")
 
 type entry = {

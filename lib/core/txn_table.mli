@@ -4,7 +4,7 @@
     configuration.  One-layer logging does not maintain it while logging
     at all; two-layer logging keeps it updated as records are chained. *)
 
-type status = Running | Aborted | Finished
+type status = Running | Aborted | Prepared | Finished
 
 val pp_status : status Fmt.t
 

@@ -55,6 +55,37 @@ let lock t =
     Clock.advance t.acquire_ns
   end
 
+let try_lock t =
+  if t.contention_free then begin
+    (* the lock-free fast path never waits; a try is an acquire *)
+    lock t;
+    true
+  end
+  else if Sim_threads.active () then begin
+    (* Same rescheduling rule as [lock], so tries are processed in (near)
+       simulated-time order before the holder check. *)
+    Sim_threads.yield ();
+    if t.holder >= 0 then begin
+      Clock.advance t.acquire_ns;
+      false
+    end
+    else begin
+      t.holder <- Sim_threads.current ();
+      Clock.advance_to t.released_at;
+      Clock.advance t.acquire_ns;
+      true
+    end
+  end
+  else if Mutex.try_lock t.mu then begin
+    Clock.advance_to t.released_at;
+    Clock.advance t.acquire_ns;
+    true
+  end
+  else begin
+    Clock.advance t.acquire_ns;
+    false
+  end
+
 let unlock t =
   if t.contention_free then begin
     if not (Sim_threads.active ()) then Mutex.unlock t.mu

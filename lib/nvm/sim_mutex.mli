@@ -16,5 +16,11 @@ val create : ?acquire_ns:int -> ?contention_free:bool -> unit -> t
     still provided. *)
 
 val lock : t -> unit
+
+val try_lock : t -> bool
+(** Non-blocking acquire: [true] and the lock is held, or [false]
+    immediately if another thread holds it.  Either way the fixed
+    [acquire_ns] cost is charged — a failed try is a real CAS. *)
+
 val unlock : t -> unit
 val with_lock : t -> (unit -> 'a) -> 'a

@@ -13,6 +13,12 @@ val pp_configuration : configuration Fmt.t
 type result = {
   committed : int;
   aborted : int;
+      (** true aborts — the spec's 1 % invalid-item rollbacks, never
+          retried *)
+  retried : int;
+      (** conflict retries — data-lock contention backed off (bounded
+          exponential, simulated time) and rerun; these transactions still
+          end up in [committed] or [aborted] *)
   sim_ns : int;   (** slowest terminal's simulated time *)
   tpm : float;    (** new-order transactions per simulated minute *)
 }

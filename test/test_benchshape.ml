@@ -149,10 +149,76 @@ let test_ablation_group_shape () =
   check_bool "grouping matters more at 1us fences" true
     (gain 1 first last > gain 0 first last)
 
+(* benchdiff file handling: a gate that cannot run (missing or unreadable
+   input) must say which file and why, as an [Error] the CLI maps to its
+   own exit code — never a bare exception or a silent pass. *)
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let write_tmp name contents =
+  let path = Filename.concat (Filename.get_temp_dir_name ()) name in
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  path
+
+let valid_bench = {|[ {"name": "x", "ops": 10, "throughput": 5.0} ]|}
+
+let test_benchdiff_missing_baseline () =
+  match
+    Benchdiff.compare_files ~tolerance:0.1
+      ~baseline:"/nonexistent/benchdiff-baseline.json"
+      ~current:(write_tmp "bd_current_ok.json" valid_bench)
+  with
+  | Ok _ -> Alcotest.fail "missing baseline must not compare"
+  | Error msg ->
+      check_bool "names the baseline" true (contains msg "baseline");
+      check_bool "names the path" true (contains msg "benchdiff-baseline.json")
+
+let test_benchdiff_missing_current () =
+  match
+    Benchdiff.compare_files ~tolerance:0.1
+      ~baseline:(write_tmp "bd_baseline_ok.json" valid_bench)
+      ~current:"/nonexistent/benchdiff-current.json"
+  with
+  | Ok _ -> Alcotest.fail "missing current must not compare"
+  | Error msg ->
+      check_bool "names the current side" true (contains msg "current");
+      check_bool "names the path" true (contains msg "benchdiff-current.json")
+
+let test_benchdiff_malformed_json () =
+  let garbage = write_tmp "bd_garbage.json" "this is not json {" in
+  match
+    Benchdiff.compare_files ~tolerance:0.1
+      ~baseline:(write_tmp "bd_baseline_ok2.json" valid_bench) ~current:garbage
+  with
+  | Ok _ -> Alcotest.fail "malformed current must not compare"
+  | Error msg ->
+      check_bool "says invalid JSON" true (contains msg "not valid JSON");
+      check_bool "names the culprit file" true (contains msg "bd_garbage.json")
+
+let test_benchdiff_self_compare () =
+  let path = write_tmp "bd_self.json" valid_bench in
+  match Benchdiff.compare_files ~tolerance:0.1 ~baseline:path ~current:path with
+  | Error msg -> Alcotest.fail ("self-compare failed: " ^ msg)
+  | Ok o ->
+      check_bool "gated a metric" true (o.Benchdiff.checked > 0);
+      check_bool "identical results pass" true (Benchdiff.passed o)
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "benchshape"
     [
+      ( "benchdiff-files",
+        [
+          tc "missing baseline" `Quick test_benchdiff_missing_baseline;
+          tc "missing current" `Quick test_benchdiff_missing_current;
+          tc "malformed json" `Quick test_benchdiff_malformed_json;
+          tc "self-compare passes" `Quick test_benchdiff_self_compare;
+        ] );
       ( "figures",
         [
           tc "fig3-left ordering" `Slow test_fig3_left_shape;

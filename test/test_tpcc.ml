@@ -167,7 +167,21 @@ let test_workload_multi_terminal () =
       ~config:Workload.Rewind_opt_dlog ()
   in
   check_int "all transactions" 100 (r.Workload.committed + r.Workload.aborted);
-  check_bool "positive time" true (r.Workload.sim_ns > 0)
+  check_bool "positive time" true (r.Workload.sim_ns > 0);
+  check_int "no shared lock, no conflicts" 0 r.Workload.retried
+
+(* Conflict retries are bookkeeping, not transactions: under the coarse
+   data lock every submitted transaction still ends exactly once in
+   committed or aborted, with retries reported separately. *)
+let test_workload_conflict_retries () =
+  let r =
+    Workload.run ~terminals:4 ~txns_per_terminal:25 ~params:small ~arena_mb:128
+      ~config:Workload.Rewind_naive ()
+  in
+  check_int "all transactions accounted once" 100
+    (r.Workload.committed + r.Workload.aborted);
+  check_bool "contention on the coarse lock was retried" true
+    (r.Workload.retried > 0)
 
 let () =
   let tc = Alcotest.test_case in
@@ -198,5 +212,6 @@ let () =
           tc "single terminal (rewind opt)" `Quick
             (test_workload_single_terminal Workload.Rewind_opt);
           tc "multi terminal (dlog)" `Quick test_workload_multi_terminal;
+          tc "conflict retries (naive lock)" `Quick test_workload_conflict_retries;
         ] );
     ]
