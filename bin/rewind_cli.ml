@@ -260,6 +260,7 @@ let costs_cmd =
 
 module San = Rewind_analysis.Sanitizer
 module Enum = Rewind_analysis.Enumerator
+module Racecheck = Rewind_analysis.Racecheck
 
 (* A representative transactional workload: commits, a rollback, a partial
    rollback to a savepoint, a checkpoint, then a crash mid-transaction and
@@ -349,7 +350,50 @@ let check_enumerate ?(shard = fun c -> c) () =
     (shard { Rewind.config_simple with Rewind.Tm.policy = Rewind.Tm.No_force });
   enumerate_one "optimized-inline" (shard Rewind.config_1l_nfp)
 
-let run_check config_filter enumerate partitions =
+(* Happens-before race detection over the standard concurrent workloads:
+   the PR-5 multi-writer scaling workload, the same workload with a
+   concurrent cache-consistent checkpointer, and the TPC-C new-order
+   driver in the naive-REWIND (coarse-lock) configuration.  Any report —
+   data race or persist race — fails the run. *)
+let run_races config_filter partitions threads =
+  let partitions = max 1 partitions in
+  let selected =
+    match config_filter with
+    | None -> Race_workloads.configs
+    | Some n -> (
+        match List.assoc_opt n Race_workloads.configs with
+        | Some c -> [ (n, c) ]
+        | None -> [ (n, (List.assoc n config_names) ()) ])
+  in
+  Fmt.pr
+    "happens-before race detector — vector clocks over the trace stream@.";
+  Fmt.pr "(%d writer fiber(s), %d log partition(s))@.@." threads partitions;
+  let total = ref 0 in
+  let show name rc =
+    let races = Racecheck.races rc in
+    total := !total + List.length races;
+    Fmt.pr "  %-24s %a@." name Racecheck.pp_report (Racecheck.report rc);
+    List.iter (fun r -> Fmt.pr "    %a@." Racecheck.pp_race r) races
+  in
+  List.iter
+    (fun (name, cfg) ->
+      show
+        (name ^ " multi-writer")
+        (Race_workloads.multi_writer ~threads ~partitions ~cfg ());
+      show
+        (name ^ " checkpoint")
+        (Race_workloads.concurrent_checkpoint ~threads ~partitions ~cfg ()))
+    selected;
+  show "tpcc-naive" (Race_workloads.tpcc ~terminals:(max 2 threads) ());
+  if !total > 0 then begin
+    Fmt.epr "@.%d race report(s)@." !total;
+    Stdlib.exit 1
+  end
+  else Fmt.pr "@.no races detected@."
+
+let run_check config_filter enumerate partitions races threads =
+  if races then run_races config_filter partitions threads
+  else begin
   let shard cfg =
     if partitions > 0 then Rewind.with_partitions partitions cfg else cfg
   in
@@ -372,6 +416,7 @@ let run_check config_filter enumerate partitions =
     Stdlib.exit 1
   end
   else Fmt.pr "@.no persistency violations@."
+  end
 
 let check_cmd =
   let cfg =
@@ -393,10 +438,27 @@ let check_cmd =
       & info [ "partitions" ] ~docv:"N"
           ~doc:"Shard each checked configuration's log into N partitions.")
   in
+  let races =
+    Arg.(
+      value & flag
+      & info [ "races" ]
+          ~doc:
+            "Run the happens-before race detector over the multi-writer, \
+             concurrent-checkpoint and TPC-C workloads instead of the \
+             persistency sanitizer.")
+  in
+  let threads =
+    Arg.(
+      value & opt int 4
+      & info [ "threads" ] ~docv:"T"
+          ~doc:"Concurrent writer fibers for the race-detector workloads.")
+  in
   Cmd.v
     (Cmd.info "check"
-       ~doc:"Run the persistency sanitizer over each configuration")
-    Term.(const run_check $ cfg $ enumerate $ partitions)
+       ~doc:
+         "Run the persistency sanitizer (or, with --races, the \
+          happens-before race detector) over each configuration")
+    Term.(const run_check $ cfg $ enumerate $ partitions $ races $ threads)
 
 (* -- profile ------------------------------------------------------------- *)
 

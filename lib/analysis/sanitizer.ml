@@ -262,7 +262,12 @@ let handle t ev =
   | Trace.Freed { addr; len } ->
       words_of addr len (fun w -> Hashtbl.replace t.freed w ())
   | Trace.Allocated { addr; len } ->
-      words_of addr len (fun w -> Hashtbl.remove t.freed w));
+      words_of addr len (fun w -> Hashtbl.remove t.freed w)
+  (* Synchronization vocabulary: consumed by the race detector, carries
+     no persistency-ordering information. *)
+  | Trace.Load _ | Trace.Acquire _ | Trace.Release _ | Trace.Atomic_rmw _
+  | Trace.Fiber_spawn _ | Trace.Fiber_switch _ | Trace.Fiber_join _ ->
+      ());
   t.last_event <- Fmt.str "%a" Trace.pp ev
 
 let attach ?(mode = Raise) arena =

@@ -1,0 +1,122 @@
+(* Standard workloads run under the happens-before race detector
+   ([rewind check --races]).
+
+   Three shapes, each exercising a different synchronization story:
+
+   - [multi_writer]: the PR-5 partition-scaling workload — concurrent
+     fibers running short transactions against private cells through one
+     shared manager.  The only shared state is the partitioned log (per
+     partition latches), the global LSN / transaction-id atomics, and
+     the allocator; all of it must be fully synchronized.
+
+   - [concurrent_checkpoint]: writers as above plus one fiber issuing
+     cache-consistent checkpoints (Section 4.6) in the middle of their
+     transactions.  The checkpoint's [flush_all] writes back other
+     fibers' user lines mid-transaction — race-free only because every
+     such store is WAL-covered, which is exactly the exemption the
+     detector implements.
+
+   - [tpcc]: the Section 5.3 new-order driver in the naive-REWIND
+     configuration, where every terminal serialises on the shared data
+     lock.  (The co-designed configurations run the shared stock tree
+     *unsynchronized* by design — Section 4.7 leaves user-data locking
+     to the programmer — so only the naive configuration is expected to
+     be race-clean.)
+
+   Each workload returns the detached detector; callers read
+   {!Rewind_analysis.Racecheck.races} / [report] off it. *)
+
+open Rewind_nvm
+module Racecheck = Rewind_analysis.Racecheck
+
+(* The six standard configurations (same set as {!Recovery_bench}). *)
+let configs =
+  [
+    ("1l-nfp", Rewind.config_1l_nfp);
+    ("1l-fp", Rewind.config_1l_fp);
+    ("2l-nfp", Rewind.config_2l_nfp);
+    ("2l-fp", Rewind.config_2l_fp);
+    ("simple", Rewind.config_simple);
+    ("batch8", Rewind.config_batch ());
+  ]
+
+let cells_per_thread = 64
+
+let multi_writer ?(threads = 4) ?(txns_per_thread = 60) ?(writes_per_txn = 4)
+    ?(partitions = 1) ~cfg () =
+  let arena = Arena.create ~size_bytes:(64 lsl 20) () in
+  let rc = Racecheck.attach ~mode:Collect arena in
+  Fun.protect
+    ~finally:(fun () -> Racecheck.detach rc)
+    (fun () ->
+      let alloc = Alloc.create arena in
+      let cfg = Rewind.with_partitions partitions cfg in
+      let tm = Rewind.Tm.create ~cfg alloc ~root_slot:2 in
+      let cells =
+        Array.init (threads * cells_per_thread) (fun _ -> Alloc.alloc alloc 8)
+      in
+      ignore
+        (Sim_threads.run ~threads ~ops_per_thread:txns_per_thread (fun t op ->
+             let txn = Rewind.Tm.begin_txn tm in
+             for i = 0 to writes_per_txn - 1 do
+               let c =
+                 (t * cells_per_thread)
+                 + (((op * writes_per_txn) + i) mod cells_per_thread)
+               in
+               Rewind.Tm.write tm txn ~addr:cells.(c)
+                 ~value:(Int64.of_int ((((t * 1000) + op) * 10) + i))
+             done;
+             Rewind.Tm.commit tm txn));
+      rc)
+
+(* Writers plus one checkpointer: fiber [threads] checkpoints every
+   [checkpoint_every] of its turns while the writers' transactions are
+   in flight. *)
+let concurrent_checkpoint ?(threads = 4) ?(txns_per_thread = 40)
+    ?(writes_per_txn = 4) ?(checkpoint_every = 8) ?(partitions = 1) ~cfg () =
+  let arena = Arena.create ~size_bytes:(64 lsl 20) () in
+  let rc = Racecheck.attach ~mode:Collect arena in
+  Fun.protect
+    ~finally:(fun () -> Racecheck.detach rc)
+    (fun () ->
+      let alloc = Alloc.create arena in
+      let cfg = Rewind.with_partitions partitions cfg in
+      let tm = Rewind.Tm.create ~cfg alloc ~root_slot:2 in
+      let cells =
+        Array.init (threads * cells_per_thread) (fun _ -> Alloc.alloc alloc 8)
+      in
+      ignore
+        (Sim_threads.run ~threads:(threads + 1)
+           ~ops_per_thread:txns_per_thread (fun t op ->
+             if t = threads then begin
+               if op mod checkpoint_every = 0 then Rewind.Tm.checkpoint tm
+               else Clock.advance 2_000
+             end
+             else begin
+               let txn = Rewind.Tm.begin_txn tm in
+               for i = 0 to writes_per_txn - 1 do
+                 let c =
+                   (t * cells_per_thread)
+                   + (((op * writes_per_txn) + i) mod cells_per_thread)
+                 in
+                 Rewind.Tm.write tm txn ~addr:cells.(c)
+                   ~value:(Int64.of_int ((((t * 1000) + op) * 10) + i))
+               done;
+               Rewind.Tm.commit tm txn
+             end));
+      rc)
+
+let tpcc ?(terminals = 4) ?(txns_per_terminal = 30) () =
+  let rc = ref None in
+  let r =
+    Rewind_tpcc.Workload.run ~terminals ~txns_per_terminal
+      ~params:Rewind_tpcc.Datagen.small ~arena_mb:128
+      ~on_arena:(fun arena -> rc := Some (Racecheck.attach ~mode:Collect arena))
+      ~config:Rewind_tpcc.Workload.Rewind_naive ()
+  in
+  ignore (r : Rewind_tpcc.Workload.result);
+  match !rc with
+  | Some rc ->
+      Racecheck.detach rc;
+      rc
+  | None -> assert false

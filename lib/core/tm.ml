@@ -22,7 +22,7 @@
    own two-layer AAVLT and transaction table.  A transaction is pinned to
    a *home partition* by its id (round-robin), so the append fast path
    touches only partition-local state; the LSN counter stays one process-
-   wide [Atomic], so a single global order over all records survives.
+   wide instrumented atomic ({!Sim_atomic}), so a single global order over all records survives.
    Recovery merges: analysis scans every partition (each rebuilding its
    own transaction table), redo replays the union of records in global
    LSN order (k-way merge by LSN across the partition streams), undo
@@ -114,8 +114,8 @@ type t = {
   alloc : Alloc.t;
   arena : Arena.t;
   parts : part array;
-  next_txn : int Atomic.t;
-  next_lsn : int Atomic.t;  (* one global counter: LSNs order records
+  next_txn : int Sim_atomic.t;
+  next_lsn : int Sim_atomic.t;  (* one global counter: LSNs order records
                                across all partitions *)
   prepared_gtids : (int, int) Hashtbl.t;
       (* local txn id -> global (2PC) transaction id, for every
@@ -239,8 +239,8 @@ let make_t cfg alloc parts =
     alloc;
     arena = Alloc.arena alloc;
     parts;
-    next_txn = Atomic.make first_txn;
-    next_lsn = Atomic.make 1;
+    next_txn = Sim_atomic.make first_txn;
+    next_lsn = Sim_atomic.make 1;
     prepared_gtids = Hashtbl.create 8;
     commits = 0;
     rollbacks = 0;
@@ -295,7 +295,7 @@ let active_transactions t =
 
 let last_recovery t = t.last_recovery
 
-let fresh_lsn t = Atomic.fetch_and_add t.next_lsn 1
+let fresh_lsn t = Sim_atomic.fetch_and_add t.next_lsn 1
 
 (* A transaction's home partition, a pure function of its id: round-robin
    over the partitions.  Deterministic, so recovery needs no pinning map —
@@ -306,7 +306,7 @@ let home t txn = t.parts.(home_partition t txn)
 (* -- transaction begin -------------------------------------------------- *)
 
 let begin_txn t =
-  let id = Atomic.fetch_and_add t.next_txn 1 in
+  let id = Sim_atomic.fetch_and_add t.next_txn 1 in
   (match t.cfg.layers with
   | One_layer -> ()  (* one-layer: no per-transaction state while logging *)
   | Two_layer ->
@@ -620,7 +620,7 @@ let rollback_two_layer t p idx txn_id =
 
 type savepoint = int
 
-let savepoint t _txn_id = Atomic.get t.next_lsn
+let savepoint t _txn_id = Sim_atomic.get t.next_lsn
 
 let rollback_to t txn_id (sp : savepoint) =
   let p = home t txn_id in
@@ -996,9 +996,9 @@ let analysis_one_layer t prof =
                 ()
           end))
     t.parts;
-  Atomic.set t.next_lsn (!max_lsn + 1);
-  (let cur = Atomic.get t.next_txn in
-   if !max_txn + 1 > cur then Atomic.set t.next_txn (!max_txn + 1));
+  Sim_atomic.set t.next_lsn (!max_lsn + 1);
+  (let cur = Sim_atomic.get t.next_txn in
+   if !max_txn + 1 > cur then Sim_atomic.set t.next_txn (!max_txn + 1));
   let finished = ref 0 in
   Array.iter
     (fun p ->
@@ -1188,9 +1188,9 @@ let recover_two_layer t prof =
               ()
         end)
       ascending;
-    Atomic.set t.next_lsn (!max_lsn + 1);
-    (let cur = Atomic.get t.next_txn in
-     if !max_txn + 1 > cur then Atomic.set t.next_txn (!max_txn + 1));
+    Sim_atomic.set t.next_lsn (!max_lsn + 1);
+    (let cur = Sim_atomic.get t.next_txn in
+     if !max_txn + 1 > cur then Sim_atomic.set t.next_txn (!max_txn + 1));
     let finished = ref 0 in
     Array.iter
       (fun p ->

@@ -59,6 +59,10 @@ type t = {
       (* persistency event sink (sanitizer / enumerator); every event is
          constructed inside a [Some] match arm so the disabled path costs
          one pointer compare *)
+  mutable trace_loads : bool;
+      (* also emit Load events to the tracer.  Off by default: the
+         sanitizer and enumerator never need loads, only the race
+         detector does, and loads dominate the event volume. *)
   mutable persisted_since_fence : bool;
       (* has any persistence event happened since the last fence?  Feeds
          the redundant-fence diagnostic counter. *)
@@ -97,6 +101,7 @@ let create ?(config = Config.default ()) ~size_bytes () =
     recent = Array.make recent_cap 0;
     recent_n = 0;
     tracer = None;
+    trace_loads = false;
     persisted_since_fence = false;
   }
 
@@ -112,6 +117,14 @@ let fault_model t = t.fault
 let set_tracer t f = t.tracer <- f
 let tracer t = t.tracer
 let traced t = t.tracer <> None
+let set_trace_loads t b = t.trace_loads <- b
+
+(* Loads are only reported when a tracer is attached *and* opted in. *)
+let emit_load t off len =
+  if t.trace_loads then
+    match t.tracer with
+    | None -> ()
+    | Some f -> f (Trace.Load { off; len })
 
 (* Forward an already-built event; annotation emitters ({!Pmcheck}) guard
    with [traced] so the event is only allocated when a sink is attached. *)
@@ -235,6 +248,7 @@ let read t off =
   check_bounds t off 8;
   t.stats.Stats.loads <- t.stats.Stats.loads + 1;
   Clock.advance t.config.Config.dram_read_ns;
+  emit_load t off 8;
   let v = Bytes.get_int64_le t.volatile off in
   if media_hit t off then Int64.logxor v corrupt_word else v
 
@@ -252,6 +266,7 @@ let read_byte t off =
   check_bounds t off 1;
   t.stats.Stats.loads <- t.stats.Stats.loads + 1;
   Clock.advance t.config.Config.dram_read_ns;
+  emit_load t off 1;
   let v = Char.code (Bytes.get t.volatile off) in
   if media_hit t off then v lxor corrupt_byte else v
 
@@ -270,6 +285,7 @@ let read_bytes t off len =
   let lines = lines_touched t off len in
   t.stats.Stats.loads <- t.stats.Stats.loads + lines;
   Clock.advance (lines * t.config.Config.dram_read_ns);
+  if len > 0 then emit_load t off len;
   let b = Bytes.sub t.volatile off len in
   (match t.fault with
   | Some fm when Fault_model.media_fault_count fm > 0 ->

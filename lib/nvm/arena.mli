@@ -95,6 +95,12 @@ val traced : t -> bool
 val emit : t -> Trace.event -> unit
 (** Forward an already-built event to the tracer, if any. *)
 
+val set_trace_loads : t -> bool -> unit
+(** Also report {!Trace.Load} events to the tracer.  Off by default:
+    the persistency sanitizer and the crash-state enumerator do not
+    consume loads (and loads dominate event volume); the race detector
+    switches them on while attached. *)
+
 (** {1 Store-buffer pinning}
 
     A pinned line models a store held back in the store buffer: every

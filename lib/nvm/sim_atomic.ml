@@ -1,0 +1,44 @@
+(* Instrumented atomics: a thin wrapper over [Stdlib.Atomic] that gives
+   each atomic a process-unique identity and reports every operation to
+   {!Trace.emit_sync}.
+
+   The race detector treats each reported operation as an
+   acquire+release on the atomic's identity — the fetch-and-add chains
+   on REWIND's global LSN and transaction counter are exactly such
+   edges.  This slightly over-approximates plain [get]/[set] (a relaxed
+   load carries no release), which is the conservative direction for a
+   detector that gates CI: extra edges can only hide races between
+   operations that did synchronise on the atomic, never invent one.
+
+   Code outside [lib/nvm] must use this module (or {!Sim_mutex}) instead
+   of raw [Stdlib.Atomic] — enforced by the tools/lint.sh CI pass — so
+   the detector sees all synchronisation. *)
+
+type 'a t = { a : 'a Atomic.t; id : int }
+
+let next_id = Atomic.make 0
+let make v = { a = Atomic.make v; id = Atomic.fetch_and_add next_id 1 }
+let id t = t.id
+let trace t = Trace.emit_sync (Trace.Atomic_rmw { atom = t.id })
+
+let get t =
+  trace t;
+  Atomic.get t.a
+
+let set t v =
+  trace t;
+  Atomic.set t.a v
+
+let exchange t v =
+  trace t;
+  Atomic.exchange t.a v
+
+let compare_and_set t old v =
+  trace t;
+  Atomic.compare_and_set t.a old v
+
+let fetch_and_add t n =
+  trace t;
+  Atomic.fetch_and_add t.a n
+
+let incr t = ignore (fetch_and_add t 1)

@@ -1,0 +1,21 @@
+(** Instrumented atomics.
+
+    A wrapper over [Stdlib.Atomic] giving each atomic a process-unique
+    identity and reporting every operation to {!Trace.emit_sync} as an
+    {!Trace.Atomic_rmw} (acquire+release on the identity), so the race
+    detector sees the synchronisation edges of fetch-and-add / CAS
+    chains.  Everything outside [lib/nvm] must use this instead of raw
+    [Stdlib.Atomic] (enforced by the lint pass). *)
+
+type 'a t
+
+val make : 'a -> 'a t
+val id : _ t -> int
+(** Identity as it appears in {!Trace.Atomic_rmw} events. *)
+
+val get : 'a t -> 'a
+val set : 'a t -> 'a -> unit
+val exchange : 'a t -> 'a -> 'a
+val compare_and_set : 'a t -> 'a -> 'a -> bool
+val fetch_and_add : int t -> int -> int
+val incr : int t -> unit

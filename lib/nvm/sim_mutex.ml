@@ -13,10 +13,19 @@
      provides exclusion and the release-time rule alone models waiting —
      a domain whose clock is behind the last release is pulled forward,
      which is how serialisation on REWIND's log latch (Section 4.7) and
-     the baselines' coarse locks show up in the multithreaded figures. *)
+     the baselines' coarse locks show up in the multithreaded figures.
+
+   Every lock carries a process-unique identity and reports each
+   acquire/release to {!Trace.emit_sync}, so the race detector sees the
+   full synchronisation order — including the [contention_free] CAS
+   path, which excludes without ever waiting but still orders its
+   critical sections. *)
+
+exception Misuse of string
 
 type t = {
   mu : Mutex.t;
+  id : int;                   (* process-unique lock identity *)
   mutable released_at : int;  (* simulated ns of the last release *)
   mutable holder : int;       (* fiber id, -1 when free (fiber mode only) *)
   acquire_ns : int;           (* fixed cost of the lock operation itself *)
@@ -26,14 +35,49 @@ type t = {
          no preemption inside the section under the fiber scheduler). *)
 }
 
+let next_id = Atomic.make 0
+
 let create ?(acquire_ns = 20) ?(contention_free = false) () =
-  { mu = Mutex.create (); released_at = 0; holder = -1; acquire_ns; contention_free }
+  {
+    mu = Mutex.create ();
+    id = Atomic.fetch_and_add next_id 1;
+    released_at = 0;
+    holder = -1;
+    acquire_ns;
+    contention_free;
+  }
+
+let id t = t.id
+let holding t = Sim_threads.active () && t.holder = Sim_threads.current ()
+let trace_acquire t = Trace.emit_sync (Trace.Acquire { lock = t.id })
+let trace_release t = Trace.emit_sync (Trace.Release { lock = t.id })
+
+(* Fiber-mode ownership bookkeeping.  The holder field is what makes
+   double-unlock and unlock-by-non-holder detectable: outside the fiber
+   scheduler the real [Mutex] raises [Sys_error] on misuse already. *)
+let take_fiber t = t.holder <- Sim_threads.current ()
+
+let release_fiber t =
+  let me = Sim_threads.current () in
+  if t.holder = -1 then
+    raise
+      (Misuse
+         (Printf.sprintf "Sim_mutex: double unlock of lock %d by fiber %d" t.id
+            me));
+  if t.holder <> me then
+    raise
+      (Misuse
+         (Printf.sprintf
+            "Sim_mutex: fiber %d unlocking lock %d held by fiber %d" me t.id
+            t.holder));
+  t.holder <- -1
 
 let lock t =
   if t.contention_free then begin
     (* lock-free fast path: CAS cost only, no simulated waiting *)
-    if not (Sim_threads.active ()) then Mutex.lock t.mu;
-    Clock.advance t.acquire_ns
+    if Sim_threads.active () then take_fiber t else Mutex.lock t.mu;
+    Clock.advance t.acquire_ns;
+    trace_acquire t
   end
   else if Sim_threads.active () then begin
     (* Reschedule first: a fiber with a smaller clock must reach this
@@ -45,14 +89,16 @@ let lock t =
       Clock.advance_to (Sim_threads.clock_of t.holder + 1);
       Sim_threads.yield ()
     done;
-    t.holder <- Sim_threads.current ();
+    take_fiber t;
     Clock.advance_to t.released_at;
-    Clock.advance t.acquire_ns
+    Clock.advance t.acquire_ns;
+    trace_acquire t
   end
   else begin
     Mutex.lock t.mu;
     Clock.advance_to t.released_at;
-    Clock.advance t.acquire_ns
+    Clock.advance t.acquire_ns;
+    trace_acquire t
   end
 
 let try_lock t =
@@ -70,15 +116,17 @@ let try_lock t =
       false
     end
     else begin
-      t.holder <- Sim_threads.current ();
+      take_fiber t;
       Clock.advance_to t.released_at;
       Clock.advance t.acquire_ns;
+      trace_acquire t;
       true
     end
   end
   else if Mutex.try_lock t.mu then begin
     Clock.advance_to t.released_at;
     Clock.advance t.acquire_ns;
+    trace_acquire t;
     true
   end
   else begin
@@ -87,12 +135,18 @@ let try_lock t =
   end
 
 let unlock t =
+  trace_release t;
   if t.contention_free then begin
-    if not (Sim_threads.active ()) then Mutex.unlock t.mu
+    if Sim_threads.active () then release_fiber t
+    else if t.holder >= 0 then t.holder <- -1
+      (* acquired under the scheduler, released after it stopped *)
+    else Mutex.unlock t.mu
   end
   else begin
     t.released_at <- Clock.now ();
-    if t.holder >= 0 then t.holder <- -1 else Mutex.unlock t.mu
+    if Sim_threads.active () then release_fiber t
+    else if t.holder >= 0 then t.holder <- -1
+    else Mutex.unlock t.mu
   end
 
 let with_lock t f =

@@ -4,9 +4,16 @@
     fiber reaching a busy lock advances past the holder's progress and
     yields; acquiring pulls the fiber's clock to the last release time.
     Under real domains, a real [Mutex] provides exclusion and the
-    release-time rule models the waiting. *)
+    release-time rule models the waiting.
+
+    Each lock has a process-unique {!id} and reports acquires and
+    releases through {!Trace.emit_sync}, so an attached race detector
+    sees every synchronisation edge. *)
 
 type t
+
+exception Misuse of string
+(** Raised in fiber mode on double-unlock or unlock-by-non-holder. *)
 
 val create : ?acquire_ns:int -> ?contention_free:bool -> unit -> t
 (** [acquire_ns] is the fixed simulated cost of the lock operation itself
@@ -14,6 +21,9 @@ val create : ?acquire_ns:int -> ?contention_free:bool -> unit -> t
     paper's Section 7 future work): the acquirer pays only the CAS cost
     and never waits in simulated time, while real mutual exclusion is
     still provided. *)
+
+val id : t -> int
+(** Process-unique identity, as it appears in {!Trace.Acquire} events. *)
 
 val lock : t -> unit
 
@@ -23,4 +33,11 @@ val try_lock : t -> bool
     [acquire_ns] cost is charged — a failed try is a real CAS. *)
 
 val unlock : t -> unit
+(** In fiber mode, raises {!Misuse} if the lock is not held (double
+    unlock) or is held by a different fiber. *)
+
+val holding : t -> bool
+(** [holding t] is true iff the current fiber holds [t].  Only
+    meaningful under the fiber scheduler; false otherwise. *)
+
 val with_lock : t -> (unit -> 'a) -> 'a

@@ -38,6 +38,15 @@ let run ~threads ~ops_per_thread f =
   let saved_active = !scheduler_active and saved_clocks = !fiber_clocks in
   scheduler_active := true;
   fiber_clocks := clocks;
+  (* Race-detector vocabulary: the spawning thread happens-before every
+     fiber's first operation, and each fiber's last operation
+     happens-before the join (scheduler exit).  Fiber_switch events
+     attribute the in-between memory events to fibers. *)
+  let sync = Trace.sync_traced () in
+  if sync then
+    for i = 0 to threads - 1 do
+      Trace.emit_sync (Trace.Fiber_spawn { id = i })
+    done;
   let handler =
     {
       retc = (fun () -> finished.(!current_fiber) <- true);
@@ -69,6 +78,7 @@ let run ~threads ~ops_per_thread f =
     let t = pick () in
     if t >= 0 then begin
       current_fiber := t;
+      if sync then Trace.emit_sync (Trace.Fiber_switch { id = t });
       Clock.set clocks.(t);
       (if fresh.(t) then begin
          fresh.(t) <- false;
@@ -90,5 +100,14 @@ let run ~threads ~ops_per_thread f =
     ~finally:(fun () ->
       scheduler_active := saved_active;
       fiber_clocks := saved_clocks)
-    loop;
+    (fun () ->
+      loop ();
+      (* All fibers ran to completion: control returns to the spawning
+         thread, which joins every fiber. *)
+      if sync then begin
+        Trace.emit_sync (Trace.Fiber_switch { id = -1 });
+        for i = 0 to threads - 1 do
+          Trace.emit_sync (Trace.Fiber_join { id = i })
+        done
+      end);
   Array.fold_left max 0 clocks - base

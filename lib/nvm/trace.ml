@@ -68,6 +68,31 @@ type event =
           until re-allocation. *)
   | Allocated of { addr : int; len : int }
       (** Region handed out by the allocator (clears any freed mark). *)
+  (* synchronization events (emitted by Sim_mutex / Sim_atomic /
+     Sim_threads when a sync tracer is attached) *)
+  | Load of { off : int; len : int }
+      (** A CPU load from the arena.  Only emitted when load tracing is
+          switched on ({!Arena.set_trace_loads}) — the persistency
+          sanitizer does not need loads, the race detector does. *)
+  | Acquire of { lock : int }
+      (** Lock [lock] acquired by the current fiber: the acquirer's clock
+          joins the lock's release clock (happens-before edge from the
+          last release). *)
+  | Release of { lock : int }
+      (** Lock [lock] released: the lock's release clock becomes a copy of
+          the releaser's clock. *)
+  | Atomic_rmw of { atom : int }
+      (** Read-modify-write on atomic [atom] with acquire+release
+          semantics: the edge of a fetch-and-add / CAS chain. *)
+  | Fiber_spawn of { id : int }
+      (** Fiber [id] created by the current fiber: spawn happens-before
+          the fiber's first operation. *)
+  | Fiber_switch of { id : int }
+      (** The scheduler resumed fiber [id]; subsequent events belong to
+          it.  [id = -1] means control returned to the spawning thread. *)
+  | Fiber_join of { id : int }
+      (** Fiber [id] finished and was joined by the current fiber: its
+          last operation happens-before everything after the join. *)
 
 let pp ppf = function
   | Store { off; len; durable } ->
@@ -92,3 +117,23 @@ let pp ppf = function
   | Recovery b -> Fmt.pf ppf "recovery-%s" (if b then "begin" else "end")
   | Freed { addr; len } -> Fmt.pf ppf "freed [%d,+%d)" addr len
   | Allocated { addr; len } -> Fmt.pf ppf "allocated [%d,+%d)" addr len
+  | Load { off; len } -> Fmt.pf ppf "load [%d,+%d)" off len
+  | Acquire { lock } -> Fmt.pf ppf "acquire m%d" lock
+  | Release { lock } -> Fmt.pf ppf "release m%d" lock
+  | Atomic_rmw { atom } -> Fmt.pf ppf "atomic-rmw a%d" atom
+  | Fiber_spawn { id } -> Fmt.pf ppf "fiber-spawn %d" id
+  | Fiber_switch { id } -> Fmt.pf ppf "fiber-switch %d" id
+  | Fiber_join { id } -> Fmt.pf ppf "fiber-join %d" id
+
+(* Synchronization tracing is a separate, global hook: Sim_mutex and
+   Sim_threads have no arena to hang a tracer off, and most consumers
+   (the sanitizer, the enumerator) do not want sync events at all.  The
+   race detector attaches both this and the arena tracer to the same
+   sink; everything runs on one domain, so the combined stream is totally
+   ordered. *)
+let sync_tracer : (event -> unit) option ref = ref None
+let set_sync_tracer f = sync_tracer := f
+let sync_traced () = !sync_tracer <> None
+
+let emit_sync ev =
+  match !sync_tracer with None -> () | Some f -> f ev

@@ -35,5 +35,35 @@ type event =
   | Recovery of bool
   | Freed of { addr : int; len : int }
   | Allocated of { addr : int; len : int }
+  | Load of { off : int; len : int }
+      (** A CPU load; only emitted under {!Arena.set_trace_loads}. *)
+  | Acquire of { lock : int }
+      (** Lock acquired: happens-before edge from the last {!Release} of
+          the same lock identity. *)
+  | Release of { lock : int }
+  | Atomic_rmw of { atom : int }
+      (** Acquire+release read-modify-write on an atomic identity. *)
+  | Fiber_spawn of { id : int }
+      (** Spawn happens-before fiber [id]'s first operation. *)
+  | Fiber_switch of { id : int }
+      (** Scheduler resumed fiber [id] ([-1]: the spawning thread). *)
+  | Fiber_join of { id : int }
+      (** Fiber [id]'s last operation happens-before the join. *)
 
 val pp : event Fmt.t
+
+(** {1 Synchronization tracing}
+
+    {!Sim_mutex}, {!Sim_atomic} and {!Sim_threads} emit their events
+    through a global hook rather than an arena tracer: synchronization
+    objects are not arena-resident, and the sanitizer/enumerator do not
+    consume sync events.  Attach both this hook and the arena tracer to
+    one sink to obtain the totally ordered stream the race detector
+    needs (everything runs on a single domain). *)
+
+val set_sync_tracer : (event -> unit) option -> unit
+val sync_traced : unit -> bool
+(** True when a sync tracer is attached; emitters use it to skip work. *)
+
+val emit_sync : event -> unit
+(** Deliver [ev] to the attached sync tracer, if any. *)

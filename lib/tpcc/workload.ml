@@ -90,8 +90,12 @@ let rebind db mode alloc =
   }
 
 let run ?(terminals = Schema.districts) ?(txns_per_terminal = 1000)
-    ?(params = Datagen.small) ?(arena_mb = 256) ~config () =
+    ?(params = Datagen.small) ?(arena_mb = 256) ?(on_arena = ignore) ~config
+    () =
   let arena = Arena.create ~size_bytes:(arena_mb lsl 20) () in
+  (* Instrumentation hook: the race detector (and other trace consumers)
+     attach here, before any load or measured work touches the arena. *)
+  on_arena arena;
   let alloc, base_db = setup ~config ~params arena in
   let shared_tm =
     match config with

@@ -31,9 +31,13 @@ val run :
   ?txns_per_terminal:int ->
   ?params:Datagen.params ->
   ?arena_mb:int ->
+  ?on_arena:(Rewind_nvm.Arena.t -> unit) ->
   config:configuration ->
   unit ->
   result
+(** [on_arena] is called with the freshly created arena before the data
+    load and the measured run — the hook by which trace consumers (the
+    race detector) attach. *)
 
 val check_consistency : Schema.db -> bool
 (** Every committed order has matching orders/order-line rows up to the
