@@ -54,10 +54,29 @@ let subset lines mask =
   in
   go 0 [] lines
 
-let run ?(max_lines = 14) arena ~workload ~recover ~check =
+let run ?(max_lines = 14) ?(at_every_event = false) arena ~workload ~recover
+    ~check =
   let images = ref [] in
+  (* Fences are the default capture points (the WAL protocols put one at
+     every ordering-significant moment).  The epoch protocol (InCLL) is
+     nearly fence-free, and — unlike the WAL protocols, whose recovery
+     input only changes at persistence events — the *potential* crash
+     image changes at every cached store too: a dirty line that the
+     hardware writes back carries its volatile content of that instant,
+     so the intra-line store sequences (undo written, tag not yet) are
+     distinct crash states.  [at_every_event] therefore captures at every
+     store (cached or durable) and at every dirty write-back — the
+     write-back capture lands *after* the line went durable, pairing with
+     the store capture just before it to bracket each flush of an epoch
+     advance. *)
+  let capture () = images := Arena.capture arena :: !images in
   Arena.set_tracer arena
-    (Some (function Trace.Fence -> images := Arena.capture arena :: !images | _ -> ()));
+    (Some
+       (function
+       | Trace.Fence -> capture ()
+       | Trace.Store _ | Trace.Flush { dirty = true; _ } ->
+           if at_every_event then capture ()
+       | _ -> ()));
   Fun.protect
     ~finally:(fun () -> Arena.set_tracer arena None)
     (fun () -> workload ());

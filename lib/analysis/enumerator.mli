@@ -28,6 +28,7 @@ exception
 
 val run :
   ?max_lines:int ->
+  ?at_every_event:bool ->
   Rewind_nvm.Arena.t ->
   workload:(unit -> unit) ->
   recover:(Rewind_nvm.Arena.t -> 'a) ->
@@ -39,7 +40,16 @@ val run :
     applies [recover], and requires [check] to return [None] (legal).
     [Some detail] raises {!Illegal}.  A capture point with more than
     [max_lines] (default 14) dirty lines raises [Invalid_argument] rather
-    than silently truncating the claim of exhaustiveness. *)
+    than silently truncating the claim of exhaustiveness.
+
+    [at_every_event] (default false) additionally captures at every
+    store (cached or durable) and every dirty write-back.  The WAL
+    configurations fence at every ordering-significant moment, so fence
+    captures suffice for them; the epoch protocol (InCLL) is nearly
+    fence-free between epoch advances, and a dirty line's potential
+    crash image changes with each cached store — the finer grid is what
+    lets the sweep reach the first-store-of-epoch torn-line states and
+    every point inside an epoch advance. *)
 
 (** {1 Multi-node crash-everywhere sweep}
 

@@ -33,7 +33,10 @@
      by construction, and the persistency sanitizer separately checks
      the record-before-data ordering.  This is what lets a concurrent
      checkpoint's [flush_all] run against No-force user stores without
-     a report.
+     a report.  {!Trace.Epoch_logged} lines (InCLL) get the same
+     exemption permanently: the undo word travels in the data's own
+     cache line, so *any* write-back of the line — at any time, by any
+     fiber — lands a self-recovering image in NVM.
 
    Each race is reported once per (kind, site) like the sanitizer's
    redundant-flush diagnostics, as a pair of accesses carrying fiber
@@ -119,6 +122,12 @@ type t = {
       (* line -> tid -> last flush/evict *)
   cover_count : (int, int) Hashtbl.t;  (* word -> live undo records *)
   txn_cover : (int, int list ref) Hashtbl.t;  (* txn -> covered words *)
+  epoch_cover : (int, unit) Hashtbl.t;
+      (* words under in-cache-line (InCLL) undo coverage.  Unlike WAL
+         coverage this never expires: the undo word shares the data's
+         line, so every write-back of the line carries its own recovery
+         information and can never make the durable prefix
+         unrecoverable. *)
   private_owner : (int, int) Hashtbl.t;
       (* word -> allocating tid, while still unshared.  A fiber building
          a structure in memory it just allocated (an undo record before
@@ -207,7 +216,8 @@ let drop_cover t ~txn =
 let covered t off len =
   let all = ref true in
   word_range off len (fun w ->
-      if not (Hashtbl.mem t.cover_count w) then all := false);
+      if not (Hashtbl.mem t.cover_count w || Hashtbl.mem t.epoch_cover w) then
+        all := false);
   !all
 
 (* Is [off, off+len) still private to the current fiber? *)
@@ -367,8 +377,11 @@ let handle t ev =
       word_range addr len (fun w -> Hashtbl.replace t.private_owner w t.cur)
   | Trace.Freed { addr; len } ->
       word_range addr len (fun w -> Hashtbl.remove t.private_owner w)
+  | Trace.Epoch_logged { addr; len; epoch = _ } ->
+      word_range addr len (fun w -> Hashtbl.replace t.epoch_cover w ())
   | Trace.Fence | Trace.Pin _ | Trace.Unpin _ | Trace.Group_persisted _
-  | Trace.Commit_point _ | Trace.Expect_persisted _ | Trace.Recovery _ ->
+  | Trace.Commit_point _ | Trace.Expect_persisted _ | Trace.Recovery _
+  | Trace.Epoch_advanced _ ->
       ()
 
 (* -- lifecycle ----------------------------------------------------------- *)
@@ -392,6 +405,7 @@ let attach ?(mode = Raise) arena =
       line_flushes = Hashtbl.create 1024;
       cover_count = Hashtbl.create 1024;
       txn_cover = Hashtbl.create 64;
+      epoch_cover = Hashtbl.create 1024;
       private_owner = Hashtbl.create 1024;
       seen_sites = Hashtbl.create 16;
       races = [];

@@ -42,6 +42,29 @@
    - [Recovery] suspends the unlogged-store rule: repeat-history redo
      legitimately stores to user data with no fresh undo records.
 
+   The epoch protocol (InCLL) has its own vocabulary with different
+   rules.  [Epoch_logged] marks a word *epoch-covered*: an undo word in
+   the word's own cache line captured its pre-epoch value.  Because undo
+   and data share a line — and both the simulator and real hardware
+   write lines back atomically — such a word may become durable at any
+   time without ordering obligations: whatever line image lands in NVM
+   carries either the old data or the data plus its undo, so flushes and
+   evictions of epoch-covered words are exempt from the WAL-order rule
+   by construction (they carry no WAL coverage at all).  What the epoch
+   protocol does demand:
+
+   - a cached store to an epoch-*tracked* word (one that has ever been
+     epoch-covered) is a [Store_uncaptured] violation unless the word's
+     coverage epoch equals the current epoch — the in-line undo must be
+     (re)captured before the first mutation of each epoch;
+   - a *non-temporal* store to an epoch-tracked word is an [Epoch_split]
+     violation: it would push the data to NVM through the store buffer
+     independently of its co-located undo word, forfeiting the
+     line-atomicity argument above;
+   - at [Epoch_advanced] every epoch-covered word must already be
+     durable and fence-ordered (the advance's flush_all/fence precede
+     the annotation); all epoch coverage is then superseded.
+
    Redundant flushes (clean line) and redundant fences (no persistence
    event since the previous fence) are *diagnostics*, not violations:
    counted per site and surfaced in the report. *)
@@ -54,6 +77,8 @@ type kind =
   | Unfenced
   | Store_unlogged
   | Store_freed
+  | Store_uncaptured
+  | Epoch_split
 
 let pp_kind ppf k =
   Fmt.string ppf
@@ -62,7 +87,9 @@ let pp_kind ppf k =
     | Unpersisted_commit -> "unpersisted-commit"
     | Unfenced -> "unfenced"
     | Store_unlogged -> "store-unlogged"
-    | Store_freed -> "store-freed")
+    | Store_freed -> "store-freed"
+    | Store_uncaptured -> "store-uncaptured"
+    | Epoch_split -> "epoch-split")
 
 type violation = { kind : kind; addr : int; event_no : int; detail : string }
 
@@ -90,6 +117,9 @@ type t = {
   freed : (int, unit) Hashtbl.t;
   pending_cov : (int, coverage list) Hashtbl.t;
       (* partition -> coverages awaiting that partition's Group_persisted *)
+  epoch_cover : (int, int) Hashtbl.t; (* word -> epoch of in-line capture *)
+  epoch_tracked : (int, unit) Hashtbl.t;
+  mutable cur_epoch : int; (* latest epoch seen in the trace *)
   commit_points : (int, (int * int * string) list ref) Hashtbl.t;
   red_flush : (int, int ref) Hashtbl.t; (* line base -> count *)
   red_fence : (string, int ref) Hashtbl.t; (* preceding-event site -> count *)
@@ -142,6 +172,17 @@ let on_store t ~off ~len ~durable =
       then
         violate t Store_unlogged ~addr:(w lsl 3)
           "store to transactionally-managed data with no active undo record";
+      if (not t.in_recovery) && Hashtbl.mem t.epoch_tracked w then
+        if durable then
+          violate t Epoch_split ~addr:(w lsl 3)
+            "non-temporal store to epoch-managed data: the data would reach \
+             NVM independently of its co-located in-line undo word"
+        else if Hashtbl.find_opt t.epoch_cover w <> Some t.cur_epoch then
+          violate t Store_uncaptured ~addr:(w lsl 3)
+            (Fmt.str
+               "store to epoch-managed data with no in-line undo capture for \
+                epoch %d"
+               t.cur_epoch);
       if durable then begin
         durability_check t w ~how:"non-temporal store";
         Hashtbl.remove t.words w
@@ -184,6 +225,9 @@ let on_crash t =
   Hashtbl.reset t.cover;
   Hashtbl.reset t.commit_points;
   Hashtbl.reset t.pending_cov;
+  (* Conservative: post-crash recovery advances the epoch, so every
+     epoch-managed word must be re-captured before its next store. *)
+  Hashtbl.reset t.epoch_cover;
   t.persisted_since_fence <- false;
   t.in_recovery <- false
 
@@ -258,11 +302,26 @@ let handle t ev =
       t.in_recovery <- false;
       Hashtbl.reset t.cover;
       Hashtbl.reset t.commit_points;
-      Hashtbl.reset t.pending_cov
+      Hashtbl.reset t.pending_cov;
+      Hashtbl.reset t.epoch_cover
   | Trace.Freed { addr; len } ->
       words_of addr len (fun w -> Hashtbl.replace t.freed w ())
   | Trace.Allocated { addr; len } ->
       words_of addr len (fun w -> Hashtbl.remove t.freed w)
+  | Trace.Epoch_logged { addr; len; epoch } ->
+      t.cur_epoch <- epoch;
+      words_of addr len (fun w ->
+          Hashtbl.replace t.epoch_cover w epoch;
+          Hashtbl.replace t.epoch_tracked w ())
+  | Trace.Epoch_advanced { epoch } ->
+      Hashtbl.iter
+        (fun w _ ->
+          check_persisted t ~addr:(w lsl 3) ~len:8
+            ~what:(Fmt.str "epoch advance to %d" epoch)
+            ~kind_volatile:Unpersisted_commit)
+        t.epoch_cover;
+      Hashtbl.reset t.epoch_cover;
+      t.cur_epoch <- epoch
   (* Synchronization vocabulary: consumed by the race detector, carries
      no persistency-ordering information. *)
   | Trace.Load _ | Trace.Acquire _ | Trace.Release _ | Trace.Atomic_rmw _
@@ -281,6 +340,9 @@ let attach ?(mode = Raise) arena =
       tracked = Hashtbl.create 256;
       freed = Hashtbl.create 256;
       pending_cov = Hashtbl.create 8;
+      epoch_cover = Hashtbl.create 256;
+      epoch_tracked = Hashtbl.create 256;
+      cur_epoch = 0;
       commit_points = Hashtbl.create 16;
       red_flush = Hashtbl.create 64;
       red_fence = Hashtbl.create 64;

@@ -23,6 +23,14 @@ type kind =
       (** A store to transactionally-managed data with no active undo
           record (outside recovery). *)
   | Store_freed  (** A store to a region returned to the allocator. *)
+  | Store_uncaptured
+      (** A store to epoch-managed (InCLL) data whose in-line undo word
+          was not captured in the current epoch. *)
+  | Epoch_split
+      (** A non-temporal store to epoch-managed data: the data would
+          reach NVM independently of its co-located in-line undo word,
+          breaking the line-atomicity argument that exempts InCLL lines
+          from write-back ordering. *)
 
 type violation = { kind : kind; addr : int; event_no : int; detail : string }
 

@@ -24,21 +24,39 @@ type result = {
   recovery_sim_ns : int;  (** simulated [Tm.attach] time post-crash *)
 }
 
+(* [None] = the WAL-free InCLL config; [Some inline] = a WAL variant with
+   the inline fast path forced on or off. *)
 let scenarios =
   [
-    ("optimized-inline", Rewind.Log.Optimized, true);
-    ("optimized-full", Rewind.Log.Optimized, false);
-    ("batch8-inline", Rewind.Log.Batch 8, true);
-    ("batch8-full", Rewind.Log.Batch 8, false);
+    ( "optimized-inline",
+      { Rewind.Tm.default_config with variant = Rewind.Log.Optimized },
+      Some true );
+    ( "optimized-full",
+      { Rewind.Tm.default_config with variant = Rewind.Log.Optimized },
+      Some false );
+    ( "batch8-inline",
+      { Rewind.Tm.default_config with variant = Rewind.Log.Batch 8 },
+      Some true );
+    ( "batch8-full",
+      { Rewind.Tm.default_config with variant = Rewind.Log.Batch 8 },
+      Some false );
+    ("incll", Rewind.config_incll, None);
   ]
 
-let run_one ~n_ops (name, variant, inline) =
+(* InCLL epoch cadence: one advance per full pass over the 64 cells, so
+   each cell is captured exactly once per epoch — the protocol's designed
+   steady state of ~1 NVM line write per update (64 cell lines + the
+   epoch counter per 64 ops). *)
+let advance_every = 64
+
+let run_one ~n_ops (name, cfg, inline) =
   let arena = Arena.create ~size_bytes:(64 lsl 20) () in
   let alloc = Alloc.create arena in
-  let cfg = { Rewind.Tm.default_config with variant } in
   let tm = Rewind.Tm.create ~cfg alloc ~root_slot:2 in
-  Rewind.Log.set_inline (Rewind.Tm.log tm) inline;
-  let cells = Array.init 64 (fun _ -> Alloc.alloc alloc 8) in
+  (match inline with
+  | Some flag -> Rewind.Log.set_inline (Rewind.Tm.log tm) flag
+  | None -> ());
+  let cells = Array.init 64 (fun _ -> Rewind.Tm.alloc_cell tm) in
   let txn_len = 8 in
   let before = Stats.snapshot (Arena.stats arena) in
   let span = Clock.start () in
@@ -49,6 +67,8 @@ let run_one ~n_ops (name, variant, inline) =
       ~value:(Int64.of_int (i land 0xFFF));
     if i mod txn_len = 0 then begin
       Rewind.Tm.commit tm !txn;
+      if cfg.Rewind.Tm.incll && i mod advance_every = 0 then
+        Rewind.Tm.advance_epoch tm;
       txn := Rewind.Tm.begin_txn tm
     end
   done;

@@ -267,6 +267,21 @@ let gate path =
   else if List.exists (contains f) lower_better_patterns then Some Lower_better
   else None
 
+(* Per-metric tolerance: a baseline leaf named [<metric>_tolerance] is
+   not a metric but an annotation — it overrides the global tolerance
+   for its sibling [<metric>] leaf.  Lets a committed baseline mark one
+   intentionally-noisier metric (say, a recovery time that scales with a
+   tuned constant) without loosening the gate everywhere.  Annotation
+   leaves are excluded from gating and from the missing-metric check on
+   both sides: the current artifact never produces them. *)
+let tolerance_suffix = "_tolerance"
+
+let tolerance_key path =
+  let ls = String.length tolerance_suffix and lp = String.length path in
+  if lp > ls && String.sub path (lp - ls) ls = tolerance_suffix then
+    Some (String.sub path 0 (lp - ls))
+  else None
+
 (* -- comparison ---------------------------------------------------------- *)
 
 type regression = {
@@ -292,12 +307,21 @@ let compare_metrics ~tolerance baseline_json current_json =
   let cur = flatten (parse current_json) in
   let cur_tbl = Hashtbl.create (List.length cur) in
   List.iter (fun (k, v) -> Hashtbl.replace cur_tbl k v) cur;
+  let tol_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (k, v) ->
+      match tolerance_key k with
+      | Some metric -> Hashtbl.replace tol_tbl metric v
+      | None -> ())
+    base;
   let checked = ref 0
   and regressions = ref []
   and missing = ref []
   and improvements = ref [] in
   List.iter
     (fun (path, bv) ->
+      if tolerance_key path <> None then ()
+      else
       match gate path with
       | None -> ()
       | Some dir -> (
@@ -305,6 +329,11 @@ let compare_metrics ~tolerance baseline_json current_json =
           | None -> missing := path :: !missing
           | Some cv ->
               incr checked;
+              let tolerance =
+                match Hashtbl.find_opt tol_tbl path with
+                | Some t -> t
+                | None -> tolerance
+              in
               let worse, better =
                 match dir with
                 | Lower_better ->

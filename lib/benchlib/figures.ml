@@ -560,7 +560,8 @@ let scaling ?(threads = 8) ?(txns_per_thread = 400) () =
           Series.x = float_of_int r.Scaling_bench.partitions;
           ys = [ r.Scaling_bench.throughput_ops_per_s ];
         })
-      results
+      (* partitioned rows only: the InCLL row is not a partition count *)
+      (Scaling_bench.batch_series results)
   in
   Series.make ~id:"scaling" ~title:"Partitioned-log write scaling"
     ~xlabel:"partitions" ~ylabel:"updates per simulated second"

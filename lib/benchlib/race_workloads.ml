@@ -29,7 +29,10 @@
 open Rewind_nvm
 module Racecheck = Rewind_analysis.Racecheck
 
-(* The six standard configurations (same set as {!Recovery_bench}). *)
+(* The six standard WAL configurations (same set as {!Recovery_bench})
+   plus the epoch-based InCLL config, whose checkpoint fiber exercises
+   the other exemption: epoch-covered lines written back by the
+   advance's [flush_all] while writers are mid-transaction. *)
 let configs =
   [
     ("1l-nfp", Rewind.config_1l_nfp);
@@ -38,6 +41,7 @@ let configs =
     ("2l-fp", Rewind.config_2l_fp);
     ("simple", Rewind.config_simple);
     ("batch8", Rewind.config_batch ());
+    ("incll", Rewind.config_incll);
   ]
 
 let cells_per_thread = 64
@@ -50,10 +54,14 @@ let multi_writer ?(threads = 4) ?(txns_per_thread = 60) ?(writes_per_txn = 4)
     ~finally:(fun () -> Racecheck.detach rc)
     (fun () ->
       let alloc = Alloc.create arena in
-      let cfg = Rewind.with_partitions partitions cfg in
+      let cfg =
+        if cfg.Rewind.Tm.incll then cfg
+        else Rewind.with_partitions partitions cfg
+      in
       let tm = Rewind.Tm.create ~cfg alloc ~root_slot:2 in
       let cells =
-        Array.init (threads * cells_per_thread) (fun _ -> Alloc.alloc alloc 8)
+        Array.init (threads * cells_per_thread) (fun _ ->
+            Rewind.Tm.alloc_cell tm)
       in
       ignore
         (Sim_threads.run ~threads ~ops_per_thread:txns_per_thread (fun t op ->
@@ -80,10 +88,14 @@ let concurrent_checkpoint ?(threads = 4) ?(txns_per_thread = 40)
     ~finally:(fun () -> Racecheck.detach rc)
     (fun () ->
       let alloc = Alloc.create arena in
-      let cfg = Rewind.with_partitions partitions cfg in
+      let cfg =
+        if cfg.Rewind.Tm.incll then cfg
+        else Rewind.with_partitions partitions cfg
+      in
       let tm = Rewind.Tm.create ~cfg alloc ~root_slot:2 in
       let cells =
-        Array.init (threads * cells_per_thread) (fun _ -> Alloc.alloc alloc 8)
+        Array.init (threads * cells_per_thread) (fun _ ->
+            Rewind.Tm.alloc_cell tm)
       in
       ignore
         (Sim_threads.run ~threads:(threads + 1)

@@ -14,6 +14,9 @@
 open Rewind_nvm
 
 type result = {
+  series : string;
+      (** ["scaling"] for the partitioned batch log; ["scaling-incll"]
+          for the epoch-based InCLL config (always one "partition") *)
   threads : int;
   partitions : int;
   total_ops : int;  (** logged user updates across all threads *)
@@ -23,13 +26,22 @@ type result = {
 
 let cells_per_thread = 64
 
-let run_one ~threads ~partitions ~txns_per_thread ~writes_per_txn =
+(* InCLL epoch cadence: each fiber requests a best-effort epoch advance
+   ({!Rewind.Tm.checkpoint}) after every full pass over its 64 private
+   cells — group durability at the same granularity the append bench
+   uses. *)
+let advance_every_txns = 16
+
+let run_one ~series ~cfg ~threads ~partitions ~txns_per_thread ~writes_per_txn
+    =
   let arena = Arena.create ~size_bytes:(256 lsl 20) () in
   let alloc = Alloc.create arena in
-  let cfg = Rewind.with_partitions partitions (Rewind.config_batch ()) in
+  let cfg =
+    if cfg.Rewind.Tm.incll then cfg else Rewind.with_partitions partitions cfg
+  in
   let tm = Rewind.Tm.create ~cfg alloc ~root_slot:2 in
   let cells =
-    Array.init (threads * cells_per_thread) (fun _ -> Alloc.alloc alloc 8)
+    Array.init (threads * cells_per_thread) (fun _ -> Rewind.Tm.alloc_cell tm)
   in
   let makespan =
     Sim_threads.run ~threads ~ops_per_thread:txns_per_thread (fun t op ->
@@ -42,10 +54,15 @@ let run_one ~threads ~partitions ~txns_per_thread ~writes_per_txn =
           Rewind.Tm.write tm txn ~addr:cells.(c)
             ~value:(Int64.of_int (((t * 1000) + op) * 10 + i))
         done;
-        Rewind.Tm.commit tm txn)
+        Rewind.Tm.commit tm txn;
+        if
+          cfg.Rewind.Tm.incll
+          && op mod advance_every_txns = advance_every_txns - 1
+        then Rewind.Tm.checkpoint tm)
   in
   let total_ops = threads * txns_per_thread * writes_per_txn in
   {
+    series;
     threads;
     partitions;
     total_ops;
@@ -60,21 +77,34 @@ let default_partitions = [ 1; 2; 4; 8 ]
 let run ?(threads = 8) ?(partitions = default_partitions)
     ?(txns_per_thread = 400) ?(writes_per_txn = 4) () =
   List.map
-    (fun p -> run_one ~threads ~partitions:p ~txns_per_thread ~writes_per_txn)
+    (fun p ->
+      run_one ~series:"scaling"
+        ~cfg:(Rewind.config_batch ())
+        ~threads ~partitions:p ~txns_per_thread ~writes_per_txn)
     partitions
+  @ [
+      run_one ~series:"scaling-incll" ~cfg:Rewind.config_incll ~threads
+        ~partitions:1 ~txns_per_thread ~writes_per_txn;
+    ]
+
+let batch_series results =
+  List.filter (fun r -> String.equal r.series "scaling") results
 
 (* Throughput ratio of the largest partition count over the smallest —
-   the scaling headline (the CI gate expects >= 2x at 8 threads). *)
+   the scaling headline (the CI gate expects >= 2x at 8 threads).  Over
+   the partitioned batch rows only: the InCLL row is a different
+   protocol, not a partition count. *)
 let speedup results =
-  match (results, List.rev results) with
+  let batch = batch_series results in
+  match (batch, List.rev batch) with
   | first :: _, last :: _ when first.throughput_ops_per_s > 0. ->
       last.throughput_ops_per_s /. first.throughput_ops_per_s
   | _ -> 0.
 
 let pp_result ppf r =
   Fmt.pf ppf
-    "threads=%d partitions=%d  %8d ops  makespan %a  %10.0f ops/sim-s"
-    r.threads r.partitions r.total_ops Clock.pp_ns r.makespan_sim_ns
+    "%-14s threads=%d partitions=%d  %8d ops  makespan %a  %10.0f ops/sim-s"
+    r.series r.threads r.partitions r.total_ops Clock.pp_ns r.makespan_sim_ns
     r.throughput_ops_per_s
 
 let to_json results =
@@ -85,10 +115,10 @@ let to_json results =
       if i > 0 then Buffer.add_string b ",\n";
       Buffer.add_string b
         (Printf.sprintf
-           "  {\"name\": \"scaling\", \"threads\": %d, \"partitions\": %d, \
+           "  {\"name\": %S, \"threads\": %d, \"partitions\": %d, \
             \"total_ops\": %d, \"makespan_sim_ns\": %d, \
             \"throughput_ops_per_s\": %.2f}"
-           r.threads r.partitions r.total_ops r.makespan_sim_ns
+           r.series r.threads r.partitions r.total_ops r.makespan_sim_ns
            r.throughput_ops_per_s))
     results;
   Buffer.add_string b "\n]\n";

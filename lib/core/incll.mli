@@ -1,0 +1,62 @@
+(** In-cache-line logging (InCLL): epoch-based undo logging where the
+    undo entry shares the data's cache line, after Cohen et al.,
+    "Fine-Grain Checkpointing with In-Cache-Line Logging" (ASPLOS'19).
+
+    Each managed cell owns one cache line holding the data word, an undo
+    word, and an epoch tag.  The first store to a cell per epoch
+    captures the old value into the undo word (two extra cached stores,
+    same line — no extra NVM line write, no fence); later stores in the
+    epoch are a single cached store.  {!advance} is the group-commit
+    point: flush everything, fence, bump the durable epoch counter.
+    A crash rolls the state back to the last advance — which is
+    transaction-consistent, because the transaction layer only advances
+    at quiescence.  Used by {!Tm} when the configuration's [incll] flag
+    is set; the log/record machinery is bypassed entirely. *)
+
+open Rewind_nvm
+
+type t
+
+val create :
+  Arena.t -> Alloc.t -> epoch_slot:int -> dir_slot:int -> t
+(** Format a fresh InCLL region: allocate the durable epoch-counter line
+    and cell directory head, anchor both in the given arena root slots,
+    and start at epoch 1. *)
+
+val attach : Arena.t -> Alloc.t -> epoch_slot:int -> dir_slot:int -> t
+(** Reopen from the root slots: read the durable epoch and rebuild the
+    volatile cell list by walking the durable directory.  Does not roll
+    anything back — call {!recover} for that. *)
+
+val alloc_cell : t -> int
+(** Allocate and durably register one cell (a full cache line from
+    never-recycled, durably-zero space — a fresh tag of 0 can never
+    equal a live epoch).  Returns the data-word address; the cell's undo
+    word and tag live at fixed offsets behind it. *)
+
+val store : t -> addr:int -> value:int64 -> unit
+(** Update a registered cell, capturing the in-line undo first if this
+    is the cell's first store of the current epoch.  Raises
+    [Invalid_argument] for an unregistered address. *)
+
+val read : t -> int -> int64
+
+val advance : t -> unit
+(** The epoch checkpoint: flush all dirty lines, fence, bump the durable
+    epoch counter, fence.  Everything stored in the closing epoch
+    becomes durable as a group; the caller (see {!Tm.advance_epoch})
+    must ensure no transaction is in flight. *)
+
+val recover : t -> int * int
+(** Post-crash: rewind every cell whose tag equals the crashed epoch to
+    its undo word, then {!advance}.  Idempotent across crashes inside
+    recovery itself.  Returns (cells scanned, cells rewound). *)
+
+val epoch : t -> int
+(** The current (cached) epoch. *)
+
+val cells : t -> int list
+(** Registered cell addresses, oldest first. *)
+
+val n_cells : t -> int
+val is_cell : t -> int -> bool

@@ -34,6 +34,7 @@ type config = Tm.config = {
   bucket_cap : int;
   lockfree_latch : bool;
   partitions : int;
+  incll : bool;
 }
 
 (* The paper's named configurations. *)
@@ -54,8 +55,44 @@ let config_batch ?(group = 8) () =
 let config_lockfree ?(group = 8) () =
   { Tm.default_config with variant = Log.Batch group; lockfree_latch = true }
 
+(* In-cache-line logging (Cohen et al., ASPLOS'19): epoch-granular group
+   durability, no WAL at all.  One partition, one layer by construction. *)
+let config_incll = { Tm.default_config with incll = true }
+
 (* Shard any configuration's log into [n] partitions (Section 4.7). *)
 let with_partitions n cfg = { cfg with partitions = n }
+
+(* Every named configuration the tooling accepts, in presentation order.
+   Single source of truth for the CLI's [--config] parser, its help and
+   error text, and the README's configuration table — extend here and
+   every consumer picks the new name up. *)
+let named_configs : (string * string * (unit -> config)) list =
+  [
+    ("1l-nfp", "one-layer, no-force (the default)", fun () -> config_1l_nfp);
+    ("1l-fp", "one-layer, force", fun () -> config_1l_fp);
+    ("2l-nfp", "two-layer, no-force", fun () -> config_2l_nfp);
+    ("2l-fp", "two-layer, force", fun () -> config_2l_fp);
+    ("simple", "Simple log (doubly-linked list)", fun () -> config_simple);
+    ( "optimized",
+      "Optimized log (singly-linked, combined records)",
+      fun () -> config_optimized );
+    ("batch", "Batch log, group commit of 8", fun () -> config_batch ());
+    ( "lockfree",
+      "Batch log with CAS appends instead of a latch",
+      fun () -> config_lockfree () );
+    ( "incll",
+      "in-cache-line logging, epoch-granular durability (no WAL)",
+      fun () -> config_incll );
+  ]
+
+let config_names = List.map (fun (n, _, _) -> n) named_configs
+
+let config_of_name name =
+  match
+    List.find_opt (fun (n, _, _) -> String.equal n name) named_configs
+  with
+  | Some (_, _, mk) -> Some (mk ())
+  | None -> None
 
 let all_figure3_configs =
   [

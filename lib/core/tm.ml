@@ -50,6 +50,11 @@ type config = {
          home partition by id, and recovery merges the partitions by
          LSN.  1 = the unpartitioned log of the paper's single-threaded
          experiments. *)
+  incll : bool;
+      (* in-cache-line logging (Cohen et al., ASPLOS'19): the undo entry
+         lives in the data's own cache line and durability is
+         epoch-granular ({!advance_epoch}).  Replaces the WAL machinery
+         wholesale — no log, no records, no partitions. *)
 }
 
 let default_config =
@@ -60,14 +65,18 @@ let default_config =
     bucket_cap = 1000;
     lockfree_latch = false;
     partitions = 1;
+    incll = false;
   }
 
 let pp_config ppf c =
-  Fmt.pf ppf "%s-%s/%a"
-    (match c.layers with One_layer -> "1L" | Two_layer -> "2L")
-    (match c.policy with Force -> "FP" | No_force -> "NFP")
-    Log.pp_variant c.variant;
-  if c.partitions > 1 then Fmt.pf ppf "x%d" c.partitions
+  if c.incll then Fmt.string ppf "InCLL"
+  else begin
+    Fmt.pf ppf "%s-%s/%a"
+      (match c.layers with One_layer -> "1L" | Two_layer -> "2L")
+      (match c.policy with Force -> "FP" | No_force -> "NFP")
+      Log.pp_variant c.variant;
+    if c.partitions > 1 then Fmt.pf ppf "x%d" c.partitions
+  end
 
 type txn = int
 
@@ -113,7 +122,13 @@ type t = {
   cfg : config;
   alloc : Alloc.t;
   arena : Arena.t;
-  parts : part array;
+  parts : part array; (* empty under incll *)
+  incll : Incll.t option;
+  incll_txns : (int, (int * int64) list ref) Hashtbl.t;
+      (* incll: txn -> volatile undo journal (addr, old value), newest
+         first.  Serves abort/savepoint rollback only — crash rollback
+         uses the in-line undo words, never this table. *)
+  incll_latch : Sim_mutex.t;
   next_txn : int Sim_atomic.t;
   next_lsn : int Sim_atomic.t;  (* one global counter: LSNs order records
                                across all partitions *)
@@ -165,6 +180,7 @@ let config_word cfg =
   lor (group lsl 20)
   lor ((cfg.bucket_cap land 0xFFFFFF) lsl 36)
   lor ((if cfg.lockfree_latch then 1 else 0) lsl 60)
+  lor ((if cfg.incll then 1 else 0) lsl 61)
 
 let config_of_word w =
   {
@@ -178,6 +194,7 @@ let config_of_word w =
     bucket_cap = (w lsr 36) land 0xFFFFFF;
     lockfree_latch = (w lsr 60) land 1 = 1;
     partitions = (w lsr 8) land 0xFF;
+    incll = (w lsr 61) land 1 = 1;
   }
 
 let semantic_config_bits w = w land lnot (1 lsl 60)
@@ -185,6 +202,13 @@ let semantic_config_bits w = w land lnot (1 lsl 60)
 let check_cfg cfg ~root_slot =
   if cfg.partitions < 1 then
     invalid_arg "Tm: config.partitions must be at least 1";
+  if cfg.incll && cfg.partitions <> 1 then
+    invalid_arg
+      "Tm: incll is epoch-granular, not log-partitioned; config.partitions \
+       must be 1";
+  if cfg.incll && cfg.layers <> One_layer then
+    invalid_arg "Tm: incll keeps no record index; config.layers must be \
+                 One_layer";
   if part_index_slot ~root_slot (cfg.partitions - 1) >= 63 then
     invalid_arg
       (Printf.sprintf
@@ -233,12 +257,15 @@ let make_part cfg pid log index =
     deferred = [];
   }
 
-let make_t cfg alloc parts =
+let make_t ?incll cfg alloc parts =
   {
     cfg;
     alloc;
     arena = Alloc.arena alloc;
     parts;
+    incll;
+    incll_txns = Hashtbl.create 16;
+    incll_latch = Sim_mutex.create ();
     next_txn = Sim_atomic.make first_txn;
     next_lsn = Sim_atomic.make 1;
     prepared_gtids = Hashtbl.create 8;
@@ -249,10 +276,23 @@ let make_t cfg alloc parts =
     probe = None;
   }
 
+(* Under incll the two slots a partition-0 log/index would use anchor
+   the epoch counter and the cell directory instead. *)
+let incll_epoch_slot ~root_slot = part_log_slot ~root_slot 0
+let incll_dir_slot ~root_slot = part_index_slot ~root_slot 0
+
 let create ?(cfg = default_config) alloc ~root_slot =
   check_cfg cfg ~root_slot;
   let arena = Alloc.arena alloc in
   Arena.root_set arena root_slot (Int64.of_int (config_word cfg));
+  if cfg.incll then
+    let i =
+      Incll.create arena alloc
+        ~epoch_slot:(incll_epoch_slot ~root_slot)
+        ~dir_slot:(incll_dir_slot ~root_slot)
+    in
+    make_t ~incll:i cfg alloc [||]
+  else
   let parts =
     Array.init cfg.partitions (fun pid ->
         let log =
@@ -275,8 +315,12 @@ let create ?(cfg = default_config) alloc ~root_slot =
   make_t cfg alloc parts
 
 let config t = t.cfg
-let partitions t = Array.length t.parts
-let log t = t.parts.(0).log
+let partitions t = max 1 (Array.length t.parts)
+
+let log t =
+  if t.cfg.incll then
+    invalid_arg "Tm.log: an InCLL configuration keeps no log"
+  else t.parts.(0).log
 let logs t = Array.map (fun p -> p.log) t.parts
 let partition_appended t = Array.map (fun p -> Log.appended p.log) t.parts
 let commits t = t.commits
@@ -291,7 +335,8 @@ let hot_span t name f =
   | Some p -> Probe.span p (Arena.stats t.arena) name f
 
 let active_transactions t =
-  Array.fold_left (fun acc p -> acc + Txn_table.size p.table) 0 t.parts
+  Hashtbl.length t.incll_txns
+  + Array.fold_left (fun acc p -> acc + Txn_table.size p.table) 0 t.parts
 
 let last_recovery t = t.last_recovery
 
@@ -307,14 +352,29 @@ let home t txn = t.parts.(home_partition t txn)
 
 let begin_txn t =
   let id = Sim_atomic.fetch_and_add t.next_txn 1 in
-  (match t.cfg.layers with
-  | One_layer -> ()  (* one-layer: no per-transaction state while logging *)
-  | Two_layer ->
-      (* two-layer: the transaction table is maintained while logging *)
-      let p = home t id in
-      Sim_mutex.with_lock p.latch (fun () ->
-          ignore (Txn_table.find_or_add p.table id)));
+  (match t.incll with
+  | Some _ ->
+      (* incll: open a volatile undo journal for abort support; the
+         durable side needs no per-transaction state at all. *)
+      Sim_mutex.with_lock t.incll_latch (fun () ->
+          Hashtbl.replace t.incll_txns id (ref []))
+  | None -> (
+      match t.cfg.layers with
+      | One_layer ->
+          ()  (* one-layer: no per-transaction state while logging *)
+      | Two_layer ->
+          (* two-layer: the transaction table is maintained while logging *)
+          let p = home t id in
+          Sim_mutex.with_lock p.latch (fun () ->
+              ignore (Txn_table.find_or_add p.table id))));
   id
+
+let incll_journal t txn_id =
+  match Hashtbl.find_opt t.incll_txns txn_id with
+  | Some j -> j
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Tm: transaction %d is not open (InCLL)" txn_id)
 
 (* -- logging ------------------------------------------------------------ *)
 
@@ -382,6 +442,8 @@ let append_user_record t p txn_id r ~is_end =
    log the latch taken here is the transaction's home-partition latch —
    appends in different partitions never serialise against each other. *)
 let log_update t txn_id ~addr ~old_value ~new_value =
+  if t.cfg.incll then
+    invalid_arg "Tm.log_update: InCLL logs in-line; use Tm.write";
   let p = home t txn_id in
   let lsn = fresh_lsn t in
   let inline =
@@ -411,8 +473,11 @@ let log_update t txn_id ~addr ~old_value ~new_value =
       Pmcheck.region_logged ~group:p.pid t.arena ~txn:txn_id ~addr ~len:8
         ~durable:(Log.pending p.log = 0))
 
-(* The paper's expanded-code pattern (Listing 2): log, then store. *)
-let write t txn_id ~addr ~value =
+(* The paper's expanded-code pattern (Listing 2): log, then store.  The
+   InCLL path journals the old value for abort support and lets
+   {!Incll.store} handle the durable side — the in-line undo capture on
+   the epoch's first store, a bare cached store afterwards. *)
+let write_wal t txn_id ~addr ~value =
   let old_value = Arena.read t.arena addr in
   log_update t txn_id ~addr ~old_value ~new_value:value;
   match (t.cfg.policy, t.cfg.variant) with
@@ -426,11 +491,23 @@ let write t txn_id ~addr ~value =
       let p = home t txn_id in
       Sim_mutex.with_lock p.latch (fun () -> user_write t p addr value)
 
+let write t txn_id ~addr ~value =
+  match t.incll with
+  | Some i ->
+      let old_value = Arena.read t.arena addr in
+      Sim_mutex.with_lock t.incll_latch (fun () ->
+          let j = incll_journal t txn_id in
+          j := (addr, old_value) :: !j);
+      Incll.store i ~addr ~value
+  | None -> write_wal t txn_id ~addr ~value
+
 let read t _txn_id ~addr = Arena.read t.arena addr
 
 (* Record an intention to free NVM; the de-allocation itself happens only
    once the transaction's outcome is settled (Section 4.3). *)
 let log_delete t txn_id ~addr ~size =
+  if t.cfg.incll then
+    invalid_arg "Tm.log_delete: InCLL has no deferred-delete records";
   let p = home t txn_id in
   let lsn = fresh_lsn t in
   let r =
@@ -505,8 +582,24 @@ let append_end t p txn_id =
 (* [clear] exists for experiments that model a crash landing between the
    END record and commit-time clearing (Sections 5.1's recovery scenarios);
    production callers leave it true. *)
-let commit ?(clear = true) t txn_id =
+let rec commit ?(clear = true) t txn_id =
   hot_span t "commit" @@ fun () ->
+  match t.incll with
+  | Some _ ->
+      (* InCLL commit is free: durability is epoch-granular (the commit
+         becomes durable at the next {!advance_epoch}, as a group), so
+         there is no END record, no fence, and no commit point to check —
+         dropping the volatile undo journal is the whole operation.  This
+         is the protocol's documented trade: a crash loses up to one
+         epoch of committed work, never consistency. *)
+      Sim_mutex.with_lock t.incll_latch (fun () ->
+          ignore (incll_journal t txn_id);
+          Hashtbl.remove t.incll_txns txn_id;
+          t.commits <- t.commits + 1;
+          Pmcheck.txn_settled t.arena ~txn:txn_id)
+  | None -> commit_wal ~clear t txn_id
+
+and commit_wal ?(clear = true) t txn_id =
   let p = home t txn_id in
   Sim_mutex.with_lock p.latch (fun () ->
       t.commits <- t.commits + 1;
@@ -620,9 +713,44 @@ let rollback_two_layer t p idx txn_id =
 
 type savepoint = int
 
-let savepoint t _txn_id = Sim_atomic.get t.next_lsn
+(* WAL: a savepoint names an LSN.  InCLL: it names a depth in the
+   transaction's volatile undo journal — same int, same semantics (undo
+   everything after this point). *)
+let savepoint t txn_id =
+  match t.incll with
+  | Some _ ->
+      Sim_mutex.with_lock t.incll_latch (fun () ->
+          List.length !(incll_journal t txn_id))
+  | None -> Sim_atomic.get t.next_lsn
+
+let rollback_to_incll t i txn_id (sp : savepoint) =
+  let to_undo =
+    Sim_mutex.with_lock t.incll_latch (fun () ->
+        let j = incll_journal t txn_id in
+        let depth = List.length !j in
+        let undo, keep =
+          (* journal is newest-first: undo the first depth-sp entries *)
+          let rec split n l =
+            if n = 0 then ([], l)
+            else
+              match l with
+              | [] -> ([], [])
+              | x :: rest ->
+                  let u, k = split (n - 1) rest in
+                  (x :: u, k)
+          in
+          split (max 0 (depth - sp)) !j
+        in
+        j := keep;
+        undo)
+  in
+  List.iter (fun (addr, old_value) -> Incll.store i ~addr ~value:old_value)
+    to_undo
 
 let rollback_to t txn_id (sp : savepoint) =
+  match t.incll with
+  | Some i -> rollback_to_incll t i txn_id sp
+  | None ->
   let p = home t txn_id in
   Sim_mutex.with_lock p.latch (fun () ->
       let durably = t.cfg.policy = Force in
@@ -678,7 +806,26 @@ let rollback_to t txn_id (sp : savepoint) =
           (fun (x, lsn, _, _) -> x <> txn_id || lsn < sp)
           p.deferred_deletes)
 
+(* InCLL abort: replay the volatile journal newest-first through the
+   ordinary store path (so a cell's in-line undo is re-captured if this
+   is somehow its first touch of the epoch).  The journal orders restores
+   correctly for multiple writes to one cell within the transaction. *)
+let rollback_incll t i txn_id =
+  let entries =
+    Sim_mutex.with_lock t.incll_latch (fun () ->
+        let j = incll_journal t txn_id in
+        Hashtbl.remove t.incll_txns txn_id;
+        !j)
+  in
+  List.iter (fun (addr, old_value) -> Incll.store i ~addr ~value:old_value)
+    entries;
+  t.rollbacks <- t.rollbacks + 1;
+  Pmcheck.txn_settled t.arena ~txn:txn_id
+
 let rollback t txn_id =
+  match t.incll with
+  | Some i -> rollback_incll t i txn_id
+  | None ->
   let p = home t txn_id in
   Sim_mutex.with_lock p.latch (fun () ->
       t.rollbacks <- t.rollbacks + 1;
@@ -711,6 +858,10 @@ let rollback t txn_id =
    undoes nor finishes it, because under presumed abort only the
    coordinator's durable decision record can settle it. *)
 let prepare t txn_id ~gtid =
+  if t.cfg.incll then
+    invalid_arg
+      "Tm.prepare: InCLL durability is epoch-granular and cannot hold a \
+       single transaction in doubt";
   hot_span t "prepare" @@ fun () ->
   let p = home t txn_id in
   Sim_mutex.with_lock p.latch (fun () ->
@@ -763,7 +914,47 @@ let rec with_all_latches t i f =
     Sim_mutex.with_lock t.parts.(i).latch (fun () ->
         with_all_latches t (i + 1) f)
 
-let checkpoint t =
+(* The InCLL epoch checkpoint — the config's replacement for both
+   commit-time clearing and the cache-consistent checkpoint.  Requires
+   quiescence: an advance with a transaction in flight would turn the
+   new epoch boundary into a transaction-inconsistent recovery target. *)
+let advance_epoch t =
+  match t.incll with
+  | None ->
+      invalid_arg "Tm.advance_epoch: not an InCLL configuration"
+  | Some i ->
+      if active_transactions t > 0 then
+        invalid_arg
+          (Printf.sprintf
+             "Tm.advance_epoch: %d transaction(s) still in flight — the \
+              epoch boundary must be transaction-consistent"
+             (active_transactions t));
+      hot_span t "epoch-advance" (fun () -> Incll.advance i)
+
+let current_epoch t =
+  match t.incll with None -> None | Some i -> Some (Incll.epoch i)
+
+(* Allocate transactionally-managed storage for one word.  WAL configs
+   hand out a bare word; InCLL hands out a full cell line (data + in-line
+   undo + epoch tag) through the durable directory.  Workloads that want
+   to run unchanged across every configuration allocate through this. *)
+let alloc_cell t =
+  match t.incll with
+  | Some i -> Incll.alloc_cell i
+  | None -> Alloc.alloc t.alloc 8
+
+let rec checkpoint t =
+  match t.incll with
+  | Some i ->
+      (* Best-effort under load: with writers mid-transaction the advance
+         must wait for the next quiescent checkpoint — skipping is always
+         safe (durability is simply deferred), advancing non-quiescent
+         never is. *)
+      if Hashtbl.length t.incll_txns = 0 then
+        hot_span t "epoch-advance" (fun () -> Incll.advance i)
+  | None -> checkpoint_wal t
+
+and checkpoint_wal t =
   hot_span t "checkpoint" @@ fun () ->
   with_all_latches t 0 (fun () ->
       hot_span t "cp-persist" (fun () ->
@@ -1424,6 +1615,29 @@ let torn_truncated_logs t =
 let recover_with t prof =
   let pstats = Arena.stats t.arena in
   Pmcheck.recovery_begin t.arena;
+  match t.incll with
+  | Some i ->
+      (* InCLL recovery: one pass over the durable cell directory
+         rewinding every cell tagged with the crashed epoch, then an
+         epoch advance that makes the rewound state the new durable
+         boundary.  No analysis/redo/undo distinction — the in-line tags
+         are the whole transaction table. *)
+      let scanned, rolled =
+        Probe.span prof pstats "epoch-scan" (fun () -> Incll.recover i)
+      in
+      Hashtbl.reset t.incll_txns;
+      Pmcheck.recovery_end t.arena;
+      t.last_recovery <-
+        Some
+          {
+            records_scanned = scanned;
+            torn_truncated = 0;
+            redo_applied = 0;
+            txns_finished = 0;
+            txns_undone = rolled;
+          };
+      t.last_recovery_profile <- Some prof
+  | None ->
   Hashtbl.reset t.prepared_gtids;
   let report =
     match t.cfg.layers with
@@ -1470,6 +1684,18 @@ let attach ?(cfg = default_config) alloc ~root_slot =
   validate_stored_config arena cfg ~root_slot;
   let prof = Probe.create () in
   let pstats = Arena.stats arena in
+  if cfg.incll then begin
+    let i =
+      Probe.span prof pstats "dir-attach" (fun () ->
+          Incll.attach arena alloc
+            ~epoch_slot:(incll_epoch_slot ~root_slot)
+            ~dir_slot:(incll_dir_slot ~root_slot))
+    in
+    let t = make_t ~incll:i cfg alloc [||] in
+    recover_with t prof;
+    t
+  end
+  else
   let parts =
     Array.init cfg.partitions (fun pid ->
         let log =

@@ -46,6 +46,15 @@ type config = {
   partitions : int;
       (** Independent log partitions (>= 1).  [1] is the unpartitioned
           log of the paper's single-threaded experiments. *)
+  incll : bool;
+      (** In-cache-line logging (Cohen et al., ASPLOS'19): replaces the
+          WAL machinery wholesale with per-cell in-line undo words and
+          epoch-granular group durability.  Updates go through cells
+          allocated with {!alloc_cell}; durability points are
+          {!advance_epoch} calls (or {!checkpoint}), not commits — a
+          crash rolls back to the last epoch boundary.  Requires
+          [partitions = 1] and [One_layer]; [variant]/[policy] are
+          ignored.  See {!advance_epoch}. *)
 }
 
 val default_config : config
@@ -79,7 +88,8 @@ val attach : ?cfg:config -> Rewind_nvm.Alloc.t -> root_slot:int -> t
 val config : t -> config
 
 val log : t -> Log.t
-(** Partition 0's log (the only one when [partitions = 1]). *)
+(** Partition 0's log (the only one when [partitions = 1]).  Raises
+    [Failure] under an InCLL configuration, which keeps no log. *)
 
 val logs : t -> Log.t array
 (** All partitions' logs, indexed by partition id. *)
@@ -195,6 +205,37 @@ val checkpoint : t -> unit
 
 val recover : t -> unit
 (** Run recovery explicitly (normally done by {!attach}). *)
+
+(** {1 In-cache-line logging (InCLL)}
+
+    With [config.incll = true] the manager keeps no write-ahead log at
+    all.  Updates target {e cells} — cache lines holding the data word,
+    an in-line undo word and an epoch tag — so a logged update costs one
+    NVM line write and no fence.  Durability is {e epoch-granular}:
+    {!commit} only settles the transaction's volatile state; the whole
+    epoch becomes durable at once at {!advance_epoch}, and a crash rolls
+    every cell back to the last epoch boundary (which is
+    transaction-consistent, because epochs only advance at quiescence).
+    {!rollback} still works mid-epoch via a volatile per-transaction
+    undo journal. *)
+
+val alloc_cell : t -> int
+(** Allocate one managed word and return its address.  Under InCLL this
+    is a durably-registered cache-line cell (the only addresses
+    {!write} accepts); under the WAL configurations it is a plain
+    8-byte allocation, so workloads can be written config-generically. *)
+
+val advance_epoch : t -> unit
+(** The InCLL group-commit point: flush all dirty lines, fence, bump
+    the durable epoch counter.  Everything stored since the previous
+    advance becomes durable as a group.  Raises [Failure] if the
+    configuration is not InCLL, or [Invalid_argument] if transactions
+    are in flight (the epoch boundary must be transaction-consistent).
+    {!checkpoint} is the best-effort variant: it advances only when no
+    transaction is active, and is a no-op otherwise. *)
+
+val current_epoch : t -> int option
+(** The current epoch ([None] for WAL configurations). *)
 
 (** {1 Introspection} *)
 

@@ -36,6 +36,13 @@ let recovery_begin arena =
 let recovery_end arena =
   if Arena.traced arena then Arena.emit arena (Trace.Recovery false)
 
+let epoch_logged arena ~addr ~len ~epoch =
+  if Arena.traced arena then
+    Arena.emit arena (Trace.Epoch_logged { addr; len; epoch })
+
+let epoch_advanced arena ~epoch =
+  if Arena.traced arena then Arena.emit arena (Trace.Epoch_advanced { epoch })
+
 let freed arena ~addr ~len =
   if Arena.traced arena then Arena.emit arena (Trace.Freed { addr; len })
 

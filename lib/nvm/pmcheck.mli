@@ -41,6 +41,19 @@ val recovery_begin : Arena.t -> unit
 
 val recovery_end : Arena.t -> unit
 
+val epoch_logged : Arena.t -> addr:int -> len:int -> epoch:int -> unit
+(** Epoch-protocol analogue of {!region_logged}: an in-cache-line undo
+    word sharing the data's line captured the pre-[epoch] value of
+    [addr, addr+len).  Coverage does not expire with any transaction —
+    the line carries its own undo wherever it is written back — and is
+    superseded only by the next {!epoch_advanced}. *)
+
+val epoch_advanced : Arena.t -> epoch:int -> unit
+(** Epoch-protocol analogue of {!txn_settled}: the durable epoch counter
+    is about to become [epoch].  All lines captured under earlier epochs
+    must already be durable and fence-ordered; their coverage is
+    dropped. *)
+
 val freed : Arena.t -> addr:int -> len:int -> unit
 (** Region returned to the allocator: further stores are use-after-free. *)
 

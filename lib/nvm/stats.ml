@@ -19,6 +19,9 @@ type t = {
   mutable inline_records : int; (** log appends encoded as inline slot pairs *)
   mutable full_records : int;   (** log appends of heap-allocated 64-byte records *)
   mutable group_flushes : int;  (** batch-group persistence points (per log partition) *)
+  mutable epoch_advances : int; (** durable epoch bumps (InCLL checkpoints) *)
+  mutable incll_captures : int; (** first-store-of-epoch in-line undo captures *)
+  mutable incll_elided : int;   (** same-epoch repeat stores that needed no undo *)
 }
 
 let create () =
@@ -39,6 +42,9 @@ let create () =
     inline_records = 0;
     full_records = 0;
     group_flushes = 0;
+    epoch_advances = 0;
+    incll_captures = 0;
+    incll_elided = 0;
   }
 
 let reset s =
@@ -57,7 +63,10 @@ let reset s =
   s.redundant_fences <- 0;
   s.inline_records <- 0;
   s.full_records <- 0;
-  s.group_flushes <- 0
+  s.group_flushes <- 0;
+  s.epoch_advances <- 0;
+  s.incll_captures <- 0;
+  s.incll_elided <- 0
 
 let diff a b =
   {
@@ -77,6 +86,9 @@ let diff a b =
     inline_records = a.inline_records - b.inline_records;
     full_records = a.full_records - b.full_records;
     group_flushes = a.group_flushes - b.group_flushes;
+    epoch_advances = a.epoch_advances - b.epoch_advances;
+    incll_captures = a.incll_captures - b.incll_captures;
+    incll_elided = a.incll_elided - b.incll_elided;
   }
 
 let snapshot s = { s with nvm_writes = s.nvm_writes }
@@ -97,7 +109,10 @@ let add dst src =
   dst.redundant_fences <- dst.redundant_fences + src.redundant_fences;
   dst.inline_records <- dst.inline_records + src.inline_records;
   dst.full_records <- dst.full_records + src.full_records;
-  dst.group_flushes <- dst.group_flushes + src.group_flushes
+  dst.group_flushes <- dst.group_flushes + src.group_flushes;
+  dst.epoch_advances <- dst.epoch_advances + src.epoch_advances;
+  dst.incll_captures <- dst.incll_captures + src.incll_captures;
+  dst.incll_elided <- dst.incll_elided + src.incll_elided
 
 (* Counter scope: the counters are cumulative for the arena's lifetime —
    across crashes and reattachments — so code that wants "the NVM work of
@@ -121,4 +136,7 @@ let pp ppf s =
   if s.inline_records + s.full_records > 0 then
     Fmt.pf ppf " inline_records=%d full_records=%d" s.inline_records
       s.full_records;
-  if s.group_flushes > 0 then Fmt.pf ppf " group_flushes=%d" s.group_flushes
+  if s.group_flushes > 0 then Fmt.pf ppf " group_flushes=%d" s.group_flushes;
+  if s.epoch_advances + s.incll_captures + s.incll_elided > 0 then
+    Fmt.pf ppf " epoch_advances=%d incll_captures=%d incll_elided=%d"
+      s.epoch_advances s.incll_captures s.incll_elided

@@ -19,6 +19,9 @@ type t = {
   mutable inline_records : int; (** log appends encoded as inline slot pairs *)
   mutable full_records : int;   (** log appends of heap-allocated 64-byte records *)
   mutable group_flushes : int;  (** batch-group persistence points (per log partition) *)
+  mutable epoch_advances : int; (** durable epoch bumps (InCLL checkpoints) *)
+  mutable incll_captures : int; (** first-store-of-epoch in-line undo captures *)
+  mutable incll_elided : int;   (** same-epoch repeat stores that needed no undo *)
 }
 
 val create : unit -> t

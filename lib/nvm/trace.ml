@@ -68,6 +68,19 @@ type event =
           until re-allocation. *)
   | Allocated of { addr : int; len : int }
       (** Region handed out by the allocator (clears any freed mark). *)
+  | Epoch_logged of { addr : int; len : int; epoch : int }
+      (** Epoch-protocol analogue of {!Region_logged}: an in-cache-line
+          undo word co-located with [addr, addr+len) captured the
+          pre-[epoch] value.  Because undo and data share one line, the
+          coverage never expires with a transaction — any write-back of
+          the line carries the undo with it, so the region stays
+          recoverable until the next epoch advance re-captures it. *)
+  | Epoch_advanced of { epoch : int }
+      (** Epoch-protocol analogue of {!Txn_settled}: the durable epoch
+          counter is about to become [epoch].  Every line captured under
+          earlier epochs must already be durable and fence-ordered (the
+          advance's flush_all/fence precede this annotation); their
+          in-line coverage is superseded. *)
   (* synchronization events (emitted by Sim_mutex / Sim_atomic /
      Sim_threads when a sync tracer is attached) *)
   | Load of { off : int; len : int }
@@ -117,6 +130,9 @@ let pp ppf = function
   | Recovery b -> Fmt.pf ppf "recovery-%s" (if b then "begin" else "end")
   | Freed { addr; len } -> Fmt.pf ppf "freed [%d,+%d)" addr len
   | Allocated { addr; len } -> Fmt.pf ppf "allocated [%d,+%d)" addr len
+  | Epoch_logged { addr; len; epoch } ->
+      Fmt.pf ppf "epoch-logged [%d,+%d) e%d" addr len epoch
+  | Epoch_advanced { epoch } -> Fmt.pf ppf "epoch-advanced e%d" epoch
   | Load { off; len } -> Fmt.pf ppf "load [%d,+%d)" off len
   | Acquire { lock } -> Fmt.pf ppf "acquire m%d" lock
   | Release { lock } -> Fmt.pf ppf "release m%d" lock

@@ -35,6 +35,16 @@ type event =
   | Recovery of bool
   | Freed of { addr : int; len : int }
   | Allocated of { addr : int; len : int }
+  | Epoch_logged of { addr : int; len : int; epoch : int }
+      (** An in-cache-line undo word co-located with the region captured
+          the pre-[epoch] value (epoch-protocol analogue of
+          {!Region_logged}); coverage lasts until the next epoch
+          advance, not until a transaction settles. *)
+  | Epoch_advanced of { epoch : int }
+      (** The durable epoch counter is about to become [epoch]; all
+          lines captured under earlier epochs must already be durable
+          and fence-ordered (epoch-protocol analogue of
+          {!Txn_settled}). *)
   | Load of { off : int; len : int }
       (** A CPU load; only emitted under {!Arena.set_trace_loads}. *)
   | Acquire of { lock : int }

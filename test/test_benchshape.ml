@@ -208,6 +208,61 @@ let test_benchdiff_self_compare () =
       check_bool "gated a metric" true (o.Benchdiff.checked > 0);
       check_bool "identical results pass" true (Benchdiff.passed o)
 
+(* per-metric tolerance: a baseline leaf [<metric>_tolerance] overrides
+   the global [--tolerance] for that one metric; the annotation itself is
+   never gated and never reported missing. *)
+
+let compare_strings ~tolerance ~baseline ~current =
+  match
+    Benchdiff.compare_files ~tolerance
+      ~baseline:(write_tmp "bd_tol_baseline.json" baseline)
+      ~current:(write_tmp "bd_tol_current.json" current)
+  with
+  | Error msg -> Alcotest.fail ("compare failed: " ^ msg)
+  | Ok o -> o
+
+let test_benchdiff_per_metric_tolerance () =
+  (* 40% throughput drop: fails the 10% global gate, but the baseline
+     grants that metric 50% *)
+  let o =
+    compare_strings ~tolerance:0.1
+      ~baseline:
+        {|[ {"name": "x", "ops": 10, "throughput": 10.0, "throughput_tolerance": 0.5} ]|}
+      ~current:{|[ {"name": "x", "ops": 10, "throughput": 6.0} ]|}
+  in
+  check_bool "wide per-metric tolerance admits the drop" true
+    (Benchdiff.passed o);
+  check_bool "annotation leaf itself is not gated" true (o.Benchdiff.checked = 1);
+  check_bool "annotation absent on current is not missing" true
+    (o.Benchdiff.missing = [])
+
+let test_benchdiff_tolerance_fallback () =
+  (* the override is per metric: the un-annotated metric still uses the
+     global tolerance and regresses *)
+  let o =
+    compare_strings ~tolerance:0.1
+      ~baseline:
+        {|[ {"name": "x", "ops": 10, "throughput": 10.0, "throughput_tolerance": 0.5, "sim_ns_per_op": 100.0} ]|}
+      ~current:
+        {|[ {"name": "x", "ops": 10, "throughput": 6.0, "sim_ns_per_op": 140.0} ]|}
+  in
+  check_bool "un-annotated metric falls back to global" false
+    (Benchdiff.passed o);
+  check_bool "exactly the fallback metric regressed" true
+    (List.length o.Benchdiff.regressions = 1)
+
+let test_benchdiff_tighter_per_metric () =
+  (* the override can also tighten: 5% drop passes the 20% global but
+     not the metric's own 1% *)
+  let o =
+    compare_strings ~tolerance:0.2
+      ~baseline:
+        {|[ {"name": "x", "ops": 10, "throughput": 10.0, "throughput_tolerance": 0.01} ]|}
+      ~current:{|[ {"name": "x", "ops": 10, "throughput": 9.5} ]|}
+  in
+  check_bool "tight per-metric tolerance rejects the drop" false
+    (Benchdiff.passed o)
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "benchshape"
@@ -218,6 +273,11 @@ let () =
           tc "missing current" `Quick test_benchdiff_missing_current;
           tc "malformed json" `Quick test_benchdiff_malformed_json;
           tc "self-compare passes" `Quick test_benchdiff_self_compare;
+          tc "per-metric tolerance override" `Quick
+            test_benchdiff_per_metric_tolerance;
+          tc "global tolerance fallback" `Quick test_benchdiff_tolerance_fallback;
+          tc "tighter per-metric tolerance" `Quick
+            test_benchdiff_tighter_per_metric;
         ] );
       ( "figures",
         [
