@@ -359,6 +359,44 @@ let check_one_config name cfg =
       List.iter (fun v -> Fmt.pr "    %a@." San.pp_violation v) (San.violations san);
       r.San.violation_count)
 
+(* The lock-free set under the sanitizer: the third persistence protocol
+   (linked-durable / link-and-persist) replayed sequentially — inserts,
+   removes, a traversal, a crash mid-insert, recovery via attach, and
+   post-recovery operations. *)
+let check_lfset () =
+  let arena = Arena.create ~size_bytes:(1 lsl 20) () in
+  let alloc = Alloc.create arena in
+  San.with_sanitizer ~mode:San.Collect arena (fun san ->
+      let set = Rewind_pds.Lfset.create ~nbuckets:8 ~nthreads:1 alloc in
+      Arena.root_set arena 3 (Int64.of_int (Rewind_pds.Lfset.base set));
+      for k = 0 to 15 do
+        ignore (Rewind_pds.Lfset.insert set k)
+      done;
+      for k = 0 to 7 do
+        ignore (Rewind_pds.Lfset.remove set (2 * k))
+      done;
+      ignore (Rewind_pds.Lfset.mem set 3);
+      (try
+         Arena.arm_crash arena ~after:3;
+         for k = 16 to 999 do
+           ignore (Rewind_pds.Lfset.insert set k)
+         done
+       with Arena.Crash -> ());
+      Arena.disarm_crash arena;
+      (if Arena.crashed arena then begin
+         let alloc = Alloc.recover arena in
+         let base = Int64.to_int (Arena.root_get arena 3) in
+         let set = Rewind_pds.Lfset.attach alloc ~base in
+         ignore (Rewind_pds.Lfset.insert set 100);
+         ignore (Rewind_pds.Lfset.mem set 100)
+       end);
+      let r = San.report san in
+      Fmt.pr "%-12s %a@." "lfset" San.pp_report r;
+      List.iter
+        (fun v -> Fmt.pr "    %a@." San.pp_violation v)
+        (San.violations san);
+      r.San.violation_count)
+
 (* Exhaustive crash-state enumeration of small single-transaction traces:
    every fence-boundary subset of dirty lines must recover to
    all-or-nothing.  Two traces: the Simple log (record per list node),
@@ -439,11 +477,64 @@ let enumerate_incll () =
   Fmt.pr "enumerator[incll]: %a — all crash states recover legally@."
     Enum.pp_stats stats
 
+(* Lock-free set sweep: crash at *every* persistence event of an
+   insert/remove/traversal trace.  There is no log — recovery is the
+   attach-time node scan — so the only legal recovered states are the
+   prefixes of the operation sequence (durable linearizability): each
+   op's links are flushed before its result is exposed, so at most the
+   in-flight op is undecided at any crash point. *)
+let enumerate_lfset () =
+  let arena = Arena.create ~size_bytes:(256 * 1024) () in
+  let alloc = Alloc.create arena in
+  let base = ref 0 in
+  let ops = [ `I 5; `I 1; `I 9; `R 5; `I 3; `R 1 ] in
+  let prefixes =
+    let cur = ref [] and acc = ref [ [] ] in
+    List.iter
+      (fun op ->
+        (match op with
+        | `I k -> if not (List.mem k !cur) then cur := k :: !cur
+        | `R k -> cur := List.filter (( <> ) k) !cur);
+        acc := List.sort compare !cur :: !acc)
+      ops;
+    !acc
+  in
+  let stats =
+    Enum.run ~at_every_event:true arena
+      ~workload:(fun () ->
+        let set = Rewind_pds.Lfset.create ~nbuckets:4 ~nthreads:1 alloc in
+        base := Rewind_pds.Lfset.base set;
+        List.iter
+          (function
+            | `I k -> ignore (Rewind_pds.Lfset.insert set k)
+            | `R k -> ignore (Rewind_pds.Lfset.remove set k))
+          ops;
+        ignore (Rewind_pds.Lfset.mem set 9))
+      ~recover:(fun crashed ->
+        let alloc = Alloc.recover crashed in
+        match Rewind_pds.Lfset.attach alloc ~base:!base with
+        | set -> Rewind_pds.Lfset.bindings set
+        | exception Rewind_pds.Lfset.Mismatch _ ->
+            (* crashed before the header persisted: the set was never
+               created, which is the empty prefix *)
+            [])
+      ~check:(fun ks ->
+        if List.mem ks prefixes then None
+        else
+          Some
+            (Fmt.str "recovered {%a}: not a prefix of the op sequence"
+               Fmt.(list ~sep:comma int)
+               ks))
+  in
+  Fmt.pr "enumerator[lfset]: %a — every crash state is a linearizable prefix@."
+    Enum.pp_stats stats
+
 let check_enumerate ?(shard = fun c -> c) () =
   enumerate_one "simple"
     (shard { Rewind.config_simple with Rewind.Tm.policy = Rewind.Tm.No_force });
   enumerate_one "optimized-inline" (shard Rewind.config_1l_nfp);
-  enumerate_incll ()
+  enumerate_incll ();
+  enumerate_lfset ()
 
 (* Happens-before race detection over the standard concurrent workloads:
    the PR-5 multi-writer scaling workload, the same workload with a
@@ -455,6 +546,7 @@ let run_races config_filter partitions threads =
   let selected =
     match config_filter with
     | None -> Race_workloads.configs
+    | Some "lfset" -> [] (* no WAL configuration applies to the set *)
     | Some n -> (
         match List.assoc_opt n Race_workloads.configs with
         | Some c -> [ (n, c) ]
@@ -479,7 +571,10 @@ let run_races config_filter partitions threads =
         (name ^ " checkpoint")
         (Race_workloads.concurrent_checkpoint ~threads ~partitions ~cfg ()))
     selected;
-  show "tpcc-naive" (Race_workloads.tpcc ~terminals:(max 2 threads) ());
+  (if config_filter <> Some "lfset" then
+     show "tpcc-naive" (Race_workloads.tpcc ~terminals:(max 2 threads) ()));
+  (if config_filter = None || config_filter = Some "lfset" then
+     show "lockfree-set" (Race_workloads.lockfree_set ~threads ()));
   if !total > 0 then begin
     Fmt.epr "@.%d race report(s)@." !total;
     Stdlib.exit 1
@@ -508,6 +603,13 @@ let run_check config_filter enumerate partitions races threads =
       (fun acc (name, cfg) -> acc + check_one_config name (shard (cfg ())))
       0 selected
   in
+  (* The lock-free set is not a WAL configuration but has its own
+     protocol row in the sweep ("lfset" alone selects just it). *)
+  let total =
+    if config_filter = None || config_filter = Some "lfset" then
+      total + check_lfset ()
+    else total
+  in
   (if enumerate then check_enumerate ~shard ());
   if total > 0 then begin
     Fmt.epr "@.%d persistency violation(s) detected@." total;
@@ -520,9 +622,16 @@ let check_cmd =
   let cfg =
     Arg.(
       value
-      & opt (some (enum (List.map (fun (n, _) -> (n, n)) config_names))) None
+      & opt
+          (some
+             (enum
+                (("lfset", "lfset")
+                :: List.map (fun (n, _) -> (n, n)) config_names)))
+          None
       & info [ "config" ] ~docv:"CONFIG"
-          ~doc:"Check a single configuration (default: all).")
+          ~doc:
+            "Check a single configuration (default: all).  The special \
+             name 'lfset' selects the lock-free durable set workload.")
   in
   let enumerate =
     Arg.(

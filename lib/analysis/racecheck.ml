@@ -128,6 +128,13 @@ type t = {
          line, so every write-back of the line carries its own recovery
          information and can never make the durable prefix
          unrecoverable. *)
+  linked_cover : (int, unit) Hashtbl.t;
+      (* words updated under the lock-free linked protocol (CAS +
+         link-and-persist).  Like [epoch_cover] this never expires: a
+         CAS'd link word is atomic at word granularity and every
+         write-back of it lands a valid structure state, so concurrent
+         store/flush pairs on its line cannot make the durable prefix
+         observably schedule-dependent. *)
   private_owner : (int, int) Hashtbl.t;
       (* word -> allocating tid, while still unshared.  A fiber building
          a structure in memory it just allocated (an undo record before
@@ -216,7 +223,12 @@ let drop_cover t ~txn =
 let covered t off len =
   let all = ref true in
   word_range off len (fun w ->
-      if not (Hashtbl.mem t.cover_count w || Hashtbl.mem t.epoch_cover w) then
+      if
+        not
+          (Hashtbl.mem t.cover_count w
+          || Hashtbl.mem t.epoch_cover w
+          || Hashtbl.mem t.linked_cover w)
+      then
         all := false);
   !all
 
@@ -379,9 +391,11 @@ let handle t ev =
       word_range addr len (fun w -> Hashtbl.remove t.private_owner w)
   | Trace.Epoch_logged { addr; len; epoch = _ } ->
       word_range addr len (fun w -> Hashtbl.replace t.epoch_cover w ())
+  | Trace.Linked_durable { addr; len } ->
+      word_range addr len (fun w -> Hashtbl.replace t.linked_cover w ())
   | Trace.Fence | Trace.Pin _ | Trace.Unpin _ | Trace.Group_persisted _
   | Trace.Commit_point _ | Trace.Expect_persisted _ | Trace.Recovery _
-  | Trace.Epoch_advanced _ ->
+  | Trace.Epoch_advanced _ | Trace.Linked_exposed _ ->
       ()
 
 (* -- lifecycle ----------------------------------------------------------- *)
@@ -406,6 +420,7 @@ let attach ?(mode = Raise) arena =
       cover_count = Hashtbl.create 1024;
       txn_cover = Hashtbl.create 64;
       epoch_cover = Hashtbl.create 1024;
+      linked_cover = Hashtbl.create 1024;
       private_owner = Hashtbl.create 1024;
       seen_sites = Hashtbl.create 16;
       races = [];

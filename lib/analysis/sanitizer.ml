@@ -79,6 +79,7 @@ type kind =
   | Store_freed
   | Store_uncaptured
   | Epoch_split
+  | Link_unpersisted
 
 let pp_kind ppf k =
   Fmt.string ppf
@@ -89,7 +90,8 @@ let pp_kind ppf k =
     | Store_unlogged -> "store-unlogged"
     | Store_freed -> "store-freed"
     | Store_uncaptured -> "store-uncaptured"
-    | Epoch_split -> "epoch-split")
+    | Epoch_split -> "epoch-split"
+    | Link_unpersisted -> "link-unpersisted")
 
 type violation = { kind : kind; addr : int; event_no : int; detail : string }
 
@@ -123,6 +125,8 @@ type t = {
   commit_points : (int, (int * int * string) list ref) Hashtbl.t;
   red_flush : (int, int ref) Hashtbl.t; (* line base -> count *)
   red_fence : (string, int ref) Hashtbl.t; (* preceding-event site -> count *)
+  mutable linked_pending : (int * int) list;
+      (* CAS-linked (addr, len) ranges awaiting the op's Linked_exposed *)
   mutable last_event : string;
   mutable persisted_since_fence : bool;
   mutable in_recovery : bool;
@@ -228,6 +232,7 @@ let on_crash t =
   (* Conservative: post-crash recovery advances the epoch, so every
      epoch-managed word must be re-captured before its next store. *)
   Hashtbl.reset t.epoch_cover;
+  t.linked_pending <- [];
   t.persisted_since_fence <- false;
   t.in_recovery <- false
 
@@ -303,7 +308,8 @@ let handle t ev =
       Hashtbl.reset t.cover;
       Hashtbl.reset t.commit_points;
       Hashtbl.reset t.pending_cov;
-      Hashtbl.reset t.epoch_cover
+      Hashtbl.reset t.epoch_cover;
+      t.linked_pending <- []
   | Trace.Freed { addr; len } ->
       words_of addr len (fun w -> Hashtbl.replace t.freed w ())
   | Trace.Allocated { addr; len } ->
@@ -322,6 +328,20 @@ let handle t ev =
         t.epoch_cover;
       Hashtbl.reset t.epoch_cover;
       t.cur_epoch <- epoch
+  | Trace.Linked_durable { addr; len } ->
+      (* Third protocol (lock-free linked): the CAS'd link carries no WAL
+         or epoch coverage — a crash at any write-back order lands a valid
+         set state — but it must be durable before the op's result is
+         exposed.  Enrol it for the check at the next [Linked_exposed]. *)
+      t.linked_pending <- (addr, len) :: t.linked_pending
+  | Trace.Linked_exposed { what } ->
+      List.iter
+        (fun (addr, len) ->
+          check_persisted t ~addr ~len
+            ~what:(Fmt.str "lock-free link of %s" what)
+            ~kind_volatile:Link_unpersisted)
+        t.linked_pending;
+      t.linked_pending <- []
   (* Synchronization vocabulary: consumed by the race detector, carries
      no persistency-ordering information. *)
   | Trace.Load _ | Trace.Acquire _ | Trace.Release _ | Trace.Atomic_rmw _
@@ -346,6 +366,7 @@ let attach ?(mode = Raise) arena =
       commit_points = Hashtbl.create 16;
       red_flush = Hashtbl.create 64;
       red_fence = Hashtbl.create 64;
+      linked_pending = [];
       last_event = "(start)";
       persisted_since_fence = false;
       in_recovery = false;

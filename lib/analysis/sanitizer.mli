@@ -31,6 +31,11 @@ type kind =
           reach NVM independently of its co-located in-line undo word,
           breaking the line-atomicity argument that exempts InCLL lines
           from write-back ordering. *)
+  | Link_unpersisted
+      (** A lock-free CAS-linked word was still volatile when the
+          operation exposed its result ({!Rewind_nvm.Pmcheck.linked_exposed}):
+          the op could report success and then be lost by a crash,
+          breaking durable linearizability. *)
 
 type violation = { kind : kind; addr : int; event_no : int; detail : string }
 

@@ -23,6 +23,13 @@
      to the programmer — so only the naive configuration is expected to
      be race-clean.)
 
+   - [lockfree_set]: concurrent inserts/removes on overlapping keys of
+     the durable lock-free set — no latches at all.  Every pointer
+     update is a [Sim_atomic] word CAS whose bracket the detector sees,
+     and every link's CAS-then-flush is registered as a linked-durable
+     cover, so the workload is race-clean despite fibers flushing each
+     other's lines (helping, traversal-exit flushes).
+
    Each workload returns the detached detector; callers read
    {!Rewind_analysis.Racecheck.races} / [report] off it. *)
 
@@ -116,6 +123,26 @@ let concurrent_checkpoint ?(threads = 4) ?(txns_per_thread = 40)
                done;
                Rewind.Tm.commit tm txn
              end));
+      rc)
+
+let lockfree_set ?(threads = 4) ?(ops_per_thread = 40) () =
+  let arena = Arena.create ~size_bytes:(64 lsl 20) () in
+  let rc = Racecheck.attach ~mode:Collect arena in
+  Fun.protect
+    ~finally:(fun () -> Racecheck.detach rc)
+    (fun () ->
+      let alloc = Alloc.create arena in
+      let set =
+        Rewind_pds.Lfset.create ~nbuckets:16 ~nthreads:(max 1 threads) alloc
+      in
+      (* Deliberately overlapping keys across fibers: contended CAS
+         chains, helping, and duplicate/absent answers all occur. *)
+      ignore
+        (Sim_threads.run ~threads ~ops_per_thread (fun t op ->
+             let k = ((t * 7) + op) mod 24 in
+             if op land 1 = 0 then
+               ignore (Rewind_pds.Lfset.insert ~thread:t set k)
+             else ignore (Rewind_pds.Lfset.remove ~thread:t set k)));
       rc)
 
 let tpcc ?(terminals = 4) ?(txns_per_terminal = 30) () =

@@ -16,7 +16,9 @@ open Rewind_nvm
 type result = {
   series : string;
       (** ["scaling"] for the partitioned batch log; ["scaling-incll"]
-          for the epoch-based InCLL config (always one "partition") *)
+          for the epoch-based InCLL config (always one "partition");
+          ["scaling-lfset"] / ["scaling-phash"] for the structure
+          head-to-head (lock-free set vs latched transactional hash) *)
   threads : int;
   partitions : int;
   total_ops : int;  (** logged user updates across all threads *)
@@ -72,6 +74,57 @@ let run_one ~series ~cfg ~threads ~partitions ~txns_per_thread ~writes_per_txn
        else float_of_int total_ops *. 1e9 /. float_of_int makespan);
   }
 
+let mk_result ~series ~threads ~partitions ~total_ops ~makespan =
+  {
+    series;
+    threads;
+    partitions;
+    total_ops;
+    makespan_sim_ns = makespan;
+    throughput_ops_per_s =
+      (if makespan = 0 then 0.
+       else float_of_int total_ops *. 1e9 /. float_of_int makespan);
+  }
+
+(* Structure head-to-head at the same total operation count: the durable
+   lock-free set (CAS + link-and-persist, no latches, no WAL) against the
+   latched transactional hash table (one put/remove per committed
+   transaction).  Each fiber works a private key range, alternating
+   insert and remove of the same key, so both series do identical logical
+   work and the comparison isolates the persistence protocol. *)
+let struct_keyspace = 512
+
+let struct_key t op = (t * 2 * struct_keyspace) + ((op lsr 1) mod struct_keyspace)
+
+let run_lfset ~threads ~ops_per_thread =
+  let arena = Arena.create ~size_bytes:(256 lsl 20) () in
+  let alloc = Alloc.create arena in
+  let set = Rewind_pds.Lfset.create ~nbuckets:256 ~nthreads:threads alloc in
+  let makespan =
+    Sim_threads.run ~threads ~ops_per_thread (fun t op ->
+        let k = struct_key t op in
+        if op land 1 = 0 then ignore (Rewind_pds.Lfset.insert ~thread:t set k)
+        else ignore (Rewind_pds.Lfset.remove ~thread:t set k))
+  in
+  mk_result ~series:"scaling-lfset" ~threads ~partitions:1
+    ~total_ops:(threads * ops_per_thread) ~makespan
+
+let run_phash ~threads ~ops_per_thread =
+  let arena = Arena.create ~size_bytes:(256 lsl 20) () in
+  let alloc = Alloc.create arena in
+  let tm = Rewind.Tm.create ~cfg:(Rewind.config_batch ()) alloc ~root_slot:2 in
+  let h = Rewind_pds.Phash.create ~nbuckets:256 tm alloc in
+  let makespan =
+    Sim_threads.run ~threads ~ops_per_thread (fun t op ->
+        let k = Int64.of_int (struct_key t op) in
+        let txn = Rewind.Tm.begin_txn tm in
+        (if op land 1 = 0 then Rewind_pds.Phash.put h txn k 1L
+         else ignore (Rewind_pds.Phash.remove h txn k));
+        Rewind.Tm.commit tm txn)
+  in
+  mk_result ~series:"scaling-phash" ~threads ~partitions:1
+    ~total_ops:(threads * ops_per_thread) ~makespan
+
 let default_partitions = [ 1; 2; 4; 8 ]
 
 let run ?(threads = 8) ?(partitions = default_partitions)
@@ -86,6 +139,10 @@ let run ?(threads = 8) ?(partitions = default_partitions)
       run_one ~series:"scaling-incll" ~cfg:Rewind.config_incll ~threads
         ~partitions:1 ~txns_per_thread ~writes_per_txn;
     ]
+  @
+  (* Same total op count as one partition row: threads * txns * writes. *)
+  let ops_per_thread = txns_per_thread * writes_per_txn in
+  [ run_lfset ~threads ~ops_per_thread; run_phash ~threads ~ops_per_thread ]
 
 let batch_series results =
   List.filter (fun r -> String.equal r.series "scaling") results

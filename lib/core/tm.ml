@@ -1730,13 +1730,19 @@ let attach ?(cfg = default_config) alloc ~root_slot =
 (* -- convenience --------------------------------------------------------- *)
 
 (* The paper's [persistent_atomic] block: commit on success, roll back on
-   exception. *)
+   exception.  A simulated crash is not an exception the transaction can
+   clean up after: the process it models is gone, and running [rollback]
+   against the post-crash arena would durably append CLR/END records to a
+   crash image whose undo stores are lost — recovery would then treat the
+   half-done transaction as settled and redo its surviving updates.
+   Settling the transaction is recovery's job. *)
 let atomically t f =
   let txn = begin_txn t in
   match f txn with
   | v ->
       commit t txn;
       v
+  | exception Arena.Crash -> raise Arena.Crash
   | exception e ->
       rollback t txn;
       raise e

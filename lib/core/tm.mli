@@ -143,7 +143,10 @@ val rollback : t -> txn -> unit
 
 val atomically : t -> (txn -> 'a) -> 'a
 (** The paper's [persistent_atomic] block: begin; commit on success, roll
-    back and re-raise on exception. *)
+    back and re-raise on exception.  A simulated {!Rewind_nvm.Arena.Crash}
+    is re-raised {e without} rolling back: the crashed process cannot run
+    cleanup, and writing CLR/END records into the crash image would make
+    recovery mistake the interrupted transaction for a settled one. *)
 
 (** {1 Two-phase commit (Distributed REWIND)}
 

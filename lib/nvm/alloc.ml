@@ -27,6 +27,11 @@ type t = {
          Sim_mutex with zero acquire cost keeps the timing identical to a
          raw mutex while giving the race detector the happens-before
          edges of cross-fiber alloc/free/reuse *)
+  live : (int, int) Hashtbl.t;  (* offset -> size, regions handed out *)
+  freed_set : (int, unit) Hashtbl.t;  (* offsets already returned *)
+  recovered : bool;
+      (* a reattached heap has no record of pre-crash allocations, so a
+         free of an unknown offset is legal exactly once there *)
   mutable live_bytes : int;
   mutable allocations : int;
   mutable frees : int;
@@ -52,6 +57,9 @@ let create ?(root = 1) arena =
     free_lists = Hashtbl.create 64;
     slabs = Hashtbl.create 16;
     mu = Sim_mutex.create ~acquire_ns:0 ~contention_free:true ();
+    live = Hashtbl.create 256;
+    freed_set = Hashtbl.create 64;
+    recovered = false;
     live_bytes = 0;
     allocations = 0;
     frees = 0;
@@ -70,12 +78,16 @@ let recover ?(root = 1) arena =
       free_lists = Hashtbl.create 64;
       slabs = Hashtbl.create 16;
       mu = Sim_mutex.create ~acquire_ns:0 ~contention_free:true ();
+      live = Hashtbl.create 256;
+      freed_set = Hashtbl.create 64;
+      recovered = true;
       live_bytes = 0;
       allocations = 0;
       frees = 0;
     }
 
 exception Out_of_memory_arena
+exception Misuse of string
 
 let cursor t = Int64.to_int (Arena.read t.arena t.cursor_off)
 
@@ -133,6 +145,8 @@ let alloc ?(align = 8) t size =
               bump_small t ~align size
             else bump t ~align size
       in
+      Hashtbl.replace t.live off size;
+      Hashtbl.remove t.freed_set off;
       Pmcheck.allocated t.arena ~addr:off ~len:size;
       off)
 
@@ -148,13 +162,40 @@ let alloc_fresh ?(align = 8) t size =
       t.allocations <- t.allocations + 1;
       t.live_bytes <- t.live_bytes + size;
       let off = bump t ~align size in
+      Hashtbl.replace t.live off size;
+      Hashtbl.remove t.freed_set off;
       Pmcheck.allocated t.arena ~addr:off ~len:size;
       off)
 
+(* [free] validates its argument instead of trusting the caller (the
+   analogue of Sim_mutex's double-unlock check): a double free would put
+   the same offset on the free list twice and hand one region to two
+   callers, and a free of a never-allocated offset poisons the list with
+   space the cursor still considers virgin.  The one legal unknown-offset
+   free is of a pre-crash allocation on a [recover]ed heap, whose
+   allocation records died with the crash. *)
 let free ?(align = 8) t off size =
   if size <= 0 then invalid_arg "Alloc.free: non-positive size";
   let size = align8 size in
   with_mu t (fun () ->
+      (match Hashtbl.find_opt t.live off with
+      | Some sz ->
+          if sz <> size then
+            raise
+              (Misuse
+                 (Fmt.str
+                    "Alloc.free: offset %d was allocated with size %d, freed \
+                     with size %d"
+                    off sz size));
+          Hashtbl.remove t.live off
+      | None ->
+          if Hashtbl.mem t.freed_set off then
+            raise (Misuse (Fmt.str "Alloc.free: double free of offset %d" off));
+          if not t.recovered then
+            raise
+              (Misuse
+                 (Fmt.str "Alloc.free: offset %d was never allocated" off)));
+      Hashtbl.replace t.freed_set off ();
       t.frees <- t.frees + 1;
       t.live_bytes <- t.live_bytes - size;
       Pmcheck.freed t.arena ~addr:off ~len:size;

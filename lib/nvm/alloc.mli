@@ -13,6 +13,11 @@ type t
 
 exception Out_of_memory_arena
 
+exception Misuse of string
+(** Raised by {!free} on a double free, a free of a never-allocated
+    offset, or a free whose size contradicts the allocation's (the
+    allocator analogue of {!Sim_mutex}'s double-unlock check). *)
+
 val create : ?root:int -> Arena.t -> t
 (** Fresh heap; the cursor is anchored at the arena root slot [root]
     (default 1). *)
@@ -32,7 +37,11 @@ val alloc_fresh : ?align:int -> t -> int -> int
 
 val free : ?align:int -> t -> int -> int -> unit
 (** [free t off size] returns a region to the (volatile) free list.  Only
-    legal once no post-crash recovery can reference it. *)
+    legal once no post-crash recovery can reference it.  Raises {!Misuse}
+    on a double free, a never-allocated offset, or a size mismatch — on a
+    {!recover}ed heap a first free of an unknown offset is accepted (the
+    allocation predates the crash), but a second is still a double
+    free. *)
 
 val live_bytes : t -> int
 val allocations : t -> int

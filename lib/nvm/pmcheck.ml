@@ -43,6 +43,13 @@ let epoch_logged arena ~addr ~len ~epoch =
 let epoch_advanced arena ~epoch =
   if Arena.traced arena then Arena.emit arena (Trace.Epoch_advanced { epoch })
 
+let linked_durable arena ~addr ~len =
+  if Arena.traced arena then
+    Arena.emit arena (Trace.Linked_durable { addr; len })
+
+let linked_exposed arena ~what =
+  if Arena.traced arena then Arena.emit arena (Trace.Linked_exposed { what })
+
 let freed arena ~addr ~len =
   if Arena.traced arena then Arena.emit arena (Trace.Freed { addr; len })
 

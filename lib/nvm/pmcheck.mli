@@ -54,6 +54,20 @@ val epoch_advanced : Arena.t -> epoch:int -> unit
     must already be durable and fence-ordered; their coverage is
     dropped. *)
 
+val linked_durable : Arena.t -> addr:int -> len:int -> unit
+(** Lock-free linked protocol (third persistence protocol, after WAL and
+    the InCLL epochs): the link word(s) at [addr, addr+len) are updated
+    by CAS with link-and-persist.  Registers the words under the
+    protocol's permanent persist-order exemption — any write-back of a
+    CAS-linked word lands a valid set state, the generalization of the
+    epoch-cover exemption — and enrols them in the pending-link set
+    checked at the next {!linked_exposed}. *)
+
+val linked_exposed : Arena.t -> what:string -> unit
+(** A lock-free operation is exposing its result (typically just before
+    its durable announcement cell records completion): every pending
+    {!linked_durable} link must already be durable and fence-ordered. *)
+
 val freed : Arena.t -> addr:int -> len:int -> unit
 (** Region returned to the allocator: further stores are use-after-free. *)
 

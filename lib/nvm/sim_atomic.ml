@@ -42,3 +42,59 @@ let fetch_and_add t n =
   Atomic.fetch_and_add t.a n
 
 let incr t = ignore (fetch_and_add t 1)
+
+(* -- atomic arena words -------------------------------------------------- *)
+
+(* NVM-resident atomics: the link words of lock-free durable structures
+   live in the arena, not on the OCaml heap, so their CAS chains need a
+   distinct instrumentation path.  The word's identity is derived from
+   its address — negated so it can never collide with the non-negative
+   ids [make] hands out — and every access is *bracketed* by two
+   [Atomic_rmw] events on that identity:
+
+     rmw (acquire: join the word's release clock)
+     load / store / flush   (the access, charged and traced by Arena)
+     rmw (release: publish a clock that covers the access)
+
+   The leading edge orders this access after every earlier completed
+   access to the word; the trailing edge publishes this access — without
+   it, the race detector would see the Store/Load land *after* the
+   acquire's tick and report it racy against the next fiber's access.
+   Bracketing a plain atomic read with a full acquire+release
+   over-approximates (same conservative direction as [get] above).
+
+   [compare_and_set_word ~persist:true] additionally flushes the CAS'd
+   line *inside* the bracket — link-and-persist: the write-back is
+   ordered with the CAS chain itself, so a later CAS on the same word
+   happens-after the flush and the durable prefix is not
+   schedule-dependent. *)
+
+let word_atom addr = -1 - (addr lsr 3)
+
+(* Simulated cost of the lock-prefixed RMW itself, on top of whatever the
+   arena charges for the memory traffic (same order as an uncontended
+   Sim_mutex acquire). *)
+let rmw_ns = 20
+
+let bracket addr f =
+  let atom = word_atom addr in
+  Trace.emit_sync (Trace.Atomic_rmw { atom });
+  let r = f () in
+  Trace.emit_sync (Trace.Atomic_rmw { atom });
+  r
+
+let read_word arena addr = bracket addr (fun () -> Arena.read arena addr)
+
+let write_word arena addr v =
+  Clock.advance rmw_ns;
+  bracket addr (fun () -> Arena.write arena addr v)
+
+let compare_and_set_word ?(persist = false) arena addr ~expected ~desired =
+  Clock.advance rmw_ns;
+  bracket addr (fun () ->
+      if Arena.read arena addr = expected then begin
+        Arena.write arena addr desired;
+        if persist then Arena.flush_line arena addr;
+        true
+      end
+      else false)

@@ -81,6 +81,21 @@ type event =
           earlier epochs must already be durable and fence-ordered (the
           advance's flush_all/fence precede this annotation); their
           in-line coverage is superseded. *)
+  | Linked_durable of { addr : int; len : int }
+      (** Lock-free linked protocol (durable sets / NVTraverse): the link
+          word(s) at [addr, addr+len) are updated by CAS and persisted by
+          link-and-persist — the CAS'd line is flushed before the
+          operation's result is exposed.  The annotation both registers
+          the word under the protocol (any write-back at any time lands a
+          valid set state, so persist ordering is free by construction,
+          like the InCLL epoch cover) and enrols it in the pending-link
+          set checked at the next {!Linked_exposed}. *)
+  | Linked_exposed of { what : string }
+      (** A lock-free operation's result is being exposed (its durable
+          announcement cell is about to record completion): every link
+          annotated {!Linked_durable} since the previous exposure must
+          already be durable and fence-ordered — the durable-
+          linearizability obligation of link-and-persist. *)
   (* synchronization events (emitted by Sim_mutex / Sim_atomic /
      Sim_threads when a sync tracer is attached) *)
   | Load of { off : int; len : int }
@@ -133,6 +148,9 @@ let pp ppf = function
   | Epoch_logged { addr; len; epoch } ->
       Fmt.pf ppf "epoch-logged [%d,+%d) e%d" addr len epoch
   | Epoch_advanced { epoch } -> Fmt.pf ppf "epoch-advanced e%d" epoch
+  | Linked_durable { addr; len } ->
+      Fmt.pf ppf "linked-durable [%d,+%d)" addr len
+  | Linked_exposed { what } -> Fmt.pf ppf "linked-exposed %s" what
   | Load { off; len } -> Fmt.pf ppf "load [%d,+%d)" off len
   | Acquire { lock } -> Fmt.pf ppf "acquire m%d" lock
   | Release { lock } -> Fmt.pf ppf "release m%d" lock

@@ -45,6 +45,16 @@ type event =
           lines captured under earlier epochs must already be durable
           and fence-ordered (epoch-protocol analogue of
           {!Txn_settled}). *)
+  | Linked_durable of { addr : int; len : int }
+      (** Lock-free linked protocol: the link word(s) at [addr, addr+len)
+          are CAS-updated and flushed before the operation's result is
+          exposed (link-and-persist).  Registers the words under the
+          protocol's permanent persist-order exemption and enrols them in
+          the pending-link set checked at the next {!Linked_exposed}. *)
+  | Linked_exposed of { what : string }
+      (** A lock-free operation is exposing its result: every pending
+          {!Linked_durable} link must already be durable and
+          fence-ordered. *)
   | Load of { off : int; len : int }
       (** A CPU load; only emitted under {!Arena.set_trace_loads}. *)
   | Acquire of { lock : int }

@@ -1,0 +1,85 @@
+(** Durable lock-free hash set with detectable recovery.
+
+    A fixed bucket directory over Harris-style sorted linked lists: no
+    latches, no WAL.  Pointer updates are single-word CASes through
+    {!Rewind_nvm.Sim_atomic}, each flushed inside the same atomic
+    bracket (link-and-persist); node payloads are initialised with
+    non-temporal stores before the publishing CAS, so the durable image
+    never holds a link to an uninitialised node.  An operation fences and
+    then durably records completion in its thread's announcement cell,
+    giving durable linearizability plus detectability: after a crash,
+    {!op_took_effect} decides from the durable image alone whether the
+    in-flight operation took effect.
+
+    Recovery ({!attach}) is a pure node scan — unlink marked nodes,
+    fence — with no log replay. *)
+
+type t
+
+exception Mismatch of string
+(** Raised by {!attach} when [base] does not hold a set created by
+    {!create} (zero or foreign header word). *)
+
+val create : ?nbuckets:int -> ?nthreads:int -> Rewind_nvm.Alloc.t -> t
+(** Allocate a fresh set: a 64-byte header line (magic, bucket and
+    thread counts), [nbuckets] bucket words, and one 64-byte durable
+    announcement cell per thread.  Defaults: 64 buckets, 8 threads. *)
+
+val attach : Rewind_nvm.Alloc.t -> base:int -> t
+(** Reattach (and recover) the set whose header line is at [base].
+    Validates the durable header — bucket/thread counts are read from
+    it, never trusted from the caller — then scans every chain and
+    physically unlinks marked nodes.  Raises {!Mismatch} on a zero or
+    bad-magic header. *)
+
+val base : t -> int
+(** Durable header offset; pass to {!attach} after a crash. *)
+
+val nbuckets : t -> int
+val nthreads : t -> int
+
+val insert : ?thread:int -> t -> int -> bool
+(** [insert ~thread t k] adds [k]; false if already present.  [thread]
+    (default 0) selects the announcement cell and must be unique per
+    concurrent caller. *)
+
+val remove : ?thread:int -> t -> int -> bool
+(** [remove ~thread t k] logically deletes [k] (marks its node's next
+    word — the durability point) and best-effort unlinks it; false if
+    absent. *)
+
+val mem : t -> int -> bool
+(** Read-only lookup.  No helping; marked nodes are skipped.  On exit
+    the traversal's dependency set (last link followed, decisive node's
+    next word) is flushed and fenced (NVTraverse). *)
+
+val iter : t -> (int -> unit) -> unit
+(** Quiescent iteration (tests / post-recovery checks). *)
+
+val bindings : t -> int list
+(** Sorted member list (quiescent callers). *)
+
+val size : t -> int
+
+(** {1 Detectability} *)
+
+type status = In_progress | Done of bool
+
+type announcement = {
+  an_seq : int;  (** per-thread sequence number, starting at 1 *)
+  an_op : [ `Insert | `Remove ];
+  an_key : int;
+  an_status : status;
+  an_node : int;  (** target node address; 0 before the op chose one *)
+}
+
+val announcement : t -> thread:int -> announcement option
+(** The thread's durable announcement cell, [None] if it never announced
+    an operation. *)
+
+val op_took_effect : t -> thread:int -> bool option
+(** Post-crash effect oracle: whether the thread's announced operation
+    took effect in the durable image.  [Done r] announcements answer
+    [r]; an in-progress insert took effect iff its node is reachable (or
+    already marked); an in-progress remove iff its victim's next word
+    carries the mark bit.  [None] if the thread never announced. *)

@@ -17,24 +17,58 @@ type t = {
   tm : Tm.t;
   arena : Arena.t;
   alloc : Alloc.t;
-  dir : int;  (* first bucket word *)
+  dir : int;  (* header word; buckets follow at dir + 8 *)
   nbuckets : int;
 }
 
+exception Mismatch of string
+
+(* The bucket count is part of the durable layout: an attach with a
+   different count would hash keys into the wrong buckets and silently
+   miss every binding.  Persist it in a header word at the directory
+   base (mirroring Tm.attach's config fingerprint) and validate on
+   reattach instead of trusting the caller. *)
+let magic = 0x50 (* 'P' *)
+let header_word nbuckets = Int64.of_int (magic lor (nbuckets lsl 8))
+
 let create ?(nbuckets = 256) tm alloc =
   let arena = Alloc.arena alloc in
-  let dir = Alloc.alloc_fresh ~align:64 alloc (8 * nbuckets) in
+  let dir = Alloc.alloc_fresh ~align:64 alloc (8 * (nbuckets + 1)) in
+  Arena.nt_write arena dir (header_word nbuckets);
+  Arena.fence arena;
   { tm; arena; alloc; dir; nbuckets }
 
-let attach ?(nbuckets = 256) tm alloc ~dir =
-  { tm; arena = Alloc.arena alloc; alloc; dir; nbuckets }
+let attach ?nbuckets tm alloc ~dir =
+  let arena = Alloc.arena alloc in
+  let hdr = Int64.to_int (Arena.read arena dir) in
+  if hdr = 0 then
+    raise
+      (Mismatch
+         (Fmt.str
+            "Phash.attach: no table header at offset %d (never created?)" dir));
+  if hdr land 0xff <> magic then
+    raise
+      (Mismatch
+         (Fmt.str "Phash.attach: bad magic %#x at offset %d (expected %#x)"
+            (hdr land 0xff) dir magic));
+  let stored = hdr lsr 8 in
+  (match nbuckets with
+  | Some n when n <> stored ->
+      raise
+        (Mismatch
+           (Fmt.str
+              "Phash.attach: bucket-count mismatch at offset %d: table was \
+               created with %d buckets, caller expected %d"
+              dir stored n))
+  | Some _ | None -> ());
+  { tm; arena; alloc; dir; nbuckets = stored }
 
 let dir t = t.dir
 
 let bucket_of t k =
   let h = Int64.to_int (Int64.logand k 0x3fffffffffffffffL) in
   let h = (h * 2654435761) land max_int in
-  t.dir + (8 * (h mod t.nbuckets))
+  t.dir + 8 + (8 * (h mod t.nbuckets))
 
 let rd t off = Int64.to_int (Arena.read t.arena off)
 
@@ -89,7 +123,7 @@ let iter t f =
         go (rd t (n + o_next))
       end
     in
-    go (rd t (t.dir + (8 * b)))
+    go (rd t (t.dir + 8 + (8 * b)))
   done
 
 let size t =

@@ -5,8 +5,23 @@
 
 type t
 
+exception Mismatch of string
+(** Raised by {!attach} when [dir] does not hold a table created by
+    {!create}, or the caller's expected bucket count contradicts the
+    durable one. *)
+
 val create : ?nbuckets:int -> Rewind.Tm.t -> Rewind_nvm.Alloc.t -> t
+(** Allocate a fresh table.  The bucket count is persisted in a durable
+    header word at the directory base — part of the layout, like
+    [Tm]'s config fingerprint. *)
+
 val attach : ?nbuckets:int -> Rewind.Tm.t -> Rewind_nvm.Alloc.t -> dir:int -> t
+(** Reattach the table whose header is at [dir].  The bucket count is
+    read from the durable header; passing [?nbuckets] asserts it and
+    raises {!Mismatch} on contradiction (it is never trusted to override
+    the header — a wrong count would rehash keys into the wrong buckets
+    and silently miss every binding). *)
+
 val dir : t -> int
 
 val put : t -> Rewind.Tm.txn -> int64 -> int64 -> unit

@@ -428,6 +428,45 @@ let test_out_of_memory () =
         ignore (Alloc.alloc al 64)
       done)
 
+(* Regressions for the [free] misuse checks: double frees and frees of
+   never-allocated offsets used to silently push garbage onto the free
+   list, corrupting later allocations. *)
+let expect_misuse what f =
+  match f () with
+  | () -> Alcotest.failf "%s: expected Alloc.Misuse" what
+  | exception Alloc.Misuse _ -> ()
+
+let test_free_double () =
+  let a = arena () in
+  let al = Alloc.create a in
+  let x = Alloc.alloc al 32 in
+  Alloc.free al x 32;
+  expect_misuse "double free" (fun () -> Alloc.free al x 32)
+
+let test_free_never_allocated () =
+  let a = arena () in
+  let al = Alloc.create a in
+  ignore (Alloc.alloc al 32);
+  expect_misuse "never-allocated free" (fun () -> Alloc.free al 4096 32)
+
+let test_free_size_mismatch () =
+  let a = arena () in
+  let al = Alloc.create a in
+  let x = Alloc.alloc al 32 in
+  expect_misuse "size mismatch" (fun () -> Alloc.free al x 64)
+
+let test_free_after_recover () =
+  (* A recovered allocator has no live map for pre-crash blocks: their
+     first free must stay legal (recovery code returns old memory), but
+     the *second* free of the same block is still a double free. *)
+  let a = arena () in
+  let al = Alloc.create a in
+  let x = Alloc.alloc al 32 in
+  Arena.crash a;
+  let al2 = Alloc.recover a in
+  Alloc.free al2 x 32;
+  expect_misuse "double free after recovery" (fun () -> Alloc.free al2 x 32)
+
 (* ------------------------------------------------------------------ *)
 (* Block device                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -608,6 +647,10 @@ let () =
           tc "fresh never reuses" `Quick test_alloc_fresh_never_reuses;
           tc "cursor survives crash" `Quick test_cursor_survives_crash;
           tc "out of memory" `Quick test_out_of_memory;
+          tc "double free" `Quick test_free_double;
+          tc "never-allocated free" `Quick test_free_never_allocated;
+          tc "size-mismatch free" `Quick test_free_size_mismatch;
+          tc "free after recovery" `Quick test_free_after_recover;
         ] );
       ( "block-dev",
         [

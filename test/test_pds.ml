@@ -456,6 +456,153 @@ let test_phash_crash () =
   check_int "30 committed entries" 30 (Phash.size h2);
   check_i64o "uncommitted gone" None (Phash.lookup h2 99L)
 
+(* Regression for the reattach-corruption bug: [attach] used to trust
+   the caller's [nbuckets] (defaulting to 256), so reattaching a table
+   created with any other count rehashed every key into the wrong chain
+   and lookups silently returned [None].  The bucket count now lives in
+   a durable header word; this attach-with-no-hint fails on the old
+   code. *)
+let test_phash_attach_header () =
+  let cfg = Rewind.config_1l_fp in
+  let arena, alloc, tm = fresh_tm ~cfg () in
+  let h = Phash.create ~nbuckets:8 tm alloc in
+  Tm.atomically tm (fun txn ->
+      for k = 1 to 30 do
+        Phash.put h txn (Int64.of_int k) (Int64.of_int (k * k))
+      done);
+  Arena.crash arena;
+  let alloc2 = Alloc.recover arena in
+  let tm2 = Tm.attach ~cfg alloc2 ~root_slot in
+  let h2 = Phash.attach tm2 alloc2 ~dir:(Phash.dir h) in
+  check_int "size without nbuckets hint" 30 (Phash.size h2);
+  check_i64o "lookup without nbuckets hint" (Some 49L) (Phash.lookup h2 7L);
+  (* A contradicting hint must fail loudly, never silently rehash. *)
+  (match Phash.attach ~nbuckets:64 tm2 alloc2 ~dir:(Phash.dir h) with
+  | exception Phash.Mismatch _ -> ()
+  | _ -> Alcotest.fail "attach accepted a contradicting bucket count");
+  (* A matching hint still works. *)
+  let h3 = Phash.attach ~nbuckets:8 tm2 alloc2 ~dir:(Phash.dir h) in
+  check_int "size with matching hint" 30 (Phash.size h3)
+
+let test_phash_attach_garbage () =
+  let _, alloc, tm = fresh_tm () in
+  (* Durably-zero fresh space: there is no table here. *)
+  let junk = Alloc.alloc_fresh ~align:8 alloc 64 in
+  match Phash.attach tm alloc ~dir:junk with
+  | exception Phash.Mismatch _ -> ()
+  | _ -> Alcotest.fail "attach accepted a never-created directory"
+
+(* ------------------------------------------------------------------ *)
+(* Pqueue / Plist: crash at every persistence event                    *)
+(* ------------------------------------------------------------------ *)
+
+module San = Rewind_analysis.Sanitizer
+
+let sweep_configs =
+  [
+    ("1l-nfp", Rewind.config_1l_nfp);
+    ("1l-fp", Rewind.config_1l_fp);
+    ("2l-nfp", Rewind.config_2l_nfp);
+    ("batch8", Rewind.config_batch ());
+  ]
+
+let shadow_events arena =
+  let s = Arena.stats arena in
+  s.Stats.nt_stores + s.Stats.flushes
+
+(* Generic sweep: [workload tm x] runs committed transactions against a
+   freshly created structure [x]; [reattach tm2 alloc2] rebuilds it on
+   the crashed arena; [legal] lists every committed boundary state.
+   With the batch config a committed transaction may still be in an
+   unpersisted group, so recovery may land on *any* boundary, not just
+   the latest — the check is membership, not equality. *)
+let sweep_structure ~cfg_name ~cfg ~create ~workload ~reattach ~legal () =
+  let events =
+    let arena, alloc, tm = fresh_tm ~cfg ~size:(8 lsl 20) () in
+    let x = create tm alloc in
+    let before = shadow_events arena in
+    workload tm x;
+    shadow_events arena - before
+  in
+  Alcotest.(check bool)
+    (cfg_name ^ ": workload persists something")
+    true (events > 0);
+  let tried = ref 0 in
+  for k = 1 to events do
+    let arena, alloc, tm = fresh_tm ~cfg ~size:(8 lsl 20) () in
+    let x = create tm alloc in
+    Arena.arm_crash arena ~after:(k - 1);
+    (match workload tm x with () -> () | exception Arena.Crash -> ());
+    Arena.disarm_crash arena;
+    if Arena.crashed arena then begin
+      incr tried;
+      Arena.crash arena;
+      let alloc2 = Alloc.recover arena in
+      let san = San.attach ~mode:San.Collect arena in
+      let tm2 = Tm.attach ~cfg alloc2 ~root_slot in
+      let got = reattach x tm2 alloc2 in
+      check_int
+        (Printf.sprintf "%s k=%d: recovery is sanitizer-clean" cfg_name k)
+        0
+        (List.length (San.violations san));
+      San.detach san;
+      if not (List.mem got legal) then
+        Alcotest.failf "%s k=%d: recovered %s, not a committed boundary"
+          cfg_name k
+          (String.concat ";" (List.map Int64.to_string got))
+    end
+  done;
+  Alcotest.(check bool) (cfg_name ^ ": sweep hit crash points") true (!tried > 0)
+
+(* FIFO queue drained to empty and refilled: the boundary states include
+   the tricky dequeue-to-empty transition (tail cell must fold back). *)
+let test_pqueue_crash_sweep (cfg_name, cfg) () =
+  sweep_structure ~cfg_name ~cfg
+    ~create:(fun tm alloc -> Pqueue.create tm alloc)
+    ~workload:(fun tm q ->
+      Tm.atomically tm (fun txn ->
+          Pqueue.enqueue q txn 1L;
+          Pqueue.enqueue q txn 2L);
+      Tm.atomically tm (fun txn -> ignore (Pqueue.dequeue q txn));
+      Tm.atomically tm (fun txn -> ignore (Pqueue.dequeue q txn));
+      Tm.atomically tm (fun txn -> Pqueue.enqueue q txn 3L))
+    ~reattach:(fun q tm2 alloc2 ->
+      let q2 =
+        Pqueue.attach tm2 alloc2 ~head_cell:(Pqueue.head_cell q)
+          ~tail_cell:(Pqueue.tail_cell q)
+      in
+      Alcotest.(check bool)
+        (cfg_name ^ ": recovered queue well-formed")
+        true (Pqueue.well_formed q2);
+      Pqueue.to_list q2)
+    ~legal:[ []; [ 1L; 2L ]; [ 2L ]; [ 3L ] ]
+    ()
+
+(* Doubly-linked list shrunk node by node: the second remove unlinks the
+   only remaining node (head and tail cells both rewritten). *)
+let test_plist_crash_sweep (cfg_name, cfg) () =
+  sweep_structure ~cfg_name ~cfg
+    ~create:(fun tm alloc -> Plist.create tm alloc)
+    ~workload:(fun tm l ->
+      let n10 = ref 0 and n20 = ref 0 in
+      Tm.atomically tm (fun txn ->
+          n10 := Plist.push_back l txn 10L;
+          n20 := Plist.push_back l txn 20L);
+      Tm.atomically tm (fun txn -> Plist.remove l txn !n10);
+      Tm.atomically tm (fun txn -> Plist.remove l txn !n20);
+      Tm.atomically tm (fun txn -> ignore (Plist.push_back l txn 30L)))
+    ~reattach:(fun l tm2 alloc2 ->
+      let l2 =
+        Plist.attach tm2 alloc2 ~head_cell:(Plist.head_cell l)
+          ~tail_cell:(Plist.tail_cell l)
+      in
+      Alcotest.(check bool)
+        (cfg_name ^ ": recovered list well-formed")
+        true (Plist.well_formed l2);
+      Plist.to_list l2)
+    ~legal:[ []; [ 10L; 20L ]; [ 20L ]; [ 30L ] ]
+    ()
+
 (* ------------------------------------------------------------------ *)
 (* Ptable                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -522,6 +669,18 @@ let () =
           tc "basic" `Quick test_phash_basic;
           tc "rollback" `Quick test_phash_rollback;
           tc "crash" `Quick test_phash_crash;
+          tc "attach reads header" `Quick test_phash_attach_header;
+          tc "attach rejects garbage" `Quick test_phash_attach_garbage;
         ] );
+      ( "crash-sweeps",
+        List.concat_map
+          (fun ((name, _) as c) ->
+            [
+              tc ("pqueue dequeue-to-empty (" ^ name ^ ")") `Slow
+                (test_pqueue_crash_sweep c);
+              tc ("plist remove-only-node (" ^ name ^ ")") `Slow
+                (test_plist_crash_sweep c);
+            ])
+          sweep_configs );
       ("ptable", [ tc "basic" `Quick test_ptable ]);
     ]
