@@ -49,23 +49,7 @@ let () =
   let db = Schema.create ~layout:Schema.Optimized Rewind_pds.Btree.Direct_nvm alloc in
   Datagen.load ~params:Datagen.small db 0;
   let tm = Rewind.Tm.create ~cfg:Workload.tm_config alloc ~root_slot:3 in
-  let rb t =
-    Rewind_pds.Btree.attach (Rewind_pds.Btree.Logged tm) alloc
-      ~root_cell:(Rewind_pds.Btree.root_cell t)
-  in
-  let db =
-    {
-      db with
-      Schema.mode = Rewind_pds.Btree.Logged tm;
-      Schema.customer = rb db.Schema.customer;
-      Schema.item = rb db.Schema.item;
-      Schema.stock = rb db.Schema.stock;
-      Schema.orders = Array.map rb db.Schema.orders;
-      Schema.order_line = Array.map rb db.Schema.order_line;
-      Schema.new_order = Array.map rb db.Schema.new_order;
-      Schema.history = rb db.Schema.history;
-    }
-  in
+  let db = Schema.rebind db (Rewind_pds.Btree.Logged tm) in
   let rng = Rng.create 99 in
   Arena.arm_crash arena ~after:40_000;
   let done_txns = ref 0 in

@@ -181,7 +181,9 @@ let parse (s : string) : json =
    numeric fields that discriminate workload points (become labelled
    segments rather than gated metrics). *)
 let ident_keys = [ "name"; "config"; "phase"; "series"; "id" ]
-let disc_keys = [ "ops"; "checkpoint_every"; "threads"; "partitions"; "group" ]
+let disc_keys =
+  [ "ops"; "checkpoint_every"; "threads"; "partitions"; "group"; "warehouses";
+    "rate" ]
 
 let label_of_obj fields =
   let idents =
@@ -295,6 +297,9 @@ type outcome = {
   checked : int;  (** gated metrics compared *)
   regressions : regression list;
   missing : string list;  (** gated baseline metrics absent from current *)
+  new_metrics : string list;
+      (** gated current metrics absent from the baseline — ungated until
+          the baseline is regenerated, so surfaced as a warning *)
   improvements : int;  (** gated metrics better by more than the tolerance *)
 }
 
@@ -314,10 +319,27 @@ let compare_metrics ~tolerance baseline_json current_json =
       | Some metric -> Hashtbl.replace tol_tbl metric v
       | None -> ())
     base;
+  let base_tbl = Hashtbl.create (List.length base) in
+  List.iter (fun (k, v) -> Hashtbl.replace base_tbl k v) base;
   let checked = ref 0
   and regressions = ref []
   and missing = ref []
   and improvements = ref [] in
+  (* Gated metrics only the current run produces: the gate cannot judge
+     them (nothing to compare against), and silently skipping them would
+     let a new benchmark leg ship ungated.  They are a warning, not a
+     failure — the fix is committing a regenerated baseline. *)
+  let new_metrics =
+    List.filter_map
+      (fun (path, _) ->
+        if
+          tolerance_key path = None
+          && gate path <> None
+          && not (Hashtbl.mem base_tbl path)
+        then Some path
+        else None)
+      cur
+  in
   List.iter
     (fun (path, bv) ->
       if tolerance_key path <> None then ()
@@ -362,6 +384,7 @@ let compare_metrics ~tolerance baseline_json current_json =
     checked = !checked;
     regressions = List.rev !regressions;
     missing = List.rev !missing;
+    new_metrics;
     improvements = List.length !improvements;
   }
 
@@ -417,5 +440,8 @@ let pp_outcome ppf o =
   List.iter
     (fun m -> Fmt.pf ppf "MISSING    %-60s (in baseline, not in current)@." m)
     o.missing;
-  Fmt.pf ppf "benchdiff: %d metrics checked, %d regressed, %d missing, %d improved@."
-    o.checked (List.length o.regressions) (List.length o.missing) o.improvements
+  Fmt.pf ppf
+    "benchdiff: %d metrics checked, %d regressed, %d missing, %d new \
+     (ungated), %d improved@."
+    o.checked (List.length o.regressions) (List.length o.missing)
+    (List.length o.new_metrics) o.improvements

@@ -159,3 +159,25 @@ let tpcc ?(terminals = 4) ?(txns_per_terminal = 30) () =
       Racecheck.detach rc;
       rc
   | None -> assert false
+
+(* The five-transaction mix under the detector: terminals serialise on the
+   driver's coarse data lock (race-clean by construction), while the
+   home-warehouse partition pinning spreads their log appends over
+   [partitions] latches — the detector checks the sharded log's internal
+   synchronization under the full mix, deferred deliveries included. *)
+let tpcc_mix ?(warehouses = 2) ?(terminals_per_warehouse = 2)
+    ?(txns_per_terminal = 25) ?(partitions = 1) () =
+  let rc = ref None in
+  let r, _db =
+    Rewind_tpcc.Workload.run_mix ~warehouses ~terminals_per_warehouse
+      ~txns_per_terminal ~params:Rewind_tpcc.Datagen.micro ~arena_mb:128
+      ~partitions
+      ~on_arena:(fun arena -> rc := Some (Racecheck.attach ~mode:Collect arena))
+      ()
+  in
+  ignore (r : Rewind_tpcc.Workload.mix_result);
+  match !rc with
+  | Some rc ->
+      Racecheck.detach rc;
+      rc
+  | None -> assert false

@@ -129,7 +129,14 @@ type t = {
          first.  Serves abort/savepoint rollback only — crash rollback
          uses the in-line undo words, never this table. *)
   incll_latch : Sim_mutex.t;
-  next_txn : int Sim_atomic.t;
+  next_seq : int Sim_atomic.t array;
+      (* per-partition transaction sequence counters: partition [p]'s
+         next id is [first_txn + seq * partitions + p], so the home
+         partition stays a pure function of the id even when the caller
+         pins a transaction explicitly ([begin_txn ?home]) *)
+  next_home : int Sim_atomic.t;
+      (* round-robin cursor assigning homes to transactions whose caller
+         did not pin one *)
   next_lsn : int Sim_atomic.t;  (* one global counter: LSNs order records
                                across all partitions *)
   prepared_gtids : (int, int) Hashtbl.t;
@@ -266,7 +273,8 @@ let make_t ?incll cfg alloc parts =
     incll;
     incll_txns = Hashtbl.create 16;
     incll_latch = Sim_mutex.create ();
-    next_txn = Sim_atomic.make first_txn;
+    next_seq = Array.init (max 1 (Array.length parts)) (fun _ -> Sim_atomic.make 0);
+    next_home = Sim_atomic.make 0;
     next_lsn = Sim_atomic.make 1;
     prepared_gtids = Hashtbl.create 8;
     commits = 0;
@@ -348,10 +356,44 @@ let fresh_lsn t = Sim_atomic.fetch_and_add t.next_lsn 1
 let home_partition t txn = (txn - first_txn) mod Array.length t.parts
 let home t txn = t.parts.(home_partition t txn)
 
+(* Advance the id counters past every transaction recovery saw, so fresh
+   ids can never collide with recovered ones: partition [p]'s next
+   sequence number is the smallest [s] with [first_txn + s*n + p >
+   max_txn].  The round-robin cursor continues from the id after
+   [max_txn], keeping default (unpinned) ids sequential across a crash. *)
+let reseed_txn_counters t max_txn =
+  let n = max 1 (Array.length t.parts) in
+  Array.iteri
+    (fun p seq ->
+      let d = max_txn - first_txn - p in
+      let s = if d < 0 then 0 else (d / n) + 1 in
+      if s > Sim_atomic.get seq then Sim_atomic.set seq s)
+    t.next_seq;
+  let rr = max_txn + 1 - first_txn in
+  if rr > Sim_atomic.get t.next_home then Sim_atomic.set t.next_home rr
+
 (* -- transaction begin -------------------------------------------------- *)
 
-let begin_txn t =
-  let id = Sim_atomic.fetch_and_add t.next_txn 1 in
+(* Transaction ids encode their home partition: partition [p] hands out
+   ids [first_txn + seq * n + p], so [home_partition] recomputes the home
+   from the id alone and recovery needs no durable pinning map even for
+   caller-pinned transactions.  With no caller pinning the round-robin
+   cursor makes the ids come out exactly sequential (the pre-[?home]
+   behaviour). *)
+let begin_txn ?home:home_opt t =
+  (* incll keeps no log partitions (parts = [||]); ids degenerate to the
+     sequential single-partition scheme there. *)
+  let n = max 1 (Array.length t.parts) in
+  let hp =
+    match home_opt with
+    | Some h ->
+        if h < 0 || h >= n then
+          invalid_arg
+            (Printf.sprintf "Tm.begin_txn: home %d out of range [0, %d)" h n);
+        h
+    | None -> Sim_atomic.fetch_and_add t.next_home 1 mod n
+  in
+  let id = first_txn + (Sim_atomic.fetch_and_add t.next_seq.(hp) 1 * n) + hp in
   (match t.incll with
   | Some _ ->
       (* incll: open a volatile undo journal for abort support; the
@@ -1188,8 +1230,7 @@ let analysis_one_layer t prof =
           end))
     t.parts;
   Sim_atomic.set t.next_lsn (!max_lsn + 1);
-  (let cur = Sim_atomic.get t.next_txn in
-   if !max_txn + 1 > cur then Sim_atomic.set t.next_txn (!max_txn + 1));
+  reseed_txn_counters t !max_txn;
   let finished = ref 0 in
   Array.iter
     (fun p ->
@@ -1380,8 +1421,7 @@ let recover_two_layer t prof =
         end)
       ascending;
     Sim_atomic.set t.next_lsn (!max_lsn + 1);
-    (let cur = Sim_atomic.get t.next_txn in
-     if !max_txn + 1 > cur then Sim_atomic.set t.next_txn (!max_txn + 1));
+    reseed_txn_counters t !max_txn;
     let finished = ref 0 in
     Array.iter
       (fun p ->
@@ -1736,8 +1776,8 @@ let attach ?(cfg = default_config) alloc ~root_slot =
    crash image whose undo stores are lost — recovery would then treat the
    half-done transaction as settled and redo its surviving updates.
    Settling the transaction is recovery's job. *)
-let atomically t f =
-  let txn = begin_txn t in
+let atomically ?home t f =
+  let txn = begin_txn ?home t in
   match f txn with
   | v ->
       commit t txn;

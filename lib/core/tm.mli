@@ -98,7 +98,11 @@ val partitions : t -> int
 
 val home_partition : t -> txn -> int
 (** The partition a transaction's records land in: a pure function of
-    its id (round-robin), so recovery needs no pinning map. *)
+    its id ([(id - 1) mod partitions]), so recovery needs no pinning
+    map.  Ids are allocated per partition ([id = 1 + seq*partitions +
+    home]), which is what lets {!begin_txn}'s caller pick the home while
+    keeping this a pure function — with no caller pinning, the
+    round-robin assignment makes ids come out exactly sequential. *)
 
 val partition_appended : t -> int array
 (** Per-partition append counts, for scaling experiments. *)
@@ -110,7 +114,14 @@ val merged_log_records : t -> int list
 
 (** {1 Transactions} *)
 
-val begin_txn : t -> txn
+val begin_txn : ?home:int -> t -> txn
+(** Open a transaction.  [?home] pins it to a log partition (0-based; the
+    TPC-C driver pins by home warehouse so a warehouse's entire
+    transaction stream serialises only on its own partition's latch) —
+    the home is encoded in the returned id, so recovery recomputes it
+    from the logged records alone.  Default: round-robin over the
+    partitions, yielding sequential ids.  Raises [Invalid_argument] if
+    [home] is outside [0, partitions). *)
 
 val write : t -> txn -> addr:int -> value:int64 -> unit
 (** The paper's expanded-code pattern (Listing 2): log the update — old
@@ -141,7 +152,7 @@ val rollback : t -> txn -> unit
     skipping other transactions' records; two-layer: the record chain via
     the index), then log END. *)
 
-val atomically : t -> (txn -> 'a) -> 'a
+val atomically : ?home:int -> t -> (txn -> 'a) -> 'a
 (** The paper's [persistent_atomic] block: begin; commit on success, roll
     back and re-raise on exception.  A simulated {!Rewind_nvm.Arena.Crash}
     is re-raised {e without} rolling back: the crashed process cannot run

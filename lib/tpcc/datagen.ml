@@ -1,8 +1,14 @@
-(* TPC-C initial population, scale factor 1 (scaled item/customer counts
-   are configurable so tests and quick benches stay fast).  Loading writes
+(* TPC-C initial population (scaled item/customer/order counts are
+   configurable so tests and quick benches stay fast).  Loading writes
    rows with raw durable stores and inserts tree entries through a
    throwaway transaction of the provided loader mode — the benchmark then
-   reattaches the trees in the measured persistence mode. *)
+   reattaches the trees in the measured persistence mode.
+
+   [initial_orders] pre-existing orders per district are materialised as
+   delivered history except for the newest [undelivered] of them, which
+   keep a new-order entry so delivery has work from the first minute —
+   mirroring the spec's initial population (3000 orders, last 900
+   undelivered, scaled down here). *)
 
 open Rewind_pds
 
@@ -10,44 +16,102 @@ type params = {
   items : int;          (* TPC-C: 100_000 *)
   customers_per_district : int;  (* TPC-C: 3_000 *)
   initial_orders : int;  (* pre-existing orders per district *)
+  undelivered : int;     (* newest initial orders still awaiting delivery *)
 }
 
-let default = { items = 100_000; customers_per_district = 3_000; initial_orders = 0 }
-let small = { items = 2_000; customers_per_district = 100; initial_orders = 0 }
+let default =
+  { items = 100_000; customers_per_district = 3_000; initial_orders = 0;
+    undelivered = 0 }
+
+let small =
+  { items = 2_000; customers_per_district = 100; initial_orders = 0;
+    undelivered = 0 }
+
+(* Micro scale for crash sweeps and the open-loop bench: small enough
+   that a crash-at-every-persistence-event sweep stays tractable, big
+   enough that every transaction type finds work. *)
+let micro =
+  { items = 50; customers_per_district = 10; initial_orders = 4;
+    undelivered = 2 }
 
 (* Populate [db]; the trees must be in a raw mode (Dram / Direct_nvm) or a
    logged mode whose transaction [txn] is provided by the caller. *)
 let load ?(params = default) db txn =
   let rng = Rng.create 42 in
-  (* warehouse + districts *)
-  for d = 1 to Schema.districts do
-    let row = Schema.new_row db Schema.district_words in
-    db.Schema.districts_rows.(d) <- row;
-    Schema.row_set_raw db row Schema.d_tax (Int64.of_int (Rng.int rng 0 2000));
-    Schema.row_set_raw db row Schema.d_ytd 0L;
-    Schema.row_set_raw db row Schema.d_next_o_id
-      (Int64.of_int (params.initial_orders + 1));
-    Schema.row_set_raw db row Schema.d_next_h_id 1L
-  done;
-  (* customers *)
-  for d = 1 to Schema.districts do
-    for c = 1 to params.customers_per_district do
-      let row = Schema.new_row db Schema.customer_words in
-      Schema.row_set_raw db row Schema.c_discount
-        (Int64.of_int (Rng.int rng 0 5000));
-      Schema.row_set_raw db row Schema.c_balance 0L;
-      Btree.insert db.Schema.customer txn (Schema.key_customer d c)
-        (Int64.of_int row)
+  let warehouses = db.Schema.warehouses in
+  let undelivered = min params.undelivered params.initial_orders in
+  for w = 1 to warehouses do
+    (* districts *)
+    for d = 1 to Schema.districts do
+      let row = Schema.new_row db Schema.district_words in
+      Schema.set_district_row db w d row;
+      Schema.row_set_raw db row Schema.d_tax (Int64.of_int (Rng.int rng 0 2000));
+      Schema.row_set_raw db row Schema.d_ytd 0L;
+      Schema.row_set_raw db row Schema.d_next_o_id
+        (Int64.of_int (params.initial_orders + 1));
+      Schema.row_set_raw db row Schema.d_next_h_id 1L
+    done;
+    (* customers *)
+    for d = 1 to Schema.districts do
+      for c = 1 to params.customers_per_district do
+        let row = Schema.new_row db Schema.customer_words in
+        Schema.row_set_raw db row Schema.c_discount
+          (Int64.of_int (Rng.int rng 0 5000));
+        Schema.row_set_raw db row Schema.c_balance 0L;
+        Btree.insert (Schema.customer_tree db w) txn
+          (Schema.key_customer db w d c)
+          (Int64.of_int row)
+      done
+    done;
+    (* stock *)
+    for i = 1 to params.items do
+      let srow = Schema.new_row db Schema.stock_words in
+      Schema.row_set_raw db srow Schema.s_quantity
+        (Int64.of_int (Rng.int rng 10 100));
+      Btree.insert (Schema.stock_tree db w) txn
+        (Schema.key_stock db w i)
+        (Int64.of_int srow)
+    done;
+    (* initial orders: delivered except the newest [undelivered] *)
+    for d = 1 to Schema.districts do
+      for o = 1 to params.initial_orders do
+        let delivered = o <= params.initial_orders - undelivered in
+        let lines = Rng.int rng 5 15 in
+        let orow = Schema.new_row db Schema.order_words in
+        Schema.row_set_raw db orow Schema.o_c_id
+          (Int64.of_int (Rng.int rng 1 params.customers_per_district));
+        Schema.row_set_raw db orow Schema.o_ol_cnt (Int64.of_int lines);
+        Schema.row_set_raw db orow Schema.o_carrier_id
+          (if delivered then Int64.of_int (Rng.int rng 1 10) else 0L);
+        Btree.insert (Schema.order_tree db w d) txn
+          (Schema.key_order db w d o)
+          (Int64.of_int orow);
+        for ol = 1 to lines do
+          let lrow = Schema.new_row db Schema.order_line_words in
+          Schema.row_set_raw db lrow Schema.ol_i_id
+            (Int64.of_int (Rng.int rng 1 params.items));
+          Schema.row_set_raw db lrow Schema.ol_supply_w_id (Int64.of_int w);
+          Schema.row_set_raw db lrow Schema.ol_quantity
+            (Int64.of_int (Rng.int rng 1 10));
+          Schema.row_set_raw db lrow Schema.ol_amount
+            (Int64.of_int (Rng.int rng 100 10_000));
+          Schema.row_set_raw db lrow Schema.ol_delivery_d
+            (if delivered then 1L else 0L);
+          Btree.insert (Schema.order_line_tree db w d) txn
+            (Schema.key_order_line db w d o ol)
+            (Int64.of_int lrow)
+        done;
+        if not delivered then
+          Btree.insert (Schema.new_order_tree db w d) txn
+            (Schema.key_order db w d o)
+            (Int64.of_int o)
+      done
     done
   done;
-  (* items and stock *)
+  (* items (shared across warehouses) *)
   for i = 1 to params.items do
     let irow = Schema.new_row db Schema.item_words in
     Schema.row_set_raw db irow Schema.i_price
       (Int64.of_int (Rng.int rng 100 10000));
-    Btree.insert db.Schema.item txn (Schema.key_item i) (Int64.of_int irow);
-    let srow = Schema.new_row db Schema.stock_words in
-    Schema.row_set_raw db srow Schema.s_quantity
-      (Int64.of_int (Rng.int rng 10 100));
-    Btree.insert db.Schema.stock txn (Schema.key_stock i) (Int64.of_int srow)
+    Btree.insert db.Schema.item txn (Schema.key_item i) (Int64.of_int irow)
   done

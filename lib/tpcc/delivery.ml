@@ -1,0 +1,107 @@
+(* The TPC-C delivery transaction, with the spec's deferred-execution
+   semantics: the terminal enqueues a delivery request and gets an
+   immediate response; a background step later runs the actual database
+   transaction, which delivers the oldest undelivered order of every
+   district of the warehouse.
+
+   The queue is deliberately volatile (driver-level state): TPC-C only
+   requires the *result* of an executed delivery to be durable, and a
+   crash between enqueue and execution loses at most the queued intent —
+   the executed transaction itself goes through REWIND and is
+   crash-atomic like any other.  The crash sweep arms crashes inside the
+   deferred execution to prove exactly that. *)
+
+open Rewind_pds
+
+type request = { dl_warehouse : int; dl_carrier : int }
+
+let gen_request ?(warehouse = 1) rng =
+  { dl_warehouse = warehouse; dl_carrier = Rng.int rng 1 10 }
+
+type queue = request Queue.t
+
+let queue_create () : queue = Queue.create ()
+let enqueue (q : queue) rq = Queue.add rq q
+let pending (q : queue) = Queue.length q
+
+(* Oldest undelivered order of district [d]: the minimum key in the
+   new-order tree's (w, d) range (compound-keyed under Naive, the whole
+   per-district tree under Optimized). *)
+let oldest_new_order db w d =
+  let lo = Schema.key_order db w d 0
+  and hi = Schema.key_order db w d 99_999_999 in
+  let found = ref None in
+  (try
+     Btree.iter_range (Schema.new_order_tree db w d) ~lo ~hi (fun _k v ->
+         found := Some (Int64.to_int v);
+         raise Exit)
+   with Exit -> ());
+  !found
+
+(* The deferred database transaction: per district, deliver the oldest
+   undelivered order — remove its new-order entry, stamp the carrier on
+   the order, stamp the delivery date on every line while summing the
+   amounts, then credit the customer.  Returns the number of orders
+   delivered (districts with an empty new-order tree are skipped, per the
+   spec). *)
+let body db tm_opt txn rq =
+  Rewind_nvm.Clock.advance 40_000;  (* application-level work *)
+  let w = rq.dl_warehouse in
+  let set row field v =
+    match tm_opt with
+    | Some tm -> Schema.row_set db tm txn row field v
+    | None -> Schema.row_set_raw db row field v
+  in
+  let delivered = ref 0 in
+  for d = 1 to Schema.districts do
+    match oldest_new_order db w d with
+    | None -> ()  (* spec: skip districts with nothing to deliver *)
+    | Some o_id ->
+        ignore
+          (Btree.delete (Schema.new_order_tree db w d) txn
+             (Schema.key_order db w d o_id));
+        let orow =
+          Int64.to_int
+            (Option.get
+               (Btree.lookup (Schema.order_tree db w d)
+                  (Schema.key_order db w d o_id)))
+        in
+        set orow Schema.o_carrier_id (Int64.of_int rq.dl_carrier);
+        let lines = Int64.to_int (Schema.row_get db orow Schema.o_ol_cnt) in
+        let total = ref 0L in
+        for ol = 1 to lines do
+          match
+            Btree.lookup (Schema.order_line_tree db w d)
+              (Schema.key_order_line db w d o_id ol)
+          with
+          | None -> ()
+          | Some lrow_v ->
+              let lrow = Int64.to_int lrow_v in
+              set lrow Schema.ol_delivery_d 1L;
+              total :=
+                Int64.add !total (Schema.row_get db lrow Schema.ol_amount)
+        done;
+        let c_id = Int64.to_int (Schema.row_get db orow Schema.o_c_id) in
+        let crow =
+          Int64.to_int
+            (Option.get
+               (Btree.lookup (Schema.customer_tree db w)
+                  (Schema.key_customer db w d c_id)))
+        in
+        set crow Schema.c_balance
+          (Int64.add (Schema.row_get db crow Schema.c_balance) !total);
+        set crow Schema.c_delivery_cnt
+          (Int64.add (Schema.row_get db crow Schema.c_delivery_cnt) 1L);
+        incr delivered
+  done;
+  !delivered
+
+(* Execute the oldest queued request as one REWIND transaction.  Returns
+   the number of orders delivered, or [None] if the queue is empty. *)
+let execute_deferred ?home db tm (q : queue) =
+  match Queue.take_opt q with
+  | None -> None
+  | Some rq ->
+      Some (Rewind.Tm.atomically ?home tm (fun txn -> body db (Some tm) txn rq))
+
+let run_raw db rq = body db None 0 rq

@@ -1,0 +1,27 @@
+(** The TPC-C delivery transaction with deferred-execution semantics: the
+    terminal enqueues a request and responds immediately; the database
+    transaction runs later via {!execute_deferred}, delivering the oldest
+    undelivered order of every district of the warehouse.
+
+    The queue is volatile by design — only the executed transaction's
+    effects need to be (and are) crash-atomic. *)
+
+type request = { dl_warehouse : int; dl_carrier : int }
+
+val gen_request : ?warehouse:int -> Rng.t -> request
+
+type queue
+
+val queue_create : unit -> queue
+val enqueue : queue -> request -> unit
+val pending : queue -> int
+
+val execute_deferred :
+  ?home:int -> Schema.db -> Rewind.Tm.t -> queue -> int option
+(** Run the oldest queued request as one REWIND transaction; [Some n] is
+    the number of orders delivered (districts with an empty new-order
+    tree are skipped), [None] if the queue is empty.  [?home] pins the
+    transaction's log partition. *)
+
+val run_raw : Schema.db -> request -> int
+(** Immediate non-transactional execution (non-recoverable NVM config). *)

@@ -1,0 +1,68 @@
+(* The full five-transaction TPC-C mix at the spec's minimum percentages:
+   45 % new-order, 43 % payment, 4 % order-status, 4 % delivery, 4 %
+   stock-level.
+
+   [execute] runs a request as one REWIND transaction against the
+   caller's home-warehouse log partition.  Delivery only *enqueues* here
+   (the terminal's immediate response, per the spec's deferred-execution
+   requirement); the driver runs the queued database transactions via
+   {!drain_deliveries} — in the open-loop bench that happens on the
+   delivering terminal's fiber, after the response was already counted. *)
+
+type request =
+  | New_order of Neworder.request
+  | Payment of Payment.request
+  | Order_status of Orderstatus.request
+  | Delivery of Delivery.request
+  | Stock_level of Stocklevel.request
+
+let gen ?(warehouse = 1) ?customers rng ~items =
+  let p = Rng.int rng 1 100 in
+  if p <= 45 then New_order (Neworder.gen_request ~warehouse ?customers rng ~items)
+  else if p <= 88 then Payment (Payment.gen_request ~warehouse ?customers rng)
+  else if p <= 92 then
+    Order_status (Orderstatus.gen_request ~warehouse ?customers rng)
+  else if p <= 96 then Delivery (Delivery.gen_request ~warehouse rng)
+  else Stock_level (Stocklevel.gen_request ~warehouse rng)
+
+let is_new_order = function New_order _ -> true | _ -> false
+
+let warehouse_of = function
+  | New_order rq -> rq.Neworder.rq_warehouse
+  | Payment rq -> rq.Payment.p_warehouse
+  | Order_status rq -> rq.Orderstatus.os_warehouse
+  | Delivery rq -> rq.Delivery.dl_warehouse
+  | Stock_level rq -> rq.Stocklevel.sl_warehouse
+
+type outcome = Committed | Aborted
+
+let execute ?home db tm ~queue rq =
+  match rq with
+  | New_order rq -> (
+      match Neworder.run_transactional ?home db tm rq with
+      | Neworder.Committed -> Committed
+      | Neworder.Aborted -> Aborted)
+  | Payment rq ->
+      Payment.run_transactional ?home db tm rq;
+      Committed
+  | Order_status rq ->
+      ignore (Orderstatus.run db rq);
+      Committed
+  | Delivery rq ->
+      (* immediate terminal response; the database transaction is
+         deferred to [drain_deliveries] *)
+      Delivery.enqueue queue rq;
+      Committed
+  | Stock_level rq ->
+      ignore (Stocklevel.run db rq);
+      Committed
+
+(* Execute every queued delivery, each as its own transaction.  Returns
+   the number of deferred transactions run. *)
+let drain_deliveries ?home db tm queue =
+  let rec go n =
+    match Delivery.execute_deferred ?home db tm queue with
+    | None -> n
+    | Some _ -> go (n + 1)
+  in
+  go 0

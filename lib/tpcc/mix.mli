@@ -1,0 +1,32 @@
+(** The full five-transaction TPC-C mix (45 % new-order, 43 % payment,
+    4 % each order-status / delivery / stock-level).  Delivery requests
+    are enqueued at execute time and run later via {!drain_deliveries},
+    per the spec's deferred-execution semantics. *)
+
+type request =
+  | New_order of Neworder.request
+  | Payment of Payment.request
+  | Order_status of Orderstatus.request
+  | Delivery of Delivery.request
+  | Stock_level of Stocklevel.request
+
+val gen : ?warehouse:int -> ?customers:int -> Rng.t -> items:int -> request
+
+val is_new_order : request -> bool
+(** tpmC counts committed new-orders only. *)
+
+val warehouse_of : request -> int
+
+type outcome = Committed | Aborted
+
+val execute :
+  ?home:int -> Schema.db -> Rewind.Tm.t -> queue:Delivery.queue ->
+  request -> outcome
+(** Run one request as a REWIND transaction ([?home] pins its log
+    partition).  Delivery only enqueues — it always reports [Committed]
+    (the terminal's immediate response). *)
+
+val drain_deliveries :
+  ?home:int -> Schema.db -> Rewind.Tm.t -> Delivery.queue -> int
+(** Execute every queued delivery, one transaction each; returns how many
+    deferred transactions ran. *)

@@ -15,18 +15,20 @@ exception Invalid_item
 type line = { li_item : int; li_qty : int }
 
 type request = {
+  rq_warehouse : int;
   rq_district : int;
   rq_customer : int;
   rq_lines : line list;
   rq_invalid : bool;  (* the 1 % rollback case *)
 }
 
-let gen_request ?(district = 0) rng ~items =
+let gen_request ?(warehouse = 1) ?(district = 0) ?(customers = 100) rng ~items =
   let d = if district > 0 then district else Rng.int rng 1 Schema.districts in
   let n_lines = Rng.int rng 5 15 in
   {
+    rq_warehouse = warehouse;
     rq_district = d;
-    rq_customer = Rng.int rng 1 100;
+    rq_customer = Rng.int rng 1 customers;
     rq_lines =
       List.init n_lines (fun _ ->
           { li_item = 1 + Rng.nurand rng 8191 0 (items - 1); li_qty = Rng.int rng 1 10 });
@@ -42,8 +44,9 @@ let request_work_ns rq = 10_000 + (12_000 * List.length rq.rq_lines)
    for raw (non-transactional) execution. *)
 let body db tm_opt txn rq =
   Rewind_nvm.Clock.advance (request_work_ns rq);
+  let w = rq.rq_warehouse in
   let d = rq.rq_district in
-  let drow = db.Schema.districts_rows.(d) in
+  let drow = Schema.district_row db w d in
   let set row field v =
     match tm_opt with
     | Some tm -> Schema.row_set db tm txn row field v
@@ -57,9 +60,9 @@ let body db tm_opt txn rq =
   Schema.row_set_raw db orow Schema.o_c_id (Int64.of_int rq.rq_customer);
   Schema.row_set_raw db orow Schema.o_ol_cnt
     (Int64.of_int (List.length rq.rq_lines));
-  Btree.insert (Schema.order_tree db d) txn (Schema.key_order db d o_id)
+  Btree.insert (Schema.order_tree db w d) txn (Schema.key_order db w d o_id)
     (Int64.of_int orow);
-  Btree.insert (Schema.new_order_tree db d) txn (Schema.key_order db d o_id)
+  Btree.insert (Schema.new_order_tree db w d) txn (Schema.key_order db w d o_id)
     (Int64.of_int o_id);
   (* order lines *)
   List.iteri
@@ -70,7 +73,10 @@ let body db tm_opt txn rq =
           let irow = Int64.to_int irow_v in
           let price = Schema.row_get db irow Schema.i_price in
           let srow =
-            match Btree.lookup db.Schema.stock (Schema.key_stock line.li_item) with
+            match
+              Btree.lookup (Schema.stock_tree db w)
+                (Schema.key_stock db w line.li_item)
+            with
             | Some v -> Int64.to_int v
             | None -> raise Invalid_item
           in
@@ -85,11 +91,12 @@ let body db tm_opt txn rq =
           (* order line *)
           let lrow = Schema.new_row db Schema.order_line_words in
           Schema.row_set_raw db lrow Schema.ol_i_id (Int64.of_int line.li_item);
+          Schema.row_set_raw db lrow Schema.ol_supply_w_id (Int64.of_int w);
           Schema.row_set_raw db lrow Schema.ol_quantity (Int64.of_int line.li_qty);
           Schema.row_set_raw db lrow Schema.ol_amount
             (Int64.mul price (Int64.of_int line.li_qty));
-          Btree.insert (Schema.order_line_tree db d) txn
-            (Schema.key_order_line db d o_id (ol + 1))
+          Btree.insert (Schema.order_line_tree db w d) txn
+            (Schema.key_order_line db w d o_id (ol + 1))
             (Int64.of_int lrow))
     rq.rq_lines;
   (* the 1 % invalid-item case aborts after doing real work *)
@@ -99,8 +106,8 @@ type outcome = Committed | Aborted
 
 (* Transactional execution over REWIND: commit, or roll back on the
    invalid-item abort. *)
-let run_transactional db tm rq =
-  let txn = Rewind.Tm.begin_txn tm in
+let run_transactional ?home db tm rq =
+  let txn = Rewind.Tm.begin_txn ?home tm in
   match body db (Some tm) txn rq with
   | () ->
       Rewind.Tm.commit tm txn;

@@ -8,13 +8,16 @@ exception Invalid_item
 type line = { li_item : int; li_qty : int }
 
 type request = {
+  rq_warehouse : int;
   rq_district : int;
   rq_customer : int;
   rq_lines : line list;
   rq_invalid : bool;
 }
 
-val gen_request : ?district:int -> Rng.t -> items:int -> request
+val gen_request :
+  ?warehouse:int -> ?district:int -> ?customers:int -> Rng.t -> items:int ->
+  request
 (** TPC-C request: 5–15 NURand order lines, 1 % invalid. *)
 
 val request_work_ns : request -> int
@@ -22,5 +25,8 @@ val request_work_ns : request -> int
 
 type outcome = Committed | Aborted
 
-val run_transactional : Schema.db -> Rewind.Tm.t -> request -> outcome
+val run_transactional : ?home:int -> Schema.db -> Rewind.Tm.t -> request -> outcome
+(** [?home] pins the transaction's log partition (home-warehouse
+    pinning); defaults to the transaction manager's round-robin. *)
+
 val run_raw : Schema.db -> request -> outcome

@@ -1,0 +1,73 @@
+(* The TPC-C order-status transaction: a read-only probe of a customer's
+   most recent order and its lines.
+
+   Per the spec (simplified to id-based customer selection): find the
+   customer's last order by scanning backward from the district's
+   next-order id, then read every order line.  Read-only means no log
+   records under any REWIND configuration — the transaction exists to
+   exercise the mix's read path and the co-designed key layouts. *)
+
+open Rewind_pds
+
+type request = { os_warehouse : int; os_district : int; os_customer : int }
+
+let gen_request ?(warehouse = 1) ?(district = 0) ?(customers = 100) rng =
+  {
+    os_warehouse = warehouse;
+    os_district =
+      (if district > 0 then district else Rng.int rng 1 Schema.districts);
+    os_customer = Rng.int rng 1 customers;
+  }
+
+type status = {
+  st_order : int;
+  st_carrier : int;  (* 0 = not yet delivered *)
+  st_lines : int;
+  st_total : int64;  (* sum of ol_amount over the order's lines *)
+}
+
+(* Bounded backward scan: the spec's "last order of this customer" without
+   a customer-id secondary index.  [max_scan] keeps the read set small
+   even for customers who never ordered. *)
+let max_scan = 100
+
+let run db rq =
+  Rewind_nvm.Clock.advance 25_000;  (* application-level work *)
+  let w = rq.os_warehouse and d = rq.os_district in
+  let drow = Schema.district_row db w d in
+  let next_o = Int64.to_int (Schema.row_get db drow Schema.d_next_o_id) in
+  let lo = max 1 (next_o - max_scan) in
+  let rec find o =
+    if o < lo then None
+    else
+      match Btree.lookup (Schema.order_tree db w d) (Schema.key_order db w d o) with
+      | Some orow_v
+        when Int64.to_int (Schema.row_get db (Int64.to_int orow_v) Schema.o_c_id)
+             = rq.os_customer ->
+          Some (o, Int64.to_int orow_v)
+      | _ -> find (o - 1)
+  in
+  match find (next_o - 1) with
+  | None -> None
+  | Some (o_id, orow) ->
+      let lines = Int64.to_int (Schema.row_get db orow Schema.o_ol_cnt) in
+      let total = ref 0L in
+      for ol = 1 to lines do
+        match
+          Btree.lookup (Schema.order_line_tree db w d)
+            (Schema.key_order_line db w d o_id ol)
+        with
+        | None -> ()
+        | Some lrow ->
+            total :=
+              Int64.add !total
+                (Schema.row_get db (Int64.to_int lrow) Schema.ol_amount)
+      done;
+      Some
+        {
+          st_order = o_id;
+          st_carrier =
+            Int64.to_int (Schema.row_get db orow Schema.o_carrier_id);
+          st_lines = lines;
+          st_total = !total;
+        }

@@ -1,0 +1,18 @@
+(** The TPC-C order-status transaction: read-only lookup of a customer's
+    most recent order and its lines.  Issues no log records — it exists to
+    exercise the mix's read path. *)
+
+type request = { os_warehouse : int; os_district : int; os_customer : int }
+
+val gen_request : ?warehouse:int -> ?district:int -> ?customers:int -> Rng.t -> request
+
+type status = {
+  st_order : int;
+  st_carrier : int;  (** 0 = not yet delivered *)
+  st_lines : int;
+  st_total : int64;
+}
+
+val run : Schema.db -> request -> status option
+(** [None] when the customer has no order in the bounded backward scan
+    window. *)

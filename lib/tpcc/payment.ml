@@ -2,24 +2,31 @@
    evaluation (which stress-tests new-order only), completing the two
    transactions that make up ~88 % of the standard TPC-C mix.
 
-   Per the spec (simplified to one warehouse): pick a district and
+   Per the spec (home-warehouse payments only): pick a district and
    customer, add the amount to the district's year-to-date total, subtract
    it from the customer's balance (updating the customer's payment
    statistics), and append a history row. *)
 
 open Rewind_pds
 
-type request = { p_district : int; p_customer : int; p_amount : int }
+type request = {
+  p_warehouse : int;
+  p_district : int;
+  p_customer : int;
+  p_amount : int;
+}
 
-let gen_request ?(district = 0) rng =
+let gen_request ?(warehouse = 1) ?(district = 0) ?(customers = 100) rng =
   {
+    p_warehouse = warehouse;
     p_district = (if district > 0 then district else Rng.int rng 1 Schema.districts);
-    p_customer = Rng.int rng 1 100;
+    p_customer = Rng.int rng 1 customers;
     p_amount = Rng.int rng 100 500_000;  (* cents: $1.00 - $5000.00 *)
   }
 
 let body db tm_opt txn rq =
   Rewind_nvm.Clock.advance 30_000;  (* application-level work *)
+  let w = rq.p_warehouse in
   let d = rq.p_district in
   let set row field v =
     match tm_opt with
@@ -28,7 +35,7 @@ let body db tm_opt txn rq =
   in
   let amount = Int64.of_int rq.p_amount in
   (* district: d_ytd += amount; allocate the history id *)
-  let drow = db.Schema.districts_rows.(d) in
+  let drow = Schema.district_row db w d in
   set drow Schema.d_ytd (Int64.add (Schema.row_get db drow Schema.d_ytd) amount);
   let h_id = Int64.to_int (Schema.row_get db drow Schema.d_next_h_id) in
   set drow Schema.d_next_h_id (Int64.of_int (h_id + 1));
@@ -36,7 +43,8 @@ let body db tm_opt txn rq =
   let crow =
     Int64.to_int
       (Option.get
-         (Btree.lookup db.Schema.customer (Schema.key_customer d rq.p_customer)))
+         (Btree.lookup (Schema.customer_tree db w)
+            (Schema.key_customer db w d rq.p_customer)))
   in
   set crow Schema.c_balance
     (Int64.sub (Schema.row_get db crow Schema.c_balance) amount);
@@ -49,11 +57,12 @@ let body db tm_opt txn rq =
   Schema.row_set_raw db hrow Schema.h_c_id (Int64.of_int rq.p_customer);
   Schema.row_set_raw db hrow Schema.h_d_id (Int64.of_int d);
   Schema.row_set_raw db hrow Schema.h_amount amount;
-  Btree.insert db.Schema.history txn (Schema.key_history d h_id)
+  Btree.insert (Schema.history_tree db w) txn
+    (Schema.key_history db w d h_id)
     (Int64.of_int hrow)
 
-let run_transactional db tm rq =
-  Rewind.Tm.atomically tm (fun txn -> body db (Some tm) txn rq)
+let run_transactional ?home db tm rq =
+  Rewind.Tm.atomically ?home tm (fun txn -> body db (Some tm) txn rq)
 
 let run_raw db rq = body db None 0 rq
 
@@ -61,18 +70,22 @@ let run_raw db rq = body db None 0 rq
    history amounts (TPC-C consistency condition 2-ish, adapted). *)
 let check_consistency db =
   let ok = ref true in
-  for d = 1 to Schema.districts do
-    let drow = db.Schema.districts_rows.(d) in
-    let next_h = Int64.to_int (Schema.row_get db drow Schema.d_next_h_id) in
-    let sum = ref 0L in
-    for h = 1 to next_h - 1 do
-      match Btree.lookup db.Schema.history (Schema.key_history d h) with
-      | None -> ok := false
-      | Some hrow ->
-          sum :=
-            Int64.add !sum
-              (Schema.row_get db (Int64.to_int hrow) Schema.h_amount)
-    done;
-    if Schema.row_get db drow Schema.d_ytd <> !sum then ok := false
+  for w = 1 to db.Schema.warehouses do
+    for d = 1 to Schema.districts do
+      let drow = Schema.district_row db w d in
+      let next_h = Int64.to_int (Schema.row_get db drow Schema.d_next_h_id) in
+      let sum = ref 0L in
+      for h = 1 to next_h - 1 do
+        match
+          Btree.lookup (Schema.history_tree db w) (Schema.key_history db w d h)
+        with
+        | None -> ok := false
+        | Some hrow ->
+            sum :=
+              Int64.add !sum
+                (Schema.row_get db (Int64.to_int hrow) Schema.h_amount)
+      done;
+      if Schema.row_get db drow Schema.d_ytd <> !sum then ok := false
+    done
   done;
   !ok

@@ -2,11 +2,19 @@
     new-order-only evaluation: updates the district's year-to-date total
     and the customer's balance/statistics, and appends a history row. *)
 
-type request = { p_district : int; p_customer : int; p_amount : int }
+type request = {
+  p_warehouse : int;
+  p_district : int;
+  p_customer : int;
+  p_amount : int;
+}
 
-val gen_request : ?district:int -> Rng.t -> request
+val gen_request : ?warehouse:int -> ?district:int -> ?customers:int -> Rng.t -> request
 
-val run_transactional : Schema.db -> Rewind.Tm.t -> request -> unit
+val run_transactional : ?home:int -> Schema.db -> Rewind.Tm.t -> request -> unit
+(** [?home] pins the transaction's log partition (home-warehouse
+    pinning); defaults to the transaction manager's round-robin. *)
+
 val run_raw : Schema.db -> request -> unit
 
 val check_consistency : Schema.db -> bool

@@ -1,17 +1,20 @@
-(* TPC-C schema subset for the new-order transaction (Section 5.3).
+(* TPC-C schema subset for the five-transaction mix (Section 5.3).
 
    Tables are B+-trees over NVM; rows are fixed-width NVM regions of word
    fields referenced by the tree's value word.  Two physical layouts are
    supported, reflecting the paper's co-design experiment:
 
-   - [Naive]: one tree per table; the order-side tables (orders,
-     order-line, new-order) use compound keys (d_id, o_id [, ol_number])
-     packed into one 64-bit key;
-   - [Optimized]: the order-side tables become an array of ten trees — one
-     per district — keyed by o_id alone, exploiting the tiny district
-     domain exactly as the paper's optimised data structure does.
+   - [Naive]: one tree per table; warehouse and district ids are packed
+     into compound 64-bit keys;
+   - [Optimized]: the per-warehouse tables (customer, stock, history)
+     become one tree per warehouse and the order-side tables (orders,
+     order-line, new-order) one tree per (warehouse, district), keyed by
+     o_id alone — exploiting the tiny district domain exactly as the
+     paper's optimised data structure does, and giving each warehouse a
+     disjoint tree set so home-warehouse pinning shards cleanly.
 
-   Scale factor 1: one warehouse, ten districts. *)
+   Scale factor: [warehouses] warehouses (default 1), ten districts
+   each. *)
 
 open Rewind_nvm
 open Rewind_pds
@@ -29,12 +32,14 @@ let d_ytd = 1
 let d_next_o_id = 2
 let d_next_h_id = 3
 
-(* customer row: c_discount, c_balance, c_ytd_payment, c_payment_cnt *)
-let customer_words = 4
+(* customer row: c_discount, c_balance, c_ytd_payment, c_payment_cnt,
+   c_delivery_cnt *)
+let customer_words = 5
 let c_discount = 0
 let c_balance = 1
 let c_ytd_payment = 2
 let c_payment_cnt = 3
+let c_delivery_cnt = 4
 
 (* item row: i_price *)
 let item_words = 1
@@ -47,18 +52,22 @@ let s_ytd = 1
 let s_order_cnt = 2
 let s_remote_cnt = 3
 
-(* orders row: o_c_id, o_entry_d, o_ol_cnt *)
-let order_words = 3
+(* orders row: o_c_id, o_entry_d, o_ol_cnt, o_carrier_id (0 = not yet
+   delivered) *)
+let order_words = 4
 let o_c_id = 0
 let o_entry_d = 1
 let o_ol_cnt = 2
+let o_carrier_id = 3
 
-(* order-line row: ol_i_id, ol_supply_w_id, ol_quantity, ol_amount *)
-let order_line_words = 4
+(* order-line row: ol_i_id, ol_supply_w_id, ol_quantity, ol_amount,
+   ol_delivery_d (0 = not yet delivered) *)
+let order_line_words = 5
 let ol_i_id = 0
 let ol_supply_w_id = 1
 let ol_quantity = 2
 let ol_amount = 3
+let ol_delivery_d = 4
 
 (* history row: h_c_id, h_d_id, h_amount *)
 let history_words = 3
@@ -68,17 +77,22 @@ let h_amount = 2
 
 (* -- key encodings -- *)
 
-let key_district d = Int64.of_int d
-let key_customer d c = Int64.of_int ((d * 100000) + c)
 let key_item i = Int64.of_int i
-let key_stock i = Int64.of_int i
 
-(* compound order keys for the naive layout *)
-let key_order_naive d o = Int64.of_int ((d * 100_000_000) + o)
-let key_history d h = Int64.of_int ((d * 100_000_000) + h)
-let key_order_line_naive d o ol = Int64.of_int ((((d * 100_000_000) + o) * 16) + ol)
+(* compound keys for the naive layout: warehouse and district ride in the
+   high digits *)
+let key_customer_naive w d c = Int64.of_int ((((w * 100) + d) * 100_000) + c)
+let key_stock_naive w i = Int64.of_int ((w * 1_000_000) + i)
+let key_order_naive w d o = Int64.of_int ((((w * 100) + d) * 100_000_000) + o)
+let key_history_naive w d h = Int64.of_int ((((w * 100) + d) * 100_000_000) + h)
 
-(* per-district keys for the optimised layout *)
+let key_order_line_naive w d o ol =
+  Int64.of_int (((((w * 100) + d) * 100_000_000) + o) * 16 + ol)
+
+(* per-warehouse / per-district keys for the optimised layout *)
+let key_customer_opt d c = Int64.of_int ((d * 100_000) + c)
+let key_stock_opt i = Int64.of_int i
+let key_history_opt d h = Int64.of_int ((d * 100_000_000) + h)
 let key_order_opt o = Int64.of_int o
 let key_order_line_opt o ol = Int64.of_int ((o * 16) + ol)
 
@@ -86,18 +100,21 @@ let key_order_line_opt o ol = Int64.of_int ((o * 16) + ol)
 
 type db = {
   layout : layout;
+  warehouses : int;
   arena : Arena.t;
   alloc : Alloc.t;
   mode : Btree.mode;
-  warehouse_tax : int;  (* fixed-point (x10000) *)
-  districts_rows : int array;  (* district row addresses, index 1..10 *)
-  customer : Btree.t;
-  item : Btree.t;
-  stock : Btree.t;
-  orders : Btree.t array;      (* length 1 (naive) or [districts] (optimized) *)
+  warehouse_tax : int;  (* fixed-point (x10000), same for every warehouse *)
+  districts_rows : int array;
+      (* district row addresses, index [(w-1)*districts + d] for
+         w in 1..warehouses, d in 1..districts (slot 0 unused) *)
+  customer : Btree.t array;    (* length 1 (naive) or [warehouses] *)
+  item : Btree.t;              (* read-only after load; shared *)
+  stock : Btree.t array;       (* length 1 (naive) or [warehouses] *)
+  orders : Btree.t array;      (* length 1 (naive) or [warehouses*districts] *)
   order_line : Btree.t array;
   new_order : Btree.t array;
-  history : Btree.t;           (* payment history, append-only *)
+  history : Btree.t array;     (* payment history, append-only *)
 }
 
 (* Allocate a row and initialise its fields with raw durable stores (rows
@@ -118,46 +135,113 @@ let row_set (_ : db) tm txn row field v =
 (* Raw durable row update, for the non-recoverable NVM configuration. *)
 let row_set_raw db row field v = Arena.nt_write db.arena (row + (8 * field)) v
 
-let order_trees_count = function Naive -> 1 | Optimized -> districts
+(* -- district rows -- *)
 
-let order_tree db d =
+let district_slot w d = ((w - 1) * districts) + d
+let district_row db w d = db.districts_rows.(district_slot w d)
+let set_district_row db w d r = db.districts_rows.(district_slot w d) <- r
+
+(* -- per-warehouse / per-district tree selection -- *)
+
+let warehouse_trees_count layout warehouses =
+  match layout with Naive -> 1 | Optimized -> warehouses
+
+let order_trees_count layout warehouses =
+  match layout with Naive -> 1 | Optimized -> warehouses * districts
+
+let customer_tree db w =
+  match db.layout with Naive -> db.customer.(0) | Optimized -> db.customer.(w - 1)
+
+let stock_tree db w =
+  match db.layout with Naive -> db.stock.(0) | Optimized -> db.stock.(w - 1)
+
+let history_tree db w =
+  match db.layout with Naive -> db.history.(0) | Optimized -> db.history.(w - 1)
+
+let order_slot w d = ((w - 1) * districts) + (d - 1)
+
+let order_tree db w d =
   match db.layout with
   | Naive -> db.orders.(0)
-  | Optimized -> db.orders.(d - 1)
+  | Optimized -> db.orders.(order_slot w d)
 
-let order_line_tree db d =
+let order_line_tree db w d =
   match db.layout with
   | Naive -> db.order_line.(0)
-  | Optimized -> db.order_line.(d - 1)
+  | Optimized -> db.order_line.(order_slot w d)
 
-let new_order_tree db d =
+let new_order_tree db w d =
   match db.layout with
   | Naive -> db.new_order.(0)
-  | Optimized -> db.new_order.(d - 1)
+  | Optimized -> db.new_order.(order_slot w d)
 
-let key_order db d o =
-  match db.layout with Naive -> key_order_naive d o | Optimized -> key_order_opt o
+(* -- layout-dispatching keys -- *)
 
-let key_order_line db d o ol =
+let key_customer db w d c =
   match db.layout with
-  | Naive -> key_order_line_naive d o ol
+  | Naive -> key_customer_naive w d c
+  | Optimized -> key_customer_opt d c
+
+let key_stock db w i =
+  match db.layout with Naive -> key_stock_naive w i | Optimized -> key_stock_opt i
+
+let key_history db w d h =
+  match db.layout with
+  | Naive -> key_history_naive w d h
+  | Optimized -> key_history_opt d h
+
+let key_order db w d o =
+  match db.layout with
+  | Naive -> key_order_naive w d o
+  | Optimized -> key_order_opt o
+
+let key_order_line db w d o ol =
+  match db.layout with
+  | Naive -> key_order_line_naive w d o ol
   | Optimized -> key_order_line_opt o ol
 
-let create ?(layout = Naive) mode alloc =
+let create ?(layout = Naive) ?(warehouses = 1) mode alloc =
+  if warehouses < 1 then invalid_arg "Schema.create: warehouses must be >= 1";
   let arena = Alloc.arena alloc in
-  let n = order_trees_count layout in
+  let nw = warehouse_trees_count layout warehouses in
+  let no = order_trees_count layout warehouses in
   {
     layout;
+    warehouses;
     arena;
     alloc;
     mode;
     warehouse_tax = 1000;
-    districts_rows = Array.make (districts + 1) 0;
-    customer = Btree.create mode alloc;
+    districts_rows = Array.make ((warehouses * districts) + 1) 0;
+    customer = Array.init nw (fun _ -> Btree.create mode alloc);
     item = Btree.create mode alloc;
-    stock = Btree.create mode alloc;
-    orders = Array.init n (fun _ -> Btree.create mode alloc);
-    order_line = Array.init n (fun _ -> Btree.create mode alloc);
-    new_order = Array.init n (fun _ -> Btree.create mode alloc);
-    history = Btree.create mode alloc;
+    stock = Array.init nw (fun _ -> Btree.create mode alloc);
+    orders = Array.init no (fun _ -> Btree.create mode alloc);
+    order_line = Array.init no (fun _ -> Btree.create mode alloc);
+    new_order = Array.init no (fun _ -> Btree.create mode alloc);
+    history = Array.init nw (fun _ -> Btree.create mode alloc);
+  }
+
+(* Reattach every tree of [db] under [mode], preserving root cells:
+   flips a freshly loaded database from raw loading mode to a measured
+   persistence mode, and reconnects trees after crash recovery.  The
+   district-row address array is volatile state and carries over
+   unchanged (row addresses survive a crash, so the array is simply
+   shared with the pre-crash [db]).  Pass [?alloc] when the allocator
+   itself was rebuilt, e.g. by [Alloc.recover] after a crash. *)
+let rebind ?alloc db mode =
+  let alloc = match alloc with Some a -> a | None -> db.alloc in
+  let rb t = Btree.attach mode alloc ~root_cell:(Btree.root_cell t) in
+  {
+    db with
+    mode;
+    alloc;
+    arena = Alloc.arena alloc;
+    customer = Array.map rb db.customer;
+    item = rb db.item;
+    stock = Array.map rb db.stock;
+    orders = Array.map rb db.orders;
+    order_line = Array.map rb db.order_line;
+    new_order = Array.map rb db.new_order;
+    history = Array.map rb db.history;
   }

@@ -1,0 +1,68 @@
+(* The TPC-C stock-level transaction: a read-only cross-table join — count
+   how many distinct items among the district's last 20 orders' lines have
+   a stock quantity below a threshold.
+
+   The largest read set in the mix (up to 20 orders x 15 lines, each with
+   an item and a stock lookup); like order-status it issues no log
+   records, so it measures the co-designed layouts' read path under the
+   open-loop mix. *)
+
+open Rewind_pds
+
+type request = { sl_warehouse : int; sl_district : int; sl_threshold : int }
+
+let orders_back = 20
+
+let gen_request ?(warehouse = 1) ?(district = 0) rng =
+  {
+    sl_warehouse = warehouse;
+    sl_district =
+      (if district > 0 then district else Rng.int rng 1 Schema.districts);
+    sl_threshold = Rng.int rng 10 20;
+  }
+
+let run db rq =
+  Rewind_nvm.Clock.advance 35_000;  (* application-level work *)
+  let w = rq.sl_warehouse and d = rq.sl_district in
+  let drow = Schema.district_row db w d in
+  let next_o = Int64.to_int (Schema.row_get db drow Schema.d_next_o_id) in
+  let lo_o = max 1 (next_o - orders_back) in
+  let seen = Hashtbl.create 64 in
+  let low = ref 0 in
+  for o = lo_o to next_o - 1 do
+    match Btree.lookup (Schema.order_tree db w d) (Schema.key_order db w d o) with
+    | None -> ()
+    | Some orow_v ->
+        let lines =
+          Int64.to_int
+            (Schema.row_get db (Int64.to_int orow_v) Schema.o_ol_cnt)
+        in
+        for ol = 1 to lines do
+          match
+            Btree.lookup (Schema.order_line_tree db w d)
+              (Schema.key_order_line db w d o ol)
+          with
+          | None -> ()
+          | Some lrow_v ->
+              let item =
+                Int64.to_int
+                  (Schema.row_get db (Int64.to_int lrow_v) Schema.ol_i_id)
+              in
+              if not (Hashtbl.mem seen item) then begin
+                Hashtbl.add seen item ();
+                match
+                  Btree.lookup (Schema.stock_tree db w)
+                    (Schema.key_stock db w item)
+                with
+                | None -> ()
+                | Some srow_v ->
+                    let q =
+                      Int64.to_int
+                        (Schema.row_get db (Int64.to_int srow_v)
+                           Schema.s_quantity)
+                    in
+                    if q < rq.sl_threshold then incr low
+              end
+        done
+  done;
+  !low

@@ -1,0 +1,10 @@
+(** The TPC-C stock-level transaction: read-only count of distinct items
+    in the district's last 20 orders whose stock quantity is below a
+    threshold.  The largest read set in the mix; issues no log records. *)
+
+type request = { sl_warehouse : int; sl_district : int; sl_threshold : int }
+
+val gen_request : ?warehouse:int -> ?district:int -> Rng.t -> request
+
+val run : Schema.db -> request -> int
+(** Number of distinct below-threshold items. *)

@@ -74,20 +74,6 @@ let setup ~config ~params arena =
   Datagen.load ~params db 0;
   (alloc, db)
 
-(* Rebind the database's trees to the terminal's persistence mode. *)
-let rebind db mode alloc =
-  let rb t = Rewind_pds.Btree.attach mode alloc ~root_cell:(Rewind_pds.Btree.root_cell t) in
-  {
-    db with
-    Schema.mode;
-    Schema.customer = rb db.Schema.customer;
-    Schema.item = rb db.Schema.item;
-    Schema.stock = rb db.Schema.stock;
-    Schema.orders = Array.map rb db.Schema.orders;
-    Schema.order_line = Array.map rb db.Schema.order_line;
-    Schema.new_order = Array.map rb db.Schema.new_order;
-    Schema.history = rb db.Schema.history;
-  }
 
 let run ?(terminals = Schema.districts) ?(txns_per_terminal = 1000)
     ?(params = Datagen.small) ?(arena_mb = 256) ?(on_arena = ignore) ~config
@@ -127,7 +113,8 @@ let run ?(terminals = Schema.districts) ?(txns_per_terminal = 1000)
     Array.init terminals (fun term ->
         match tms.(term) with
         | None -> base_db
-        | Some tm -> rebind base_db (Rewind_pds.Btree.Logged tm) alloc)
+        | Some tm ->
+            Schema.rebind ~alloc base_db (Rewind_pds.Btree.Logged tm))
   in
   let sim_ns =
     Sim_threads.run ~threads:terminals ~ops_per_thread:txns_per_terminal
@@ -176,25 +163,171 @@ let run ?(terminals = Schema.districts) ?(txns_per_terminal = 1000)
    d_next_o_id. *)
 let check_consistency db =
   let ok = ref true in
-  for d = 1 to Schema.districts do
-    let drow = db.Schema.districts_rows.(d) in
-    let next = Int64.to_int (Schema.row_get db drow Schema.d_next_o_id) in
-    for o = 1 to next - 1 do
-      match
-        Rewind_pds.Btree.lookup (Schema.order_tree db d) (Schema.key_order db d o)
-      with
-      | None -> ok := false
-      | Some orow_v ->
-          let orow = Int64.to_int orow_v in
-          let cnt = Int64.to_int (Schema.row_get db orow Schema.o_ol_cnt) in
-          for ol = 1 to cnt do
-            if
-              Rewind_pds.Btree.lookup
-                (Schema.order_line_tree db d)
-                (Schema.key_order_line db d o ol)
-              = None
-            then ok := false
-          done
+  for w = 1 to db.Schema.warehouses do
+    for d = 1 to Schema.districts do
+      let drow = Schema.district_row db w d in
+      let next = Int64.to_int (Schema.row_get db drow Schema.d_next_o_id) in
+      for o = 1 to next - 1 do
+        match
+          Rewind_pds.Btree.lookup (Schema.order_tree db w d)
+            (Schema.key_order db w d o)
+        with
+        | None -> ok := false
+        | Some orow_v ->
+            let orow = Int64.to_int orow_v in
+            let cnt = Int64.to_int (Schema.row_get db orow Schema.o_ol_cnt) in
+            for ol = 1 to cnt do
+              if
+                Rewind_pds.Btree.lookup
+                  (Schema.order_line_tree db w d)
+                  (Schema.key_order_line db w d o ol)
+                = None
+              then ok := false
+            done
+      done
     done
   done;
   !ok
+
+(* Mixed-workload invariants, checked on top of [check_consistency] and
+   [Payment.check_consistency]: an order carries a carrier id exactly when
+   its new-order entry is gone, and a delivered order has every line
+   stamped with a delivery date. *)
+let check_delivery_consistency db =
+  let ok = ref true in
+  for w = 1 to db.Schema.warehouses do
+    for d = 1 to Schema.districts do
+      let drow = Schema.district_row db w d in
+      let next = Int64.to_int (Schema.row_get db drow Schema.d_next_o_id) in
+      for o = 1 to next - 1 do
+        match
+          Rewind_pds.Btree.lookup (Schema.order_tree db w d)
+            (Schema.key_order db w d o)
+        with
+        | None -> ok := false
+        | Some orow_v ->
+            let orow = Int64.to_int orow_v in
+            let delivered =
+              Schema.row_get db orow Schema.o_carrier_id <> 0L
+            in
+            let queued =
+              Rewind_pds.Btree.mem
+                (Schema.new_order_tree db w d)
+                (Schema.key_order db w d o)
+            in
+            if delivered = queued then ok := false;
+            if delivered then begin
+              let cnt = Int64.to_int (Schema.row_get db orow Schema.o_ol_cnt) in
+              for ol = 1 to cnt do
+                match
+                  Rewind_pds.Btree.lookup
+                    (Schema.order_line_tree db w d)
+                    (Schema.key_order_line db w d o ol)
+                with
+                | None -> ok := false
+                | Some lrow ->
+                    if
+                      Schema.row_get db (Int64.to_int lrow)
+                        Schema.ol_delivery_d = 0L
+                    then ok := false
+              done
+            end
+      done
+    done
+  done;
+  !ok
+
+let check_mix_consistency db =
+  check_consistency db
+  && Payment.check_consistency db
+  && check_delivery_consistency db
+
+(* -- the five-transaction closed-loop driver ----------------------------
+
+   [run_mix] drives the full mix over one REWIND manager whose log is
+   partitioned [partitions] ways, pinning every transaction to its home
+   warehouse's partition ([(w-1) mod partitions]).  Terminals share one
+   coarse data lock (the naive contention model) so the driver is
+   race-clean by construction — the race-detector CI leg runs exactly
+   this; the open-loop bench layers per-warehouse locking on top of the
+   same transaction bodies. *)
+
+type mix_result = {
+  mix_committed : int;   (* all five types, incl. enqueued deliveries *)
+  mix_aborted : int;     (* invalid-item rollbacks *)
+  mix_retried : int;     (* data-lock conflicts backed off and rerun *)
+  mix_new_orders : int;  (* committed new-orders (the tpmC numerator) *)
+  mix_deliveries : int;  (* deferred delivery transactions executed *)
+  mix_sim_ns : int;
+  mix_tpmc : float;      (* committed new-orders per simulated minute *)
+  mix_consistent : bool;
+}
+
+let run_mix ?(warehouses = 2) ?(terminals_per_warehouse = 2)
+    ?(txns_per_terminal = 100) ?(params = Datagen.micro) ?(arena_mb = 256)
+    ?(partitions = 1) ?(layout = Schema.Optimized) ?cfg ?(on_arena = ignore)
+    () =
+  let cfg =
+    match cfg with
+    | Some c -> c
+    | None -> Rewind.with_partitions partitions tm_config
+  in
+  let arena = Arena.create ~size_bytes:(arena_mb lsl 20) () in
+  on_arena arena;
+  let alloc = Alloc.create arena in
+  let db = Schema.create ~layout ~warehouses Rewind_pds.Btree.Direct_nvm alloc in
+  Datagen.load ~params db 0;
+  let tm = Rewind.Tm.create ~cfg alloc ~root_slot:shared_root in
+  let db = Schema.rebind db (Rewind_pds.Btree.Logged tm) in
+  let queue = Delivery.queue_create () in
+  let data_lock = Sim_mutex.create () in
+  let committed = ref 0 and aborted = ref 0 and retried = ref 0 in
+  let new_orders = ref 0 and deliveries = ref 0 in
+  let terminals = warehouses * terminals_per_warehouse in
+  let rngs = Array.init terminals (fun t -> Rng.create (2000 + t)) in
+  let home_of w = (w - 1) mod cfg.Rewind.Tm.partitions in
+  let sim_ns =
+    Sim_threads.run ~threads:terminals ~ops_per_thread:txns_per_terminal
+      (fun term _ ->
+        let rng = rngs.(term) in
+        let warehouse = 1 + (term mod warehouses) in
+        let home = home_of warehouse in
+        let rq =
+          Mix.gen ~warehouse ~customers:params.Datagen.customers_per_district
+            rng ~items:params.Datagen.items
+        in
+        let exec () =
+          (match Mix.execute ~home db tm ~queue rq with
+          | Mix.Committed ->
+              incr committed;
+              if Mix.is_new_order rq then incr new_orders
+          | Mix.Aborted -> incr aborted);
+          (* run any deferred deliveries promptly, still inside the
+             data lock: each is its own transaction *)
+          deliveries := !deliveries + Mix.drain_deliveries ~home db tm queue
+        in
+        let rec exec_contended attempt =
+          if Sim_mutex.try_lock data_lock then
+            Fun.protect ~finally:(fun () -> Sim_mutex.unlock data_lock) exec
+          else if attempt < max_conflict_retries then begin
+            incr retried;
+            Clock.advance (conflict_backoff_ns lsl min attempt 4);
+            exec_contended (attempt + 1)
+          end
+          else Sim_mutex.with_lock data_lock exec
+        in
+        exec_contended 0)
+  in
+  let minutes = float_of_int sim_ns /. 60e9 in
+  ( {
+      mix_committed = !committed;
+      mix_aborted = !aborted;
+      mix_retried = !retried;
+      mix_new_orders = !new_orders;
+      mix_deliveries = !deliveries;
+      mix_sim_ns = sim_ns;
+      mix_tpmc =
+        (if minutes > 0. then float_of_int !new_orders /. minutes else 0.);
+      mix_consistent = check_mix_consistency db;
+    },
+    db )

@@ -26,6 +26,9 @@ type result = {
 val tm_config : Rewind.Tm.config
 (** The REWIND configuration the TPC-C runs use (1L, no-force, Batch 8). *)
 
+val shared_root : int
+(** Arena root slot of the shared transaction manager. *)
+
 val run :
   ?terminals:int ->
   ?txns_per_terminal:int ->
@@ -42,3 +45,42 @@ val run :
 val check_consistency : Schema.db -> bool
 (** Every committed order has matching orders/order-line rows up to the
     district's next-order id. *)
+
+val check_delivery_consistency : Schema.db -> bool
+(** An order carries a carrier id exactly when its new-order entry is
+    gone, and a delivered order has every line stamped with a delivery
+    date. *)
+
+val check_mix_consistency : Schema.db -> bool
+(** {!check_consistency} + {!Payment.check_consistency} +
+    {!check_delivery_consistency}: holds at every transaction boundary of
+    a five-transaction mixed run. *)
+
+type mix_result = {
+  mix_committed : int;   (** all five types, incl. enqueued deliveries *)
+  mix_aborted : int;     (** invalid-item rollbacks *)
+  mix_retried : int;     (** data-lock conflicts backed off and rerun *)
+  mix_new_orders : int;  (** committed new-orders (the tpmC numerator) *)
+  mix_deliveries : int;  (** deferred delivery transactions executed *)
+  mix_sim_ns : int;
+  mix_tpmc : float;      (** committed new-orders per simulated minute *)
+  mix_consistent : bool;
+}
+
+val run_mix :
+  ?warehouses:int ->
+  ?terminals_per_warehouse:int ->
+  ?txns_per_terminal:int ->
+  ?params:Datagen.params ->
+  ?arena_mb:int ->
+  ?partitions:int ->
+  ?layout:Schema.layout ->
+  ?cfg:Rewind.Tm.config ->
+  ?on_arena:(Rewind_nvm.Arena.t -> unit) ->
+  unit ->
+  mix_result * Schema.db
+(** The five-transaction closed-loop driver: terminals cycle through
+    their home warehouse's requests under one coarse data lock, every
+    transaction pinned to log partition [(w-1) mod partitions].  Deferred
+    deliveries run promptly after the enqueuing transaction.  Returns the
+    result and the (logged) database for further probing. *)

@@ -251,6 +251,32 @@ let test_benchdiff_tolerance_fallback () =
   check_bool "exactly the fallback metric regressed" true
     (List.length o.Benchdiff.regressions = 1)
 
+let test_benchdiff_new_metrics () =
+  (* A gated metric only the current run produces cannot be judged; it
+     must surface in [new_metrics] (a CLI warning) without failing the
+     gate — and annotation leaves never count as new metrics. *)
+  let o =
+    compare_strings ~tolerance:0.1
+      ~baseline:{|[ {"name": "x", "ops": 10, "throughput": 10.0} ]|}
+      ~current:
+        {|[ {"name": "x", "ops": 10, "throughput": 10.0,
+             "latency_p99_sim_ns": 4096.0, "latency_p99_sim_ns_tolerance": 0.5,
+             "row_count": 7.0} ]|}
+  in
+  check_bool "still passes" true (Benchdiff.passed o);
+  check_bool "the gated current-only metric is reported" true
+    (o.Benchdiff.new_metrics = [ "x/ops=10/latency_p99_sim_ns" ]);
+  (* ungated leaves ("row_count") and tolerance annotations are not new
+     metrics; a baseline that already has the leaf reports none *)
+  let o2 =
+    compare_strings ~tolerance:0.1
+      ~baseline:
+        {|[ {"name": "x", "ops": 10, "throughput": 10.0, "latency_p99_sim_ns": 4096.0} ]|}
+      ~current:
+        {|[ {"name": "x", "ops": 10, "throughput": 10.0, "latency_p99_sim_ns": 4096.0} ]|}
+  in
+  check_bool "known metrics are not new" true (o2.Benchdiff.new_metrics = [])
+
 let test_benchdiff_tighter_per_metric () =
   (* the override can also tighten: 5% drop passes the 20% global but
      not the metric's own 1% *)
@@ -278,6 +304,8 @@ let () =
           tc "global tolerance fallback" `Quick test_benchdiff_tolerance_fallback;
           tc "tighter per-metric tolerance" `Quick
             test_benchdiff_tighter_per_metric;
+          tc "current-only gated metrics warn" `Quick
+            test_benchdiff_new_metrics;
         ] );
       ( "figures",
         [

@@ -321,35 +321,21 @@ let tpcc_db () =
   in
   Rewind_tpcc.Datagen.load ~params:Rewind_tpcc.Datagen.small db 0;
   let tm = Tm.create ~cfg:Rewind.config_1l_nfp alloc ~root_slot:3 in
-  let rb t =
-    Rewind_pds.Btree.attach (Rewind_pds.Btree.Logged tm) alloc
-      ~root_cell:(Rewind_pds.Btree.root_cell t)
-  in
-  let db =
-    {
-      db with
-      Rewind_tpcc.Schema.mode = Rewind_pds.Btree.Logged tm;
-      Rewind_tpcc.Schema.customer = rb db.Rewind_tpcc.Schema.customer;
-      Rewind_tpcc.Schema.item = rb db.Rewind_tpcc.Schema.item;
-      Rewind_tpcc.Schema.stock = rb db.Rewind_tpcc.Schema.stock;
-      Rewind_tpcc.Schema.orders = Array.map rb db.Rewind_tpcc.Schema.orders;
-      Rewind_tpcc.Schema.order_line = Array.map rb db.Rewind_tpcc.Schema.order_line;
-      Rewind_tpcc.Schema.new_order = Array.map rb db.Rewind_tpcc.Schema.new_order;
-      Rewind_tpcc.Schema.history = rb db.Rewind_tpcc.Schema.history;
-    }
-  in
+  let db = Rewind_tpcc.Schema.rebind db (Rewind_pds.Btree.Logged tm) in
   (arena, tm, db)
 
 let test_payment_effects () =
   let open Rewind_tpcc in
   let _, tm, db = tpcc_db () in
-  let rq = { Payment.p_district = 1; p_customer = 1; p_amount = 1000 } in
+  let rq = { Payment.p_warehouse = 1; p_district = 1; p_customer = 1; p_amount = 1000 } in
   Payment.run_transactional db tm rq;
   Payment.run_transactional db tm rq;
-  let drow = db.Schema.districts_rows.(1) in
+  let drow = Schema.district_row db 1 1 in
   Alcotest.(check int64) "d_ytd" 2000L (Schema.row_get db drow Schema.d_ytd);
   let crow =
-    Int64.to_int (Option.get (Btree.lookup db.Schema.customer (Schema.key_customer 1 1)))
+    Int64.to_int
+      (Option.get
+         (Btree.lookup (Schema.customer_tree db 1) (Schema.key_customer db 1 1 1)))
   in
   Alcotest.(check int64) "balance" (-2000L) (Schema.row_get db crow Schema.c_balance);
   Alcotest.(check int64) "payment count" 2L

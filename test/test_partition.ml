@@ -323,6 +323,78 @@ let prop_merged_order =
       in
       ascending lsns && List.sort compare merged = union)
 
+(* Caller-chosen homes are recovery-stable: over a random history whose
+   transactions mix explicit [~home] pins with round-robin defaults,
+   (a) the id arithmetic puts every pinned transaction on its requested
+   partition; (b) after a crash, [attach]'s recomputed homes equal the
+   pre-crash ones and a fresh pinned transaction gets an id past every
+   pre-crash id while landing on the requested partition (the reseeded
+   per-partition counters must skip the history's ids in *every*
+   residue class, not just the busiest); and (c) the recovered cell
+   state is identical to the same history run at 1 partition — pinning
+   redistributes log records, never outcomes. *)
+let prop_home_stability =
+  QCheck.Test.make ~name:"home pinning is recovery-stable" ~count:60
+    QCheck.(
+      pair (int_range 1 4)
+        (list_of_size (Gen.int_range 1 10)
+           (pair (option (int_bound 3)) (int_bound 4))))
+    (fun (n_parts, txns) ->
+      (* the shrinker can propose values outside the generator's range *)
+      let n_parts = max 1 (min 4 n_parts) in
+      let run n_parts =
+        let cfg =
+          Rewind.with_partitions n_parts
+            { Rewind.config_1l_nfp with Tm.bucket_cap = 8 }
+        in
+        let arena = Arena.create ~size_bytes:(32 lsl 20) () in
+        let alloc = Alloc.create arena in
+        let tm = Tm.create ~cfg alloc ~root_slot in
+        let cells = Array.init 8 (fun _ -> Alloc.alloc alloc 8) in
+        let homes = ref [] in
+        let pinned_ok = ref true in
+        List.iteri
+          (fun tno (home_opt, writes) ->
+            let home = Option.map (fun h -> h mod n_parts) home_opt in
+            let txn = Tm.begin_txn ?home tm in
+            homes := (txn, Tm.home_partition tm txn, writes) :: !homes;
+            (match home with
+            | Some h -> if Tm.home_partition tm txn <> h then pinned_ok := false
+            | None -> ());
+            for i = 0 to writes - 1 do
+              Tm.write tm txn
+                ~addr:cells.((tno + i) mod 8)
+                ~value:(Int64.of_int ((tno * 100) + i))
+            done;
+            (* every fourth transaction stays live across the crash *)
+            if tno mod 4 <> 3 then Tm.commit tm txn)
+          txns;
+        Arena.crash arena;
+        let alloc2 = Alloc.recover arena in
+        let tm2 = Tm.attach ~cfg alloc2 ~root_slot in
+        let stable =
+          List.for_all (fun (txn, h, _) -> Tm.home_partition tm2 txn = h) !homes
+        in
+        (* A transaction that never wrote leaves no log records, so
+           recovery cannot know its id; the reseeded counters only
+           promise fresh ids past every *logged* transaction. *)
+        let max_logged =
+          List.fold_left
+            (fun a (t, _, writes) -> if writes > 0 then max a t else a)
+            0 !homes
+        in
+        let want = max_logged mod n_parts in
+        let fresh = Tm.begin_txn ~home:want tm2 in
+        let fresh_ok =
+          fresh > max_logged && Tm.home_partition tm2 fresh = want
+        in
+        ( !pinned_ok && stable && fresh_ok,
+          Array.map (fun c -> Arena.read arena c) cells )
+      in
+      let ok_n, state_n = run n_parts in
+      let ok_1, state_1 = run 1 in
+      ok_n && ok_1 && state_n = state_1)
+
 (* Same history, 1 vs 4 partitions: identical recovered state. *)
 let test_equivalence () =
   let run n_parts =
@@ -389,6 +461,7 @@ let () =
       ( "properties",
         [
           QCheck_alcotest.to_alcotest prop_merged_order;
+          QCheck_alcotest.to_alcotest prop_home_stability;
           Alcotest.test_case "1 vs 4 partitions recover identically" `Quick
             test_equivalence;
         ] );
